@@ -1,0 +1,59 @@
+"""Shared driver for the pipeline benchmarks (Tables IX, X and XI).
+
+Each of the three pipeline tables runs the same eleven variants against a
+different workload; this module holds the run/print/assert logic so the three
+benchmark files stay declarative.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import ScopeConfig, ScopePipeline, format_pipeline_table, paper_variant_suite
+
+
+def run_pipeline_suite(tables, workload, target_total_gb, rows_per_file=200):
+    """Prepare the pipeline once and evaluate the paper's eleven variants."""
+    config = ScopeConfig(
+        rows_per_file=rows_per_file,
+        target_total_gb=target_total_gb,
+        duration_months=5.5,
+    )
+    pipeline = ScopePipeline(tables, workload, config).prepare()
+    return pipeline.run_suite(paper_variant_suite())
+
+
+def print_and_check(rows, title):
+    """Print the table and assert the paper's qualitative ordering."""
+    print()
+    print(format_pipeline_table(rows, title=title))
+    by_name = {row.variant: row for row in rows}
+
+    default = by_name["Default (store on premium)"]
+    compress_only = by_name["Compress & store on premium"]
+    multi_tier = by_name["Multi-Tiering"]
+    partition_tier = by_name["Partitioning + Tiering"]
+    scope_total = by_name["SCOPe (Total cost focused)"]
+    scope_uncapped = by_name["SCOPe (No capacity constraint)"]
+    scope_latency = by_name["SCOPe (Latency time focused)"]
+
+    # Compression alone lowers storage (and total) cost versus the default.
+    assert compress_only.storage_cost < default.storage_cost
+    assert compress_only.total_cost < default.total_cost
+    # Multi-tiering lowers total cost versus the default.
+    assert multi_tier.total_cost < default.total_cost
+    # G-PART lowers the read cost of the tiering baseline (its point is to let
+    # queries touch only the files they need).  Its storage-side duplication
+    # can eat part of that saving when file splits are coarse, so the total
+    # cost is only required to stay within 10% of the tiering-only baseline —
+    # in most configurations (and in the paper) it is strictly better.
+    assert partition_tier.read_cost <= multi_tier.read_cost + 1e-6
+    assert partition_tier.total_cost <= 1.10 * multi_tier.total_cost
+    # The full SCOPe pipeline (total-cost or uncapped) is the cheapest variant overall.
+    best_scope = min(scope_total.total_cost, scope_uncapped.total_cost)
+    non_scope = [row for row in rows if not row.variant.startswith("SCOPe")]
+    assert best_scope <= min(row.total_cost for row in non_scope) + 1e-6
+    # Paper: the total-cost-focused SCOPe lands well below the platform default
+    # ("consistently within 8-18% of Default"); assert a generous 50% bound.
+    assert scope_total.total_cost < 0.5 * default.total_cost
+    # The latency-focused variant keeps the platform-default time to first byte.
+    assert scope_latency.read_latency_s <= default.read_latency_s + 1e-9
+    return by_name

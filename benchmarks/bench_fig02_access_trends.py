@@ -1,0 +1,48 @@
+"""Figure 2 — the four qualitative access-trend classes of enterprise workloads.
+
+Regenerates one representative monthly read series per class (decaying,
+constant, periodic, spike) plus the aggregate write trend, and asserts the
+defining property of each shape.
+"""
+
+import numpy as np
+
+from repro.workloads import AccessPattern, generate_monthly_reads, generate_monthly_writes
+from conftest import print_section
+
+
+def test_fig02_access_trend_classes(benchmark):
+    months = 24
+
+    def compute():
+        rng = np.random.default_rng(2024)
+        series = {
+            pattern: generate_monthly_reads(rng, pattern, months=months, base_level=100.0, noise=0.05)
+            for pattern in (
+                AccessPattern.DECAYING,
+                AccessPattern.CONSTANT,
+                AccessPattern.PERIODIC,
+                AccessPattern.SPIKE,
+            )
+        }
+        series["writes"] = generate_monthly_writes(rng, months=months, ingest_heavy=True)
+        return series
+
+    series = benchmark(compute)
+
+    print_section("Fig. 2 analogue: monthly access series per trend class")
+    for name, values in series.items():
+        rendered = " ".join(f"{value:7.1f}" for value in values[:12])
+        print(f"{name:10s} {rendered} ...")
+
+    decaying = series[AccessPattern.DECAYING]
+    constant = series[AccessPattern.CONSTANT]
+    periodic = series[AccessPattern.PERIODIC]
+    spike = series[AccessPattern.SPIKE]
+    writes = series["writes"]
+
+    assert sum(decaying[: months // 3]) > sum(decaying[-months // 3 :])
+    assert np.std(constant) < 0.2 * np.mean(constant)
+    assert max(periodic) > 3 * (np.median(periodic) + 1e-9)
+    assert max(spike) > 0.5 * sum(spike)
+    assert writes[0] == max(writes)

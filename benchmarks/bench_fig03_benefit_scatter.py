@@ -1,0 +1,63 @@
+"""Figure 3 — per-dataset % cost benefit vs read accesses and vs size.
+
+Reproduces the scatter of Fig. 3 as summary rows: datasets are bucketed by
+future read count and by size, and the mean per-dataset benefit of moving to
+its ideal tier (vs staying hot) is printed per bucket.  The paper's shape:
+rarely-accessed data yields the largest savings; heavily-read data yields
+little or none.
+"""
+
+import numpy as np
+
+from repro.cloud import CostModel, NO_COMPRESSION_PROFILE, azure_tier_catalog
+from repro.core.access_predict import TierFeatureBuilder, ideal_tier_labels
+from conftest import print_section
+
+
+def test_fig03_benefit_scatter(benchmark, enterprise_account):
+    catalog, _ = enterprise_account
+    horizon = 6
+    tiers = azure_tier_catalog(include_premium=False)
+    model = CostModel(tiers, duration_months=float(horizon))
+
+    def compute():
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(catalog, horizon_months=horizon)
+        labels = ideal_tier_labels(catalog, splits, model)
+        points = []
+        for dataset, split, tier in zip(catalog, splits, labels):
+            partition = dataset.to_partition(split.future_read_total)
+            baseline = model.placement_breakdown(partition, 0, NO_COMPRESSION_PROFILE).total
+            optimized = model.placement_breakdown(partition, tier, NO_COMPRESSION_PROFILE).total
+            benefit = 100.0 * (baseline - optimized) / baseline if baseline > 0 else 0.0
+            points.append((split.future_read_total, dataset.size_gb, benefit))
+        return points
+
+    points = benchmark(compute)
+    reads = np.array([p[0] for p in points])
+    sizes = np.array([p[1] for p in points])
+    benefits = np.array([p[2] for p in points])
+
+    print_section("Fig. 3a analogue: mean % benefit vs read-access bucket")
+    read_buckets = [(0, 1), (1, 100), (100, 1_000), (1_000, np.inf)]
+    bucket_means = {}
+    for low, high in read_buckets:
+        mask = (reads >= low) & (reads < high)
+        mean = float(benefits[mask].mean()) if mask.any() else float("nan")
+        bucket_means[(low, high)] = mean
+        print(f"reads in [{low:>6}, {high:>8}): n={int(mask.sum()):4d}  mean benefit {mean:6.1f}%")
+
+    print_section("Fig. 3b analogue: mean % benefit vs size bucket")
+    quartiles = np.quantile(sizes, [0.0, 0.25, 0.5, 0.75, 1.0])
+    for low, high in zip(quartiles[:-1], quartiles[1:]):
+        mask = (sizes >= low) & (sizes <= high)
+        mean = float(benefits[mask].mean()) if mask.any() else float("nan")
+        print(f"size in [{low:10.1f}, {high:10.1f}] GB: n={int(mask.sum()):4d}  mean benefit {mean:6.1f}%")
+
+    # Shape assertions: cold data saves the most; no dataset is made worse off.
+    assert benefits.min() >= -1e-9
+    cold_mean = bucket_means[(0, 1)]
+    hot_mean = bucket_means[(1_000, np.inf)]
+    if not np.isnan(hot_mean):
+        assert cold_mean >= hot_mean
+    assert cold_mean > 20.0

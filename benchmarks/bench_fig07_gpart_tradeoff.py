@@ -1,0 +1,78 @@
+"""Figure 7 — space/cost trade-off of G-PART vs no merging vs merging everything.
+
+For the small and medium TPC-H analogues, builds the query families and
+compares three partitionings per table: (i) no merging, (ii) G-PART, and
+(iii) merge-all.  Reports data duplication (extra stored records) and expected
+read cost.  The paper's shape: G-PART sits between the two extremes — less
+duplication than no-merging's read cost would require, far lower read cost
+than merge-all.
+"""
+
+from repro.core.datapart import (
+    Merge,
+    MergeConstraints,
+    duplication_ratio,
+    gpart,
+    partitions_from_query_families,
+)
+from repro.workloads import build_query_families, split_table_into_files
+from conftest import print_section
+
+
+def _tradeoff_for(database, workload):
+    table_files = {
+        name: split_table_into_files(database[name], rows_per_file=150)
+        for name in database.table_names
+    }
+    families = build_query_families(table_files, workload)
+    partitions, universe = partitions_from_query_families(families)
+    constraints = MergeConstraints(frequency_ratio=5.0)
+
+    no_merge = [Merge.of([p], universe) for p in partitions]
+    gpart_result = gpart(partitions, universe, constraints)
+    merge_all = [Merge.of(list(partitions), universe)]
+
+    def stats(merges):
+        return {
+            "partitions": len(merges),
+            "duplication": duplication_ratio(merges, universe),
+            "read_cost": sum(merge.cost for merge in merges),
+        }
+
+    return {
+        "no merging": stats(no_merge),
+        "G-PART": stats(gpart_result.merges),
+        "merge all": stats(merge_all),
+    }
+
+
+def test_fig07_space_cost_tradeoff(benchmark, tpch_small, tpch_small_workload,
+                                   tpch_medium, tpch_medium_workload):
+    def compute():
+        return {
+            "TPC-H small (1GB analogue)": _tradeoff_for(tpch_small, tpch_small_workload),
+            "TPC-H medium (100GB analogue)": _tradeoff_for(tpch_medium, tpch_medium_workload),
+        }
+
+    results = benchmark(compute)
+
+    print_section("Fig. 7 analogue: duplication vs expected read cost per merging policy")
+    for dataset_name, policies in results.items():
+        print(f"\n--- {dataset_name} ---")
+        print(f"{'policy':12s} {'partitions':>11s} {'duplication':>12s} {'read cost':>14s}")
+        for policy, stats in policies.items():
+            print(
+                f"{policy:12s} {stats['partitions']:11d} {stats['duplication']:11.3f} "
+                f"{stats['read_cost']:14.1f}"
+            )
+
+    for policies in results.values():
+        none, gp, full = policies["no merging"], policies["G-PART"], policies["merge all"]
+        # Read cost: no-merging <= G-PART <= merge-all.
+        assert none["read_cost"] <= gp["read_cost"] + 1e-6
+        assert gp["read_cost"] <= full["read_cost"] + 1e-6
+        # Duplication: merge-all <= G-PART <= no-merging.
+        assert full["duplication"] <= gp["duplication"] + 1e-9
+        assert gp["duplication"] <= none["duplication"] + 1e-9
+        # And G-PART actually consolidates something.
+        assert gp["partitions"] <= none["partitions"]

@@ -1,0 +1,41 @@
+"""Table I & Table XII — the Azure cost/latency parameters every experiment uses.
+
+Regenerates the two parameter tables and asserts the monotonic structure the
+rest of the paper relies on (storage gets cheaper, reads get dearer and slower
+towards the archive tier).
+"""
+
+import pytest
+
+from repro.cloud import azure_table1_tiers, azure_table12_tiers, azure_tier_catalog
+from conftest import print_section
+
+
+def _print_tiers(title, tiers):
+    print_section(title)
+    header = f"{'tier':10s} {'storage c/GB/mo':>16s} {'read c/GB':>12s} {'write c/GB':>12s} {'TTFB (s)':>10s}"
+    print(header)
+    for tier in tiers:
+        print(
+            f"{tier.name:10s} {tier.storage_cost:16.3f} {tier.read_cost:12.5f} "
+            f"{tier.write_cost:12.5f} {tier.latency_s:10.4f}"
+        )
+
+
+def test_table01_and_table12_parameters(benchmark):
+    tiers_1, tiers_12 = benchmark(lambda: (azure_table1_tiers(), azure_table12_tiers()))
+    _print_tiers("Table I analogue: Azure ADLS tier prices (converted to per-GB cents)", tiers_1)
+    _print_tiers("Table XII: ILP parameters used by the pipeline experiments", tiers_12)
+
+    for tiers in (tiers_1, tiers_12):
+        storage = [tier.storage_cost for tier in tiers]
+        reads = [tier.read_cost for tier in tiers]
+        latencies = [tier.latency_s for tier in tiers]
+        assert storage == sorted(storage, reverse=True)
+        assert reads == sorted(reads)
+        assert latencies == sorted(latencies)
+        assert tiers[0].name == "premium" and tiers[-1].name == "archive"
+
+    catalog = azure_tier_catalog(table="XII")
+    assert catalog.by_name("archive").latency_s == pytest.approx(3600.0)
+    assert catalog.by_name("premium").storage_cost == pytest.approx(15.0)

@@ -1,0 +1,79 @@
+"""Table VII — compression-ratio prediction at larger scale and under Zipfian skew.
+
+Repeats the ratio-prediction study on the medium TPC-H analogue (the paper's
+100 GB instance) and on the Zipf-skewed analogue (skew factor 3), for gzip on
+both layouts, across the model families.  Shape assertion: learned models beat
+averaging in every setting, on skewed data as well as uniform data.
+"""
+
+from repro.compression import GzipCodec, Layout
+from repro.core.compredict import CompressionPredictor, label_samples, query_result_samples
+from repro.ml import (
+    AveragingRegressor,
+    GradientBoostingRegressor,
+    MLPRegressor,
+    RandomForestRegressor,
+    SupportVectorRegressor,
+)
+from repro.workloads import generate_tpch_queries
+from conftest import print_section
+
+MODEL_FACTORIES = {
+    "Averaging": AveragingRegressor,
+    "Neural Network": lambda: MLPRegressor(hidden_sizes=(32, 16), epochs=120, random_state=5),
+    "SVR": lambda: SupportVectorRegressor(kernel="rbf", C=5.0, n_components=80, random_state=5),
+    "Random Forest": lambda: RandomForestRegressor(n_estimators=30, max_depth=10, random_state=5),
+    "XGBoost": lambda: GradientBoostingRegressor(n_estimators=60, max_depth=3, random_state=5),
+}
+
+
+def _evaluate(database, workload):
+    table = database["lineitem"]
+    samples = query_result_samples(table, workload, min_rows=10, max_samples=40)
+    split = max(int(0.6 * len(samples)), 1)
+    train, test = samples[:split], samples[split:]
+    codec = GzipCodec()
+    results = {}
+    for layout, label in ((Layout.CSV, "gzip"), (Layout.PARQUET, "parquet + gzip")):
+        train_labeled = label_samples(train, codec, layout)
+        test_labeled = label_samples(test, codec, layout)
+        for model_name, factory in MODEL_FACTORIES.items():
+            predictor = CompressionPredictor(model_factory=factory)
+            predictor.fit_labeled(train_labeled, "gzip", layout)
+            results[(model_name, label)] = predictor.evaluate(
+                test_labeled, "gzip", layout
+            ).ratio_metrics
+    return results
+
+
+def test_table07_scale_and_skew(benchmark, tpch_medium, tpch_medium_workload, tpch_small_skewed):
+    skew_workload = generate_tpch_queries(
+        tpch_small_skewed, queries_per_template=3, total_accesses=1_000.0,
+        skew_exponent=1.5, seed=29,
+    )
+
+    def compute():
+        return {
+            "TPC-H medium (100GB analogue)": _evaluate(tpch_medium, tpch_medium_workload),
+            "TPC-H Skew (z=3 analogue)": _evaluate(tpch_small_skewed, skew_workload),
+        }
+
+    all_results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_section("Table VII analogue: ratio prediction at scale and under skew (MAE / MAPE / R2)")
+    for dataset_name, results in all_results.items():
+        print(f"\n--- {dataset_name} ---")
+        print(f"{'model':16s} {'gzip':>24s} {'parquet + gzip':>24s}")
+        for model_name in MODEL_FACTORIES:
+            cells = []
+            for label in ("gzip", "parquet + gzip"):
+                metrics = results[(model_name, label)]
+                cells.append(f"{metrics['mae']:6.3f}/{metrics['mape']:6.2f}/{metrics['r2']:6.2f}")
+            print(f"{model_name:16s} {cells[0]:>24s} {cells[1]:>24s}")
+
+    for results in all_results.values():
+        for label in ("gzip", "parquet + gzip"):
+            assert (
+                results[("Random Forest", label)]["mape"]
+                < results[("Averaging", label)]["mape"]
+            )

@@ -1,0 +1,51 @@
+"""Table IX — the full SCOPe pipeline vs baselines on Enterprise Data II.
+
+Enterprise Data II in the paper is three tables (~1.5 GB total) with a
+Zipf-skewed synthetic query workload; the analogue uses the three generated
+enterprise tables and a skewed range-query workload.  All eleven variants are
+evaluated and the qualitative ordering of the paper's Table IX is asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Predicate, Query
+from repro.workloads import generate_enterprise_tables
+from repro.workloads.queries import QueryWorkload, zipf_frequencies
+from _pipeline_common import print_and_check, run_pipeline_suite
+
+
+@pytest.fixture(scope="module")
+def enterprise2():
+    tables = generate_enterprise_tables(seed=3, num_rows=(2_500, 1_500, 800))
+    rng = np.random.default_rng(61)
+    queries = []
+    # Range queries over the event table's integer columns plus categorical
+    # lookups over the other two tables, echoing a simple analytics workload.
+    for index in range(40):
+        low = int(rng.integers(0, 9_000))
+        queries.append(
+            Query("events", (Predicate("int_0", "between", (low, low + 800)),), name=f"events_q{index}")
+        )
+    for index in range(15):
+        low = int(rng.integers(0, 9_000))
+        queries.append(
+            Query("profiles", (Predicate("int_0", ">=", low),), name=f"profiles_q{index}")
+        )
+    for index in range(10):
+        low = int(rng.integers(0, 9_000))
+        queries.append(
+            Query("lookups", (Predicate("int_0", "<=", low),), name=f"lookups_q{index}")
+        )
+    frequencies = zipf_frequencies(rng, len(queries), total_accesses=1_500.0, exponent=1.2)
+    workload = QueryWorkload(queries=queries, frequencies=frequencies)
+    return tables, workload
+
+
+def test_table09_enterprise_data_ii_pipeline(benchmark, enterprise2):
+    tables, workload = enterprise2
+    rows = benchmark.pedantic(
+        lambda: run_pipeline_suite(tables, workload, target_total_gb=1.5, rows_per_file=120),
+        rounds=1, iterations=1,
+    )
+    print_and_check(rows, title="Table IX analogue: Enterprise Data II (~1.5 GB, 3 tables)")

@@ -1,0 +1,21 @@
+"""Table X — the full SCOPe pipeline vs baselines on the TPC-H 100 GB analogue."""
+
+from _pipeline_common import print_and_check, run_pipeline_suite
+
+
+def test_table10_tpch_100gb_pipeline(benchmark, tpch_medium, tpch_medium_workload):
+    rows = benchmark.pedantic(
+        lambda: run_pipeline_suite(
+            tpch_medium.tables, tpch_medium_workload, target_total_gb=100.0, rows_per_file=200
+        ),
+        rounds=1, iterations=1,
+    )
+    by_name = print_and_check(rows, title="Table X analogue: TPC-H 100 GB")
+    # At this scale the paper reports the total-cost-focused SCOPe at well under
+    # 20% of the platform default's total cost.
+    default = by_name["Default (store on premium)"].total_cost
+    scope = min(
+        by_name["SCOPe (Total cost focused)"].total_cost,
+        by_name["SCOPe (No capacity constraint)"].total_cost,
+    )
+    assert scope < 0.3 * default

@@ -1,0 +1,16 @@
+"""Table XI — the full SCOPe pipeline vs baselines on the TPC-H 1 TB analogue."""
+
+from _pipeline_common import print_and_check, run_pipeline_suite
+
+
+def test_table11_tpch_1tb_pipeline(benchmark, tpch_large, tpch_large_workload):
+    rows = benchmark.pedantic(
+        lambda: run_pipeline_suite(
+            tpch_large.tables, tpch_large_workload, target_total_gb=1_000.0, rows_per_file=250
+        ),
+        rounds=1, iterations=1,
+    )
+    by_name = print_and_check(rows, title="Table XI analogue: TPC-H 1 TB")
+    # The absolute costs scale ~10x versus the 100 GB table while the relative
+    # ordering of variants is unchanged; assert the scaling direction.
+    assert by_name["Default (store on premium)"].total_cost > 10_000.0

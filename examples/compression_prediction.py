@@ -1,0 +1,89 @@
+"""COMPREDICT walkthrough: features, sampling strategies and model comparison.
+
+Reproduces the Section V study on a laptop-sized TPC-H-like table:
+
+* builds random-row samples and query-result samples,
+* measures ground-truth gzip compression on both,
+* trains the predictor with size-only vs weighted-entropy features,
+* compares the averaging baseline, gradient boosting and the random forest,
+* shows how the predicted (ratio, decompression speed) pairs feed OPTASSIGN.
+
+Run with:  python examples/compression_prediction.py
+"""
+
+import numpy as np
+
+from repro.cloud import CostModel, DataPartition, azure_tier_catalog
+from repro.compression import GzipCodec, Layout
+from repro.core.compredict import (
+    CompressionPredictor,
+    FeatureExtractor,
+    label_samples,
+    query_result_samples,
+    random_row_samples,
+)
+from repro.core.optassign import OptAssignProblem, solve_greedy
+from repro.ml import AveragingRegressor, GradientBoostingRegressor, RandomForestRegressor
+from repro.workloads import TpchConfig, generate_tpch, generate_tpch_queries
+
+
+def main() -> None:
+    database = generate_tpch(TpchConfig(scale=0.08, seed=5))
+    workload = generate_tpch_queries(database, queries_per_template=3, seed=6, skew_exponent=1.0)
+    table = database["lineitem"]
+    codec = GzipCodec()
+
+    rng = np.random.default_rng(9)
+    random_samples = random_row_samples(table, rng, num_samples=30, rows_per_sample=(50, 400))
+    query_samples = query_result_samples(table, workload, min_rows=10, max_samples=60)
+    split = len(query_samples) // 2
+    train_samples, test_samples = query_samples[:split], query_samples[split:]
+    test_labeled = label_samples(test_samples, codec, Layout.CSV)
+    print(f"{len(random_samples)} random samples, {len(query_samples)} query-result samples")
+
+    print("\n1. training data and features (Table V flavour) — gzip ratio prediction")
+    print(f"{'training data':16s} {'features':18s} {'MAE':>8s} {'MAPE':>8s} {'R2':>7s}")
+    for training_name, samples, feature_set in (
+        ("random rows", random_samples, "weighted_entropy"),
+        ("query results", train_samples, "size"),
+        ("query results", train_samples, "weighted_entropy"),
+    ):
+        predictor = CompressionPredictor(feature_extractor=FeatureExtractor(feature_set=feature_set))
+        predictor.fit_labeled(label_samples(samples, codec, Layout.CSV), "gzip", Layout.CSV)
+        metrics = predictor.evaluate(test_labeled, "gzip", Layout.CSV).ratio_metrics
+        print(f"{training_name:16s} {feature_set:18s} {metrics['mae']:8.3f} {metrics['mape']:7.2f}% {metrics['r2']:7.3f}")
+
+    print("\n2. model families (Table VI flavour) — gzip ratio prediction on query samples")
+    models = {
+        "Averaging": AveragingRegressor,
+        "XGBoost-style boosting": lambda: GradientBoostingRegressor(n_estimators=60, random_state=1),
+        "Random Forest": lambda: RandomForestRegressor(n_estimators=40, random_state=1),
+    }
+    train_labeled = label_samples(train_samples, codec, Layout.CSV)
+    print(f"{'model':24s} {'MAE':>8s} {'MAPE':>8s} {'R2':>7s}")
+    for name, factory in models.items():
+        predictor = CompressionPredictor(model_factory=factory)
+        predictor.fit_labeled(train_labeled, "gzip", Layout.CSV)
+        metrics = predictor.evaluate(test_labeled, "gzip", Layout.CSV).ratio_metrics
+        print(f"{name:24s} {metrics['mae']:8.3f} {metrics['mape']:7.2f}% {metrics['r2']:7.3f}")
+
+    print("\n3. feeding OPTASSIGN with predicted profiles")
+    predictor = CompressionPredictor()
+    predictor.fit_labeled(train_labeled, "gzip", Layout.CSV)
+    partitions, profiles = [], {}
+    for index, sample in enumerate(test_samples[:6]):
+        name = f"partition_{index}"
+        partitions.append(DataPartition(name, size_gb=12.0, predicted_accesses=25.0,
+                                        latency_threshold_s=120.0))
+        profiles[name] = {"gzip": predictor.predict_profile(sample, "gzip", Layout.CSV)}
+    model = CostModel(azure_tier_catalog(include_archive=False), duration_months=5.5)
+    assignment = solve_greedy(OptAssignProblem(partitions, model, profiles))
+    for name, option in assignment.choices.items():
+        tier = model.tiers[option.tier_index].name
+        profile = profiles[name]["gzip"]
+        print(f"{name:14s} predicted ratio {profile.ratio:5.2f} -> tier={tier:8s} scheme={option.scheme}")
+    print(f"total projected cost: {assignment.total_cost:.1f} cents")
+
+
+if __name__ == "__main__":
+    main()

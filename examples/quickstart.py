@@ -1,0 +1,80 @@
+"""Quickstart: optimise storage tiers and compression for a handful of partitions.
+
+This is the 60-second tour of the public API:
+
+1. describe your cloud (the Azure price sheet ships as a preset),
+2. describe your data partitions (size, predicted accesses, latency SLA),
+3. describe how well each partition compresses (measured or predicted),
+4. call OPTASSIGN and inspect the placement and the projected bill.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.cloud import CompressionProfile, CostModel, DataPartition, azure_tier_catalog
+from repro.core.optassign import OptAssignProblem, solve_optassign
+
+
+def main() -> None:
+    # 1. The cloud: Azure premium/hot/cool/archive with the paper's prices,
+    #    evaluated over a 6-month billing horizon.
+    tiers = azure_tier_catalog()
+    cost_model = CostModel(tiers, compute_cost_per_s=0.001, duration_months=6.0)
+
+    # 2. The data: three partitions with very different access behaviour.
+    partitions = [
+        DataPartition("clickstream_recent", size_gb=200.0, predicted_accesses=500.0,
+                      latency_threshold_s=1.0),
+        DataPartition("clickstream_2023", size_gb=1_500.0, predicted_accesses=4.0,
+                      latency_threshold_s=600.0),
+        DataPartition("raw_exports_archive", size_gb=9_000.0, predicted_accesses=0.0,
+                      latency_threshold_s=7_200.0),
+    ]
+
+    # 3. Compression behaviour per partition and scheme (ratio, decompression s/GB).
+    #    In a full deployment COMPREDICT predicts these from cheap features;
+    #    here we state them directly.
+    profiles = {
+        "clickstream_recent": {
+            "gzip": CompressionProfile("gzip", ratio=3.2, decompression_s_per_gb=8.0),
+            "snappy": CompressionProfile("snappy", ratio=1.8, decompression_s_per_gb=0.5),
+        },
+        "clickstream_2023": {
+            "gzip": CompressionProfile("gzip", ratio=3.5, decompression_s_per_gb=8.0),
+            "snappy": CompressionProfile("snappy", ratio=1.9, decompression_s_per_gb=0.5),
+        },
+        "raw_exports_archive": {
+            "gzip": CompressionProfile("gzip", ratio=4.1, decompression_s_per_gb=8.0),
+        },
+    }
+
+    # 4. Optimise and report.
+    problem = OptAssignProblem(partitions, cost_model, profiles)
+    report = solve_optassign(problem)
+    assignment = report.assignment
+
+    print("Optimal placement")
+    print("-" * 72)
+    for name, option in assignment.choices.items():
+        tier = tiers[option.tier_index].name
+        print(
+            f"{name:24s} -> tier={tier:8s} scheme={option.scheme:7s} "
+            f"cost={option.breakdown.total:10.1f} cents  latency={option.latency_s:8.3f}s"
+        )
+    breakdown = assignment.breakdown
+    print("-" * 72)
+    print(
+        f"projected 6-month bill: {breakdown.total:10.1f} cents "
+        f"(storage {breakdown.storage:.1f}, read {breakdown.read:.1f}, "
+        f"write {breakdown.write:.1f}, decompression {breakdown.decompression:.1f})"
+    )
+
+    # Compare against the platform default: everything uncompressed on premium.
+    default_total = sum(
+        cost_model.placement_breakdown(partition, 0).total for partition in partitions
+    )
+    saving = 100.0 * (default_total - breakdown.total) / default_total
+    print(f"platform default would cost {default_total:10.1f} cents -> saving {saving:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim so editable installs work in offline environments.
+
+All project metadata lives in pyproject.toml / setup.cfg; this file only
+exists because the offline environment cannot run isolated PEP 517 builds.
+"""
+from setuptools import setup
+
+setup()

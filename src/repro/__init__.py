@@ -1,0 +1,30 @@
+"""repro — a reproduction of "Towards Optimizing Storage Costs on the Cloud" (ICDE 2023).
+
+The package implements SCOPe (Storage Cost Optimizer with Performance
+guarantees) and every substrate it needs to run on a laptop:
+
+* :mod:`repro.cloud` — tiered cloud storage cost model and simulator;
+* :mod:`repro.tabular` — a typed in-memory table with row/column layouts;
+* :mod:`repro.compression` — codecs (stdlib + pure-Python snappy/lz4 substitutes);
+* :mod:`repro.ml` — from-scratch forests, boosting, SVR, MLP and metrics;
+* :mod:`repro.workloads` — synthetic TPC-H-like data, query workloads and
+  enterprise access logs;
+* :mod:`repro.core` — the paper's contribution: OPTASSIGN, COMPREDICT,
+  DATAPART/G-PART, the tier predictor and the SCOPe pipeline.
+
+See README.md for a quickstart and DESIGN.md for the full system inventory.
+"""
+
+from . import cloud, compression, core, ml, tabular, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cloud",
+    "compression",
+    "core",
+    "ml",
+    "tabular",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Cloud storage substrate: tiers, price sheets, data objects, billing and simulation.
+
+This subpackage replaces the paper's live Azure ADLS Gen2 environment with an
+explicit, deterministic cost model parameterised by the published price sheet
+(Tables I and XII of the paper).  Every other module — the OPTASSIGN
+optimizer, the SCOPe pipeline, the benchmarks — computes costs exclusively
+through :class:`repro.cloud.CostModel` and :class:`repro.cloud.CloudStorageSimulator`
+so predicted and billed costs can never disagree on the arithmetic.
+"""
+
+from .billing import (
+    CompressionProfile,
+    CostBreakdown,
+    CostModel,
+    CostWeights,
+    NO_COMPRESSION_PROFILE,
+)
+from .objects import (
+    DataPartition,
+    Dataset,
+    DatasetCatalog,
+    FileBlock,
+    PartitionCatalog,
+)
+from .simulator import (
+    AccessEvent,
+    CloudStorageSimulator,
+    PlacementDecision,
+    SimulationResult,
+    percent_cost_benefit,
+)
+from .tiers import (
+    NEW_DATA_TIER,
+    StorageTier,
+    TierCatalog,
+    azure_table1_tiers,
+    azure_table12_tiers,
+    azure_tier_catalog,
+)
+
+__all__ = [
+    "CompressionProfile",
+    "CostBreakdown",
+    "CostModel",
+    "CostWeights",
+    "NO_COMPRESSION_PROFILE",
+    "DataPartition",
+    "Dataset",
+    "DatasetCatalog",
+    "FileBlock",
+    "PartitionCatalog",
+    "AccessEvent",
+    "CloudStorageSimulator",
+    "PlacementDecision",
+    "SimulationResult",
+    "percent_cost_benefit",
+    "NEW_DATA_TIER",
+    "StorageTier",
+    "TierCatalog",
+    "azure_table1_tiers",
+    "azure_table12_tiers",
+    "azure_tier_catalog",
+]

@@ -1,0 +1,294 @@
+"""Cost accounting shared by the optimizer objective and the storage simulator.
+
+The OPTASSIGN objective (Eq. 1 in the paper) charges, for a partition ``P_n``
+assigned to tier ``l`` with compression scheme ``k``:
+
+* a write + storage term
+  ``(alpha * C^s_l + gamma * Delta_{L(P_n), l}) * Sp(P_n) / R^k_n``
+* an access term
+  ``beta * rho(P_n) * (C^c * D^k_n + C^r_l * Sp(P_n) / R^k_n)``
+
+and requires ``D^k_n + B_l <= T(P_n)`` for latency feasibility.  This module
+implements exactly that arithmetic once, in :class:`CostModel`, so that the
+ILP, the greedy optimizer, the baselines and the simulator all agree on what a
+placement costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .objects import DataPartition
+from .tiers import NEW_DATA_TIER, TierCatalog
+
+__all__ = [
+    "CompressionProfile",
+    "NO_COMPRESSION_PROFILE",
+    "CostBreakdown",
+    "CostWeights",
+    "CostModel",
+]
+
+
+@dataclass(frozen=True)
+class CompressionProfile:
+    """Predicted (or measured) compression behaviour of one scheme on one partition.
+
+    ``ratio`` is the compression ratio ``R^k_n`` (uncompressed size divided by
+    compressed size, so >= 1 for useful codecs and exactly 1 for "none").
+    ``decompression_s_per_gb`` is ``D^k_n`` expressed per GB of *uncompressed*
+    data; the total decompression time for an access is this value times the
+    uncompressed GB read.
+    """
+
+    scheme: str
+    ratio: float
+    decompression_s_per_gb: float
+
+    def __post_init__(self) -> None:
+        if self.ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+        if self.decompression_s_per_gb < 0:
+            raise ValueError("decompression time must be non-negative")
+
+    def compressed_gb(self, uncompressed_gb: float) -> float:
+        """Size on disk of ``uncompressed_gb`` after applying this scheme."""
+        return uncompressed_gb / self.ratio
+
+    def decompression_seconds(self, uncompressed_gb: float) -> float:
+        """Wall-clock seconds to decompress back to ``uncompressed_gb``."""
+        return self.decompression_s_per_gb * uncompressed_gb
+
+
+#: The identity scheme: no compression, no decompression overhead.
+NO_COMPRESSION_PROFILE = CompressionProfile(
+    scheme="none", ratio=1.0, decompression_s_per_gb=0.0
+)
+
+
+@dataclass
+class CostBreakdown:
+    """Cents spent per cost category over a billing horizon."""
+
+    storage: float = 0.0
+    read: float = 0.0
+    write: float = 0.0
+    decompression: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.read + self.write + self.decompression
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            storage=self.storage + other.storage,
+            read=self.read + other.read,
+            write=self.write + other.write,
+            decompression=self.decompression + other.decompression,
+        )
+
+    def __iadd__(self, other: "CostBreakdown") -> "CostBreakdown":
+        self.storage += other.storage
+        self.read += other.read
+        self.write += other.write
+        self.decompression += other.decompression
+        return self
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return CostBreakdown(
+            storage=self.storage * factor,
+            read=self.read * factor,
+            write=self.write * factor,
+            decompression=self.decompression * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "storage": self.storage,
+            "read": self.read,
+            "write": self.write,
+            "decompression": self.decompression,
+            "total": self.total,
+        }
+
+    def approx_equals(self, other: "CostBreakdown", tolerance: float = 1e-6) -> bool:
+        """True if every component matches ``other`` within ``tolerance``."""
+        return (
+            math.isclose(self.storage, other.storage, abs_tol=tolerance)
+            and math.isclose(self.read, other.read, abs_tol=tolerance)
+            and math.isclose(self.write, other.write, abs_tol=tolerance)
+            and math.isclose(self.decompression, other.decompression, abs_tol=tolerance)
+        )
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """The alpha/beta/gamma hyper-parameters of the OPTASSIGN objective.
+
+    * ``alpha`` scales the storage cost term,
+    * ``beta`` scales the access (read + decompression) term,
+    * ``gamma`` scales the tier-change / write term.
+
+    The paper's baselines are recovered by zeroing some weights — e.g. a
+    purely latency-focused optimisation uses ``alpha = 0``.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError("cost weights must be non-negative")
+
+
+class CostModel:
+    """Evaluates placement costs and latency for a given tier catalog.
+
+    Parameters
+    ----------
+    tiers:
+        The tier catalog (prices, latencies, capacities).
+    compute_cost_per_s:
+        ``C^c`` — compute price in cents per second used for decompression.
+    duration_months:
+        Billing horizon length over which storage accrues and the predicted
+        accesses happen.
+    weights:
+        Objective weights (alpha, beta, gamma).  The *unweighted* breakdown is
+        also available for reporting real (billed) cost.
+    """
+
+    def __init__(
+        self,
+        tiers: TierCatalog,
+        compute_cost_per_s: float = 0.001,
+        duration_months: float = 1.0,
+        weights: CostWeights | None = None,
+    ):
+        if compute_cost_per_s < 0:
+            raise ValueError("compute cost must be non-negative")
+        if duration_months <= 0:
+            raise ValueError("duration must be positive")
+        self.tiers = tiers
+        self.compute_cost_per_s = compute_cost_per_s
+        self.duration_months = duration_months
+        self.weights = weights or CostWeights()
+
+    # -- single-placement accounting ----------------------------------------
+    def placement_breakdown(
+        self,
+        partition: DataPartition,
+        tier_index: int,
+        profile: CompressionProfile = NO_COMPRESSION_PROFILE,
+    ) -> CostBreakdown:
+        """Unweighted billed cost of holding ``partition`` in ``tier_index``.
+
+        Includes storage over the horizon, the tier-change (or initial write)
+        cost, and the expected read + decompression cost of the predicted
+        accesses.  This is what the cloud provider would actually bill.
+        """
+        tier = self.tiers[tier_index]
+        stored_gb = profile.compressed_gb(partition.size_gb)
+        storage = tier.storage_cost_for(stored_gb, self.duration_months)
+
+        change_per_gb = self.tiers.tier_change_cost(partition.current_tier, tier_index)
+        write = change_per_gb * stored_gb
+
+        accesses = partition.effective_accesses
+        read_gb = profile.compressed_gb(partition.read_gb_per_access)
+        read = tier.read_cost_for(read_gb, accesses)
+
+        decompression_seconds = profile.decompression_seconds(
+            partition.read_gb_per_access
+        )
+        decompression = self.compute_cost_per_s * decompression_seconds * accesses
+
+        return CostBreakdown(
+            storage=storage, read=read, write=write, decompression=decompression
+        )
+
+    def placement_objective(
+        self,
+        partition: DataPartition,
+        tier_index: int,
+        profile: CompressionProfile = NO_COMPRESSION_PROFILE,
+    ) -> float:
+        """The weighted OPTASSIGN objective value of a single placement (Eq. 1)."""
+        breakdown = self.placement_breakdown(partition, tier_index, profile)
+        weights = self.weights
+        return (
+            weights.alpha * breakdown.storage
+            + weights.gamma * breakdown.write
+            + weights.beta * (breakdown.read + breakdown.decompression)
+        )
+
+    # -- latency -------------------------------------------------------------
+    def access_latency_s(
+        self,
+        partition: DataPartition,
+        tier_index: int,
+        profile: CompressionProfile = NO_COMPRESSION_PROFILE,
+    ) -> float:
+        """Expected access latency: decompression time plus time to first byte."""
+        tier = self.tiers[tier_index]
+        return (
+            profile.decompression_seconds(partition.read_gb_per_access)
+            + tier.latency_s
+        )
+
+    def is_latency_feasible(
+        self,
+        partition: DataPartition,
+        tier_index: int,
+        profile: CompressionProfile = NO_COMPRESSION_PROFILE,
+    ) -> bool:
+        """True if the placement satisfies the partition's latency SLA."""
+        return (
+            self.access_latency_s(partition, tier_index, profile)
+            <= partition.latency_threshold_s
+        )
+
+    # -- codec pinning -------------------------------------------------------
+    def is_codec_allowed(self, partition: DataPartition, scheme: str) -> bool:
+        """The paper pins already-compressed partitions to their current scheme."""
+        if partition.current_codec is None:
+            return True
+        return scheme == partition.current_codec
+
+    # -- aggregate accounting -------------------------------------------------
+    def assignment_breakdown(
+        self,
+        partitions: Mapping[str, DataPartition] | list[DataPartition],
+        placement: Mapping[str, tuple[int, CompressionProfile]],
+    ) -> CostBreakdown:
+        """Total billed cost of a full placement (one entry per partition)."""
+        items = (
+            partitions.values() if isinstance(partitions, Mapping) else partitions
+        )
+        total = CostBreakdown()
+        for partition in items:
+            tier_index, profile = placement[partition.name]
+            total += self.placement_breakdown(partition, tier_index, profile)
+        return total
+
+    def with_weights(self, weights: CostWeights) -> "CostModel":
+        """Return a copy of this model with different objective weights."""
+        return CostModel(
+            tiers=self.tiers,
+            compute_cost_per_s=self.compute_cost_per_s,
+            duration_months=self.duration_months,
+            weights=weights,
+        )
+
+    def with_duration(self, duration_months: float) -> "CostModel":
+        """Return a copy of this model with a different billing horizon."""
+        return CostModel(
+            tiers=self.tiers,
+            compute_cost_per_s=self.compute_cost_per_s,
+            duration_months=duration_months,
+            weights=self.weights,
+        )

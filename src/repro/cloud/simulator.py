@@ -1,0 +1,245 @@
+"""A month-by-month cloud storage simulator.
+
+The optimizer works from *predicted* accesses; the simulator replays the
+*actual* access trace against a chosen placement and produces the bill the
+cloud provider would have issued.  This is how the paper's "% cost benefit"
+numbers are computed: run the platform-default placement and the optimized
+placement against the same trace and compare the bills.
+
+The simulator also tracks early-deletion penalties (data moved out of a tier
+before its minimum residency) and per-access latencies, so SLA violations can
+be counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .billing import CompressionProfile, CostBreakdown, CostModel, NO_COMPRESSION_PROFILE
+from .objects import DataPartition
+from .tiers import NEW_DATA_TIER, TierCatalog
+
+__all__ = [
+    "AccessEvent",
+    "PlacementDecision",
+    "SimulationResult",
+    "CloudStorageSimulator",
+    "percent_cost_benefit",
+]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """A single (aggregated) access to a partition during one month.
+
+    ``reads`` is the number of read operations issued in ``month`` against
+    ``partition``; each read touches ``partition.read_gb_per_access`` GB of
+    uncompressed data.
+    """
+
+    month: int
+    partition: str
+    reads: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.month < 0:
+            raise ValueError("month must be non-negative")
+        if self.reads < 0:
+            raise ValueError("reads must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Where a partition is stored and with what compression scheme."""
+
+    tier_index: int
+    profile: CompressionProfile = NO_COMPRESSION_PROFILE
+
+    def __post_init__(self) -> None:
+        if self.tier_index < 0:
+            raise ValueError("tier_index must be a valid tier (>= 0)")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying an access trace against a placement."""
+
+    bill: CostBreakdown
+    early_deletion_penalty: float
+    latency_violations: int
+    access_count: int
+    mean_latency_s: float
+    per_partition: dict[str, CostBreakdown] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        """Total billed cents including early-deletion penalties."""
+        return self.bill.total + self.early_deletion_penalty
+
+
+class CloudStorageSimulator:
+    """Replays access traces against placements and produces bills.
+
+    Parameters
+    ----------
+    tiers:
+        The tier catalog with prices and latencies.
+    compute_cost_per_s:
+        Compute price (cents/second) charged for decompression work.
+    """
+
+    def __init__(self, tiers: TierCatalog, compute_cost_per_s: float = 0.001):
+        self.tiers = tiers
+        self.compute_cost_per_s = compute_cost_per_s
+
+    def simulate(
+        self,
+        partitions: Sequence[DataPartition],
+        placement: Mapping[str, PlacementDecision],
+        access_trace: Iterable[AccessEvent],
+        duration_months: float,
+        months_in_current_tier: Mapping[str, float] | None = None,
+    ) -> SimulationResult:
+        """Replay ``access_trace`` against ``placement`` for ``duration_months``.
+
+        Parameters
+        ----------
+        partitions:
+            The partitions being stored; every one must have an entry in
+            ``placement``.
+        placement:
+            Tier and compression decision per partition name.
+        access_trace:
+            Read events; events referring to months beyond the horizon or to
+            unknown partitions raise ``KeyError``/``ValueError``.
+        duration_months:
+            Length of the billing horizon being simulated.
+        months_in_current_tier:
+            How long each partition has already resided in its current tier;
+            used to charge early-deletion penalties when the placement moves
+            it out before the minimum residency elapsed.
+        """
+        if duration_months <= 0:
+            raise ValueError("duration_months must be positive")
+        by_name = {partition.name: partition for partition in partitions}
+        missing = [name for name in by_name if name not in placement]
+        if missing:
+            raise KeyError(f"placement missing partitions: {missing}")
+
+        months_in_current_tier = months_in_current_tier or {}
+        bill = CostBreakdown()
+        per_partition: dict[str, CostBreakdown] = {}
+        early_penalty = 0.0
+
+        # Storage + migration charges, independent of the trace.
+        for partition in partitions:
+            decision = placement[partition.name]
+            tier = self.tiers[decision.tier_index]
+            stored_gb = decision.profile.compressed_gb(partition.size_gb)
+            breakdown = CostBreakdown(
+                storage=tier.storage_cost_for(stored_gb, duration_months),
+                write=self.tiers.tier_change_cost(
+                    partition.current_tier, decision.tier_index
+                )
+                * stored_gb,
+            )
+            per_partition[partition.name] = breakdown
+            early_penalty += self._early_deletion_penalty(
+                partition,
+                decision,
+                months_in_current_tier.get(partition.name, float("inf")),
+            )
+
+        # Access charges and latency bookkeeping, from the trace.
+        latency_violations = 0
+        total_latency = 0.0
+        access_count = 0
+        for event in access_trace:
+            if event.month >= duration_months:
+                raise ValueError(
+                    f"access event at month {event.month} is outside the "
+                    f"{duration_months}-month horizon"
+                )
+            partition = by_name[event.partition]
+            decision = placement[event.partition]
+            tier = self.tiers[decision.tier_index]
+            read_gb = decision.profile.compressed_gb(partition.read_gb_per_access)
+            decompression_s = decision.profile.decompression_seconds(
+                partition.read_gb_per_access
+            )
+            access = CostBreakdown(
+                read=tier.read_cost_for(read_gb, event.reads),
+                decompression=self.compute_cost_per_s * decompression_s * event.reads,
+            )
+            per_partition[event.partition] += access
+
+            latency = decompression_s + tier.latency_s
+            total_latency += latency * event.reads
+            access_count += int(round(event.reads))
+            if latency > partition.latency_threshold_s:
+                latency_violations += int(round(event.reads))
+
+        for breakdown in per_partition.values():
+            bill += breakdown
+
+        mean_latency = total_latency / access_count if access_count else 0.0
+        return SimulationResult(
+            bill=bill,
+            early_deletion_penalty=early_penalty,
+            latency_violations=latency_violations,
+            access_count=access_count,
+            mean_latency_s=mean_latency,
+            per_partition=per_partition,
+        )
+
+    def _early_deletion_penalty(
+        self,
+        partition: DataPartition,
+        decision: PlacementDecision,
+        months_resident: float,
+    ) -> float:
+        """Penalty for moving data out of a tier before its minimum residency.
+
+        Azure bills the remaining storage months of the early-deletion window
+        when data leaves the tier early; we reproduce that rule.
+        """
+        if partition.current_tier == NEW_DATA_TIER:
+            return 0.0
+        if decision.tier_index == partition.current_tier:
+            return 0.0
+        source = self.tiers[partition.current_tier]
+        if months_resident >= source.early_deletion_months:
+            return 0.0
+        remaining = source.early_deletion_months - months_resident
+        return source.storage_cost_for(partition.size_gb, remaining)
+
+    # -- convenience ----------------------------------------------------------
+    def default_placement(
+        self, partitions: Sequence[DataPartition], tier_index: int = 0
+    ) -> dict[str, PlacementDecision]:
+        """The platform baseline: everything uncompressed in a single tier."""
+        return {
+            partition.name: PlacementDecision(tier_index=tier_index)
+            for partition in partitions
+        }
+
+    def cost_model(
+        self, duration_months: float, weights=None
+    ) -> CostModel:
+        """A :class:`CostModel` consistent with this simulator's parameters."""
+        return CostModel(
+            tiers=self.tiers,
+            compute_cost_per_s=self.compute_cost_per_s,
+            duration_months=duration_months,
+            weights=weights,
+        )
+
+
+def percent_cost_benefit(baseline_cost: float, optimized_cost: float) -> float:
+    """The paper's ``% cost benefit`` metric: relative saving vs a baseline."""
+    if baseline_cost < 0 or optimized_cost < 0:
+        raise ValueError("costs must be non-negative")
+    if baseline_cost == 0:
+        return 0.0
+    return 100.0 * (baseline_cost - optimized_cost) / baseline_cost

@@ -1,0 +1,39 @@
+"""Compression substrate: codecs, scheme/layout registry and measurement.
+
+gzip/zlib/bz2/lzma wrap the standard library; snappy and lz4 are pure-Python
+substitutes occupying the same fast/low-ratio region of the trade-off space
+(see DESIGN.md, substitution table).
+"""
+
+from .codecs import Bz2Codec, Codec, GzipCodec, IdentityCodec, LzmaCodec, ZlibCodec
+from .lz4_like import Lz4LikeCodec
+from .registry import (
+    CodecRegistry,
+    Layout,
+    PAPER_SCHEMES,
+    PAPER_SCHEME_LAYOUTS,
+    SchemeLayout,
+    default_registry,
+)
+from .snappy_like import SnappyLikeCodec
+from .stats import CompressionMeasurement, measure_compression, measure_table
+
+__all__ = [
+    "Codec",
+    "IdentityCodec",
+    "GzipCodec",
+    "ZlibCodec",
+    "Bz2Codec",
+    "LzmaCodec",
+    "SnappyLikeCodec",
+    "Lz4LikeCodec",
+    "CodecRegistry",
+    "default_registry",
+    "Layout",
+    "SchemeLayout",
+    "PAPER_SCHEMES",
+    "PAPER_SCHEME_LAYOUTS",
+    "CompressionMeasurement",
+    "measure_compression",
+    "measure_table",
+]

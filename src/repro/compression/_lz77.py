@@ -1,0 +1,151 @@
+"""A small pure-Python LZ77 engine shared by the snappy- and lz4-like codecs.
+
+The real snappy and lz4 libraries are C extensions that cannot be installed
+offline, but SCOPe only consumes two numbers per (codec, partition) pair — the
+compression ratio and the decompression speed — so what matters is that the
+substitutes sit in the same region of that trade-off space: *fast* codecs with
+*lower* ratios than gzip.  A greedy hash-chain LZ77 with byte-aligned tokens
+reproduces exactly that behaviour.
+
+Token format (little-endian varints)::
+
+    payload   := uvarint(uncompressed_length) token*
+    token     := literal | match
+    literal   := 0x00 uvarint(length) bytes[length]
+    match     := 0x01 uvarint(length) uvarint(distance)
+
+Distances are counted backwards from the current output position and may be
+smaller than the match length (overlapping copies), as in LZ4.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lz_compress", "lz_decompress", "write_uvarint", "read_uvarint"]
+
+_LITERAL = 0x00
+_MATCH = 0x01
+
+
+def write_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` to ``out`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative values")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(payload: bytes, offset: int) -> tuple[int, int]:
+    """Read a LEB128 varint from ``payload`` at ``offset``; return (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(payload):
+            raise ValueError("truncated varint")
+        byte = payload[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def lz_compress(
+    payload: bytes,
+    min_match: int = 4,
+    max_match: int = 1 << 16,
+    window: int = 1 << 16,
+    hash_bytes: int = 4,
+) -> bytes:
+    """Greedy LZ77 compression of ``payload``.
+
+    ``min_match`` and ``window`` control the ratio/speed point: a larger
+    window finds more matches (better ratio, slower), a larger ``min_match``
+    skips short matches (faster, worse ratio).
+    """
+    n = len(payload)
+    out = bytearray()
+    write_uvarint(n, out)
+    if n == 0:
+        return bytes(out)
+
+    table: dict[bytes, int] = {}
+    literal_start = 0
+    position = 0
+
+    def flush_literals(end: int) -> None:
+        if end > literal_start:
+            out.append(_LITERAL)
+            write_uvarint(end - literal_start, out)
+            out.extend(payload[literal_start:end])
+
+    while position + hash_bytes <= n:
+        key = payload[position : position + hash_bytes]
+        candidate = table.get(key)
+        table[key] = position
+        if candidate is not None and position - candidate <= window:
+            # Extend the match as far as it goes.
+            length = 0
+            limit = min(n - position, max_match)
+            while (
+                length < limit
+                and payload[candidate + length] == payload[position + length]
+            ):
+                length += 1
+            if length >= min_match:
+                flush_literals(position)
+                out.append(_MATCH)
+                write_uvarint(length, out)
+                write_uvarint(position - candidate, out)
+                # Index a few positions inside the match so later matches can
+                # still be found without paying the cost of indexing them all.
+                step = max(1, length // 8)
+                for inside in range(position + 1, position + length, step):
+                    if inside + hash_bytes <= n:
+                        table[payload[inside : inside + hash_bytes]] = inside
+                position += length
+                literal_start = position
+                continue
+        position += 1
+
+    flush_literals(n)
+    return bytes(out)
+
+
+def lz_decompress(payload: bytes) -> bytes:
+    """Invert :func:`lz_compress` exactly."""
+    expected, offset = read_uvarint(payload, 0)
+    out = bytearray()
+    n = len(payload)
+    while offset < n:
+        tag = payload[offset]
+        offset += 1
+        if tag == _LITERAL:
+            length, offset = read_uvarint(payload, offset)
+            if offset + length > n:
+                raise ValueError("truncated literal run")
+            out.extend(payload[offset : offset + length])
+            offset += length
+        elif tag == _MATCH:
+            length, offset = read_uvarint(payload, offset)
+            distance, offset = read_uvarint(payload, offset)
+            if distance <= 0 or distance > len(out):
+                raise ValueError("invalid match distance")
+            start = len(out) - distance
+            # Overlapping copies must be done byte-by-byte.
+            for index in range(length):
+                out.append(out[start + index])
+        else:
+            raise ValueError(f"unknown token tag {tag}")
+    if len(out) != expected:
+        raise ValueError(
+            f"decompressed length {len(out)} does not match header {expected}"
+        )
+    return bytes(out)

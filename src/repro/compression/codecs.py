@@ -1,0 +1,144 @@
+"""Compression codec interface and standard-library codecs.
+
+A :class:`Codec` converts bytes to bytes and back.  The paper evaluates gzip,
+snappy and lz4 (and mentions bz2, zlib, lzma among others); gzip, zlib, bz2
+and lzma come from the standard library, while snappy and lz4 are provided by
+pure-Python substitutes in :mod:`repro.compression.snappy_like` and
+:mod:`repro.compression.lz4_like` because the C bindings are not installable
+offline.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gzip
+import lzma
+import zlib
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "Codec",
+    "IdentityCodec",
+    "GzipCodec",
+    "ZlibCodec",
+    "Bz2Codec",
+    "LzmaCodec",
+]
+
+
+class Codec(ABC):
+    """A reversible bytes-to-bytes compressor."""
+
+    #: Registry / scheme name (e.g. ``"gzip"``).
+    name: str = "codec"
+
+    #: Calibration factor mapping this implementation's wall-clock speed to the
+    #: speed of the production (C) implementation of the same scheme.  The
+    #: stdlib codecs are already C, so their factor is 1.0; the pure-Python
+    #: snappy/lz4 substitutes override this so that the *relative* trade-off
+    #: (fast codecs decompress an order of magnitude faster than gzip) matches
+    #: the paper's setting.  See DESIGN.md, substitution table.
+    native_speedup: float = 1.0
+
+    @abstractmethod
+    def compress(self, payload: bytes) -> bytes:
+        """Compress ``payload`` and return the compressed bytes."""
+
+    @abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress` exactly."""
+
+    def ratio(self, payload: bytes) -> float:
+        """Compression ratio (uncompressed / compressed size) on ``payload``.
+
+        Returns 1.0 for an empty payload to keep downstream arithmetic sane.
+        """
+        if not payload:
+            return 1.0
+        compressed = self.compress(payload)
+        if not compressed:
+            return float(len(payload))
+        return len(payload) / len(compressed)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class IdentityCodec(Codec):
+    """The "no compression" scheme: ratio 1, zero decompression time."""
+
+    name = "none"
+
+    def compress(self, payload: bytes) -> bytes:
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        return payload
+
+
+class GzipCodec(Codec):
+    """gzip (DEFLATE with gzip framing)."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 6):
+        if not 0 <= level <= 9:
+            raise ValueError("gzip level must be in [0, 9]")
+        self.level = level
+
+    def compress(self, payload: bytes) -> bytes:
+        return gzip.compress(payload, compresslevel=self.level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return gzip.decompress(payload)
+
+
+class ZlibCodec(Codec):
+    """Raw DEFLATE via zlib."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6):
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+
+    def compress(self, payload: bytes) -> bytes:
+        return zlib.compress(payload, self.level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return zlib.decompress(payload)
+
+
+class Bz2Codec(Codec):
+    """bzip2 — slower, usually higher ratio than gzip."""
+
+    name = "bz2"
+
+    def __init__(self, level: int = 9):
+        if not 1 <= level <= 9:
+            raise ValueError("bz2 level must be in [1, 9]")
+        self.level = level
+
+    def compress(self, payload: bytes) -> bytes:
+        return bz2.compress(payload, compresslevel=self.level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return bz2.decompress(payload)
+
+
+class LzmaCodec(Codec):
+    """LZMA/xz — highest ratio, slowest of the stdlib codecs."""
+
+    name = "lzma"
+
+    def __init__(self, preset: int = 1):
+        if not 0 <= preset <= 9:
+            raise ValueError("lzma preset must be in [0, 9]")
+        self.preset = preset
+
+    def compress(self, payload: bytes) -> bytes:
+        return lzma.compress(payload, preset=self.preset)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return lzma.decompress(payload)

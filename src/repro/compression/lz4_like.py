@@ -1,0 +1,35 @@
+"""An lz4-style codec: the fastest family member, slightly lower ratio.
+
+Substitute for LZ4 (see DESIGN.md).  LZ4 uses an even more aggressive
+speed-over-ratio trade-off than snappy (longer minimum matches found through a
+sparser hash probe, 64 KiB window); this codec mirrors that by requiring
+6-byte matches so fewer, longer matches are emitted and decompression does
+less token processing per output byte.
+"""
+
+from __future__ import annotations
+
+from ._lz77 import lz_compress, lz_decompress
+from .codecs import Codec
+
+__all__ = ["Lz4LikeCodec"]
+
+
+class Lz4LikeCodec(Codec):
+    """LZ4-parameterised LZ77: 6-byte min match, 64 KiB window."""
+
+    name = "lz4"
+    # Native lz4 decompresses at 3+ GB/s; see SnappyLikeCodec.native_speedup
+    # for how this calibration factor is applied.
+    native_speedup = 300.0
+
+    def __init__(self, window: int = 1 << 16):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def compress(self, payload: bytes) -> bytes:
+        return lz_compress(payload, min_match=6, window=self.window, hash_bytes=4)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return lz_decompress(payload)

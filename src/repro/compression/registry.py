@@ -1,0 +1,120 @@
+"""Registry of compression schemes and scheme x layout combinations.
+
+The paper evaluates schemes on two storage layouts — CSV (row store) and
+parquet (column store) — and the prediction tables are indexed by pairs such
+as ``"parquet + gzip"``.  The registry owns the canonical scheme names, builds
+codec instances, and produces the scheme/layout combination labels used by
+COMPREDICT and by the benchmark tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..tabular import Table, table_to_columnar_bytes, table_to_csv_bytes
+from .codecs import Bz2Codec, Codec, GzipCodec, IdentityCodec, LzmaCodec, ZlibCodec
+from .lz4_like import Lz4LikeCodec
+from .snappy_like import SnappyLikeCodec
+
+__all__ = [
+    "Layout",
+    "SchemeLayout",
+    "CodecRegistry",
+    "default_registry",
+    "PAPER_SCHEMES",
+    "PAPER_SCHEME_LAYOUTS",
+]
+
+
+class Layout:
+    """Storage layouts studied by the paper."""
+
+    CSV = "csv"
+    PARQUET = "parquet"
+
+    ALL = (CSV, PARQUET)
+
+    @staticmethod
+    def serialize(table: Table, layout: str) -> bytes:
+        """Serialise ``table`` in the requested layout."""
+        if layout == Layout.CSV:
+            return table_to_csv_bytes(table)
+        if layout == Layout.PARQUET:
+            return table_to_columnar_bytes(table)
+        raise ValueError(f"unknown layout {layout!r}; expected one of {Layout.ALL}")
+
+
+@dataclass(frozen=True)
+class SchemeLayout:
+    """A (compression scheme, storage layout) combination."""
+
+    scheme: str
+    layout: str
+
+    @property
+    def label(self) -> str:
+        """The paper's display label, e.g. ``"parquet + gzip"`` or ``"gzip"``."""
+        if self.layout == Layout.PARQUET:
+            return f"parquet + {self.scheme}"
+        return self.scheme
+
+
+class CodecRegistry:
+    """Builds codecs by scheme name."""
+
+    def __init__(self):
+        self._factories: dict[str, Callable[[], Codec]] = {}
+
+    def register(self, name: str, factory: Callable[[], Codec]) -> None:
+        if name in self._factories:
+            raise ValueError(f"scheme {name!r} already registered")
+        self._factories[name] = factory
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._factories)
+
+    def create(self, name: str) -> Codec:
+        """Instantiate the codec registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown compression scheme {name!r}; known: {sorted(self._factories)}"
+            ) from None
+        return factory()
+
+    def create_all(self, names: Iterable[str] | None = None) -> dict[str, Codec]:
+        """Instantiate several codecs at once, keyed by scheme name."""
+        wanted = list(names) if names is not None else list(self._factories)
+        return {name: self.create(name) for name in wanted}
+
+
+def default_registry() -> CodecRegistry:
+    """The registry with every scheme the paper mentions (plus "none")."""
+    registry = CodecRegistry()
+    registry.register("none", IdentityCodec)
+    registry.register("gzip", GzipCodec)
+    registry.register("zlib", ZlibCodec)
+    registry.register("bz2", Bz2Codec)
+    registry.register("lzma", LzmaCodec)
+    registry.register("snappy", SnappyLikeCodec)
+    registry.register("lz4", Lz4LikeCodec)
+    return registry
+
+
+#: The three schemes the paper's main tables report.
+PAPER_SCHEMES: tuple[str, ...] = ("gzip", "snappy", "lz4")
+
+#: The five scheme x layout combinations of Table VI.
+PAPER_SCHEME_LAYOUTS: tuple[SchemeLayout, ...] = (
+    SchemeLayout("gzip", Layout.CSV),
+    SchemeLayout("snappy", Layout.CSV),
+    SchemeLayout("gzip", Layout.PARQUET),
+    SchemeLayout("snappy", Layout.PARQUET),
+    SchemeLayout("lz4", Layout.PARQUET),
+)

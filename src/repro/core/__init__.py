@@ -1,0 +1,5 @@
+"""The paper's core contribution: OPTASSIGN, COMPREDICT, DATAPART, tier prediction, SCOPe."""
+
+from . import access_predict, compredict, datapart, optassign, pipeline
+
+__all__ = ["optassign", "compredict", "datapart", "access_predict", "pipeline"]

@@ -1,0 +1,25 @@
+"""Access-pattern prediction: the optimal-tier classifier and rule baselines (Tables III-IV)."""
+
+from .features import HistorySplit, TierFeatureBuilder, split_history
+from .labeling import ideal_tier_labels, percent_benefit_vs_baseline, placement_cost
+from .tier_predictor import (
+    TierPredictionReport,
+    TierPredictor,
+    rule_all_hot,
+    rule_hot_if_recent,
+    rule_previous_optimal,
+)
+
+__all__ = [
+    "HistorySplit",
+    "TierFeatureBuilder",
+    "split_history",
+    "ideal_tier_labels",
+    "placement_cost",
+    "percent_benefit_vs_baseline",
+    "TierPredictor",
+    "TierPredictionReport",
+    "rule_all_hot",
+    "rule_hot_if_recent",
+    "rule_previous_optimal",
+]

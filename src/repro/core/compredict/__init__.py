@@ -1,0 +1,33 @@
+"""COMPREDICT: on-the-fly compression ratio and decompression speed prediction (Section V)."""
+
+from .features import (
+    FEATURE_SETS,
+    FeatureExtractor,
+    bucketed_weighted_entropy,
+    weighted_entropy,
+    weighted_entropy_by_dtype,
+)
+from .ground_truth import LabeledSample, label_samples, targets_matrix
+from .predictor import (
+    CompressionPredictor,
+    PredictionQuality,
+    default_model_factory,
+)
+from .sampling import query_result_samples, random_row_samples, sample_statistics
+
+__all__ = [
+    "FeatureExtractor",
+    "FEATURE_SETS",
+    "weighted_entropy",
+    "weighted_entropy_by_dtype",
+    "bucketed_weighted_entropy",
+    "LabeledSample",
+    "label_samples",
+    "targets_matrix",
+    "CompressionPredictor",
+    "PredictionQuality",
+    "default_model_factory",
+    "random_row_samples",
+    "query_result_samples",
+    "sample_statistics",
+]

@@ -1,0 +1,153 @@
+"""Feature extraction for compression-performance prediction (Section V).
+
+The paper's key observation is that generic features (dataset size, datatype
+mix) do not explain compression behaviour on *queried* data; what does is the
+amount of repetition, captured by a **weighted entropy** per datatype:
+
+    H(P, d) = - sum_{s in P[:, d]} len(s) * pr(s) * log(pr(s))
+
+where the sum runs over the string representations of all values in the
+columns of datatype ``d``, ``pr(s)`` is each distinct value's probability of
+occurrence within those columns and ``len(s)`` its length.  A *bucketed*
+variant computes the same quantity for successive 20% row slices, intended to
+capture the effect of sorting.
+
+:class:`FeatureExtractor` turns a table into a fixed-length numeric vector so
+any :mod:`repro.ml` regressor can consume it; it supports the three feature
+sets compared in Table V (size-only, weighted entropy, bucketed entropy).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...tabular import DataType, Table
+
+__all__ = [
+    "weighted_entropy",
+    "weighted_entropy_by_dtype",
+    "bucketed_weighted_entropy",
+    "FeatureExtractor",
+    "FEATURE_SETS",
+]
+
+#: Datatype order used to lay features out in a fixed-length vector.
+_DTYPE_ORDER: tuple[str, ...] = (
+    DataType.INT,
+    DataType.FLOAT,
+    DataType.STRING,
+    DataType.DATE,
+)
+
+#: Names of the feature sets compared in the paper (Table V).
+FEATURE_SETS: tuple[str, ...] = ("size", "weighted_entropy", "bucketed_entropy")
+
+
+def weighted_entropy(values: list[str]) -> float:
+    """The paper's length-weighted entropy of a collection of string values."""
+    if not values:
+        return 0.0
+    counts = Counter(values)
+    total = len(values)
+    entropy = 0.0
+    for value, count in counts.items():
+        probability = count / total
+        entropy -= len(value) * probability * math.log(probability)
+    return entropy
+
+
+def weighted_entropy_by_dtype(table: Table) -> dict[str, float]:
+    """``H(P, d)`` for every datatype ``d`` present in ``table``."""
+    features: dict[str, float] = {}
+    for dtype, columns in table.columns_by_dtype().items():
+        values: list[str] = []
+        for column in columns:
+            values.extend(str(value) for value in column.values)
+        features[dtype] = weighted_entropy(values)
+    return features
+
+
+def bucketed_weighted_entropy(
+    table: Table, num_buckets: int = 5
+) -> dict[str, list[float]]:
+    """Weighted entropy per datatype for each successive ``1/num_buckets`` slice of rows.
+
+    The paper uses 5 buckets (successive 20% of rows) to probe whether sorting
+    changes local repetition structure.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    rows = table.num_rows
+    boundaries = [round(i * rows / num_buckets) for i in range(num_buckets + 1)]
+    result: dict[str, list[float]] = {}
+    for bucket in range(num_buckets):
+        start, stop = boundaries[bucket], boundaries[bucket + 1]
+        slice_table = table.slice(start, stop) if stop > start else None
+        entropies = (
+            weighted_entropy_by_dtype(slice_table) if slice_table is not None else {}
+        )
+        for dtype in _DTYPE_ORDER:
+            result.setdefault(dtype, []).append(entropies.get(dtype, 0.0))
+    return result
+
+
+@dataclass(frozen=True)
+class FeatureExtractor:
+    """Turns a table into the numeric feature vector of a chosen feature set.
+
+    Every feature set starts with the two cheap size features (row count and
+    approximate serialised bytes) because the optimizer knows them for free;
+    the entropy-based sets add the per-datatype weighted entropies (and their
+    bucketed refinements).
+    """
+
+    feature_set: str = "weighted_entropy"
+    num_buckets: int = 5
+
+    def __post_init__(self) -> None:
+        if self.feature_set not in FEATURE_SETS:
+            raise ValueError(
+                f"unknown feature set {self.feature_set!r}; expected one of {FEATURE_SETS}"
+            )
+        if self.num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+
+    @property
+    def feature_names(self) -> list[str]:
+        names = ["num_rows", "approx_bytes"]
+        if self.feature_set == "size":
+            return names
+        names += [f"entropy_{dtype}" for dtype in _DTYPE_ORDER]
+        if self.feature_set == "bucketed_entropy":
+            names += [
+                f"bucket{bucket}_entropy_{dtype}"
+                for dtype in _DTYPE_ORDER
+                for bucket in range(self.num_buckets)
+            ]
+        return names
+
+    def extract(self, table: Table) -> np.ndarray:
+        """The feature vector for one table/sample."""
+        features: list[float] = [
+            float(table.num_rows),
+            float(table.num_rows * table.approx_row_bytes()),
+        ]
+        if self.feature_set == "size":
+            return np.array(features)
+        entropies = weighted_entropy_by_dtype(table)
+        features += [entropies.get(dtype, 0.0) for dtype in _DTYPE_ORDER]
+        if self.feature_set == "bucketed_entropy":
+            buckets = bucketed_weighted_entropy(table, self.num_buckets)
+            for dtype in _DTYPE_ORDER:
+                features += buckets.get(dtype, [0.0] * self.num_buckets)
+        return np.array(features)
+
+    def extract_many(self, tables: list[Table]) -> np.ndarray:
+        """Feature matrix (one row per table)."""
+        if not tables:
+            raise ValueError("at least one table is required")
+        return np.vstack([self.extract(table) for table in tables])

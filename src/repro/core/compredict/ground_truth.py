@@ -1,0 +1,61 @@
+"""Ground-truth labels for COMPREDICT: measured ratios and decompression speeds.
+
+Given sample tables, a codec and a layout, this module serialises each sample,
+compresses it and records the observed compression ratio and decompression
+speed.  The resulting :class:`LabeledSample` records are the supervised
+training data for the predictor and the evaluation targets for Tables V-VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...compression import Codec, Layout, measure_table
+from ...tabular import Table
+
+__all__ = ["LabeledSample", "label_samples", "targets_matrix"]
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One training example: a sample table with its measured compression behaviour."""
+
+    table: Table
+    scheme: str
+    layout: str
+    ratio: float
+    decompression_s_per_gb: float
+    uncompressed_bytes: int
+
+
+def label_samples(
+    samples: list[Table], codec: Codec, layout: str = Layout.CSV
+) -> list[LabeledSample]:
+    """Measure ``codec`` on every sample serialised in ``layout``."""
+    if not samples:
+        raise ValueError("at least one sample is required")
+    labeled = []
+    for sample in samples:
+        measurement = measure_table(codec, sample, layout)
+        labeled.append(
+            LabeledSample(
+                table=sample,
+                scheme=codec.name,
+                layout=layout,
+                ratio=measurement.ratio,
+                decompression_s_per_gb=measurement.decompression_s_per_gb,
+                uncompressed_bytes=measurement.uncompressed_bytes,
+            )
+        )
+    return labeled
+
+
+def targets_matrix(labeled: list[LabeledSample]) -> tuple[np.ndarray, np.ndarray]:
+    """The (ratio, decompression speed) target vectors of a labelled sample set."""
+    if not labeled:
+        raise ValueError("at least one labelled sample is required")
+    ratios = np.array([sample.ratio for sample in labeled])
+    speeds = np.array([sample.decompression_s_per_gb for sample in labeled])
+    return ratios, speeds

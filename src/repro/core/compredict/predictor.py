@@ -1,0 +1,176 @@
+"""The COMPREDICT model: predict compression ratio and decompression speed on the fly.
+
+A :class:`CompressionPredictor` owns, for every (scheme, layout) combination it
+was trained on, a pair of regressors — one for the compression ratio and one
+for the decompression speed (seconds per GB) — over the features produced by a
+:class:`repro.core.compredict.FeatureExtractor`.  Training is a one-time task
+on labelled samples (query results with measured compression behaviour);
+inference is a feature extraction plus two regressor evaluations, i.e.
+"almost instantaneous" as the paper puts it.
+
+The predictor's output plugs straight into OPTASSIGN as
+:class:`repro.cloud.CompressionProfile` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ...cloud import CompressionProfile
+from ...compression import Codec, Layout, SchemeLayout
+from ...ml import RandomForestRegressor, regression_report
+from ...tabular import Table
+from .features import FeatureExtractor
+from .ground_truth import LabeledSample, label_samples
+
+__all__ = ["PredictionQuality", "CompressionPredictor", "default_model_factory"]
+
+
+def default_model_factory():
+    """The paper's best model: a Random Forest regressor."""
+    return RandomForestRegressor(n_estimators=40, max_depth=10, random_state=17)
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Held-out quality of one (scheme, layout) predictor pair."""
+
+    scheme: str
+    layout: str
+    ratio_metrics: dict[str, float]
+    speed_metrics: dict[str, float]
+
+
+@dataclass
+class _SchemePredictor:
+    """The fitted (ratio, speed) regressor pair for one scheme x layout."""
+
+    ratio_model: object
+    speed_model: object
+
+
+class CompressionPredictor:
+    """Predicts :class:`CompressionProfile` objects for unseen partitions.
+
+    Parameters
+    ----------
+    feature_extractor:
+        Feature definition shared by every scheme.
+    model_factory:
+        Zero-argument callable returning a fresh regressor with ``fit``/
+        ``predict``; called twice per (scheme, layout) — once for the ratio
+        target, once for the decompression-speed target.
+    """
+
+    def __init__(
+        self,
+        feature_extractor: FeatureExtractor | None = None,
+        model_factory: Callable[[], object] = default_model_factory,
+    ):
+        self.feature_extractor = feature_extractor or FeatureExtractor()
+        self.model_factory = model_factory
+        self._predictors: dict[tuple[str, str], _SchemePredictor] = {}
+
+    # -- training ------------------------------------------------------------------
+    def fit_labeled(
+        self, labeled: list[LabeledSample], scheme: str, layout: str
+    ) -> "CompressionPredictor":
+        """Fit the (ratio, speed) pair for one scheme x layout from labelled samples."""
+        if not labeled:
+            raise ValueError("at least one labelled sample is required")
+        features = self.feature_extractor.extract_many(
+            [sample.table for sample in labeled]
+        )
+        ratios = np.array([sample.ratio for sample in labeled])
+        speeds = np.array([sample.decompression_s_per_gb for sample in labeled])
+        ratio_model = self.model_factory()
+        speed_model = self.model_factory()
+        ratio_model.fit(features, ratios)
+        speed_model.fit(features, speeds)
+        self._predictors[(scheme, layout)] = _SchemePredictor(ratio_model, speed_model)
+        return self
+
+    def fit(
+        self,
+        samples: list[Table],
+        codecs: Iterable[Codec],
+        layouts: Iterable[str] = (Layout.CSV,),
+    ) -> "CompressionPredictor":
+        """Measure and fit every codec x layout combination on ``samples``."""
+        for layout in layouts:
+            for codec in codecs:
+                labeled = label_samples(samples, codec, layout)
+                self.fit_labeled(labeled, scheme=codec.name, layout=layout)
+        return self
+
+    # -- inference --------------------------------------------------------------------
+    @property
+    def trained_combinations(self) -> list[SchemeLayout]:
+        return [SchemeLayout(scheme, layout) for scheme, layout in self._predictors]
+
+    def predict_profile(
+        self, table: Table, scheme: str, layout: str = Layout.CSV
+    ) -> CompressionProfile:
+        """Predicted compression behaviour of ``scheme`` on ``table``.
+
+        The ratio is clamped to be at least 1 (a codec is never applied when
+        it would inflate the data) and the speed to be non-negative, so the
+        profile is always physically meaningful even when the regressor
+        extrapolates.
+        """
+        predictor = self._lookup(scheme, layout)
+        features = self.feature_extractor.extract(table).reshape(1, -1)
+        ratio = float(predictor.ratio_model.predict(features)[0])
+        speed = float(predictor.speed_model.predict(features)[0])
+        return CompressionProfile(
+            scheme=scheme,
+            ratio=max(ratio, 1.0),
+            decompression_s_per_gb=max(speed, 0.0),
+        )
+
+    def predict_profiles(
+        self,
+        tables: Mapping[str, Table],
+        schemes: Iterable[str],
+        layout: str = Layout.CSV,
+    ) -> dict[str, dict[str, CompressionProfile]]:
+        """Profiles for many partitions at once (the OPTASSIGN ``ProfileTable`` shape)."""
+        return {
+            name: {
+                scheme: self.predict_profile(table, scheme, layout)
+                for scheme in schemes
+            }
+            for name, table in tables.items()
+        }
+
+    # -- evaluation ---------------------------------------------------------------------
+    def evaluate(
+        self, labeled: list[LabeledSample], scheme: str, layout: str
+    ) -> PredictionQuality:
+        """MAE / MAPE / R² of the fitted pair on held-out labelled samples."""
+        predictor = self._lookup(scheme, layout)
+        features = self.feature_extractor.extract_many(
+            [sample.table for sample in labeled]
+        )
+        true_ratios = np.array([sample.ratio for sample in labeled])
+        true_speeds = np.array([sample.decompression_s_per_gb for sample in labeled])
+        predicted_ratios = predictor.ratio_model.predict(features)
+        predicted_speeds = predictor.speed_model.predict(features)
+        return PredictionQuality(
+            scheme=scheme,
+            layout=layout,
+            ratio_metrics=regression_report(true_ratios, predicted_ratios),
+            speed_metrics=regression_report(true_speeds, predicted_speeds),
+        )
+
+    def _lookup(self, scheme: str, layout: str) -> _SchemePredictor:
+        try:
+            return self._predictors[(scheme, layout)]
+        except KeyError:
+            raise KeyError(
+                f"no predictor trained for scheme {scheme!r} on layout {layout!r}; "
+                f"trained: {sorted(self._predictors)}"
+            ) from None

@@ -1,0 +1,49 @@
+"""DATAPART: access-pattern-aware data partitioning (Section VI of the paper).
+
+* :mod:`partitions` — initial partitions, merges, spans/overlaps/costs and
+  feasibility constraints.
+* :mod:`graph` — the fractional-overlap graph G-PART operates on.
+* :mod:`gpart` — Algorithm 1, the greedy heap-driven merger.
+* :mod:`ilp` — the MERGEPARTITIONS ILP (Eq. 2), used as an exact oracle.
+* :mod:`ordered` — the time-series DP (Theorem 5) and its bi-criteria
+  approximation (Theorem 6).
+"""
+
+from .gpart import GPartResult, gpart
+from .graph import build_overlap_graph, fractional_overlap, merge_statistics
+from .ilp import (
+    MergeIlpInfeasibleError,
+    MergeIlpResult,
+    enumerate_candidate_merges,
+    solve_merge_ilp,
+)
+from .ordered import OrderedMergeResult, solve_ordered_approx, solve_ordered_dp
+from .partitions import (
+    FileUniverse,
+    InitialPartition,
+    Merge,
+    MergeConstraints,
+    duplication_ratio,
+    partitions_from_query_families,
+)
+
+__all__ = [
+    "FileUniverse",
+    "InitialPartition",
+    "Merge",
+    "MergeConstraints",
+    "partitions_from_query_families",
+    "duplication_ratio",
+    "build_overlap_graph",
+    "fractional_overlap",
+    "merge_statistics",
+    "GPartResult",
+    "gpart",
+    "MergeIlpResult",
+    "MergeIlpInfeasibleError",
+    "enumerate_candidate_merges",
+    "solve_merge_ilp",
+    "OrderedMergeResult",
+    "solve_ordered_dp",
+    "solve_ordered_approx",
+]

@@ -1,0 +1,140 @@
+"""G-PART: the greedy partition-merging heuristic (Algorithm 1 of the paper).
+
+The algorithm keeps a max-heap of feasible partition pairs keyed by their
+fractional overlap, repeatedly merges the most-overlapping pair, and puts the
+merged node back among the candidates unless it has grown past the soft span
+cap ``S_thresh``.  Singletons that never merge remain as final partitions, so
+every initial partition is covered.
+
+Complexity: with ``m`` initial partitions, building the candidate edges is
+``O(m^2)`` set intersections and the heap-driven merging is
+``O(m^2 log m)``, matching the paper's analysis.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from .graph import fractional_overlap
+from .partitions import FileUniverse, InitialPartition, Merge, MergeConstraints
+
+__all__ = ["GPartResult", "gpart"]
+
+
+@dataclass
+class GPartResult:
+    """Output of G-PART: the final merges plus bookkeeping for reports."""
+
+    merges: list[Merge]
+    num_initial: int
+    num_merge_operations: int
+
+    @property
+    def num_final(self) -> int:
+        return len(self.merges)
+
+    @property
+    def total_span(self) -> float:
+        return float(sum(merge.span for merge in self.merges))
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(merge.cost for merge in self.merges))
+
+
+def _pair_weight(
+    first: Merge, second: Merge, universe: FileUniverse
+) -> float:
+    return fractional_overlap(first, second, universe)
+
+
+def _pair_feasible(
+    first: Merge, second: Merge, universe: FileUniverse, constraints: MergeConstraints
+) -> bool:
+    if not constraints.frequencies_compatible(first.frequency, second.frequency):
+        return False
+    return _pair_weight(first, second, universe) > 0.0
+
+
+def gpart(
+    partitions: Sequence[InitialPartition],
+    universe: FileUniverse,
+    constraints: MergeConstraints | None = None,
+) -> GPartResult:
+    """Run Algorithm 1 on ``partitions``.
+
+    Parameters
+    ----------
+    partitions:
+        The initial partitions (query-family footprints).
+    universe:
+        File sizes used for spans and overlaps.
+    constraints:
+        Frequency-compatibility and span-cap knobs; defaults allow merging of
+        partitions within a 4x access-frequency band and impose no span cap.
+    """
+    if not partitions:
+        raise ValueError("at least one initial partition is required")
+    names = [partition.name for partition in partitions]
+    if len(set(names)) != len(names):
+        raise ValueError("partition names must be unique")
+    constraints = constraints or MergeConstraints()
+
+    # Live nodes: every initial partition starts as a singleton merge.
+    live: dict[str, Merge] = {
+        partition.name: Merge.of([partition], universe) for partition in partitions
+    }
+    deleted: set[str] = set()
+    counter = 0  # tie-breaker so heap comparisons never reach Merge objects
+    heap: list[tuple[float, int, str, str]] = []
+
+    def push_pair(first_name: str, second_name: str) -> None:
+        nonlocal counter
+        first, second = live[first_name], live[second_name]
+        if _pair_feasible(first, second, universe, constraints):
+            weight = _pair_weight(first, second, universe)
+            counter += 1
+            heapq.heappush(heap, (-weight, counter, first_name, second_name))
+
+    ordered_names = list(live)
+    for index, first_name in enumerate(ordered_names):
+        for second_name in ordered_names[index + 1 :]:
+            push_pair(first_name, second_name)
+
+    merge_operations = 0
+    while heap:
+        _, _, first_name, second_name = heapq.heappop(heap)
+        if first_name in deleted or second_name in deleted:
+            continue
+        first, second = live[first_name], live[second_name]
+        merged = Merge(
+            members=first.members + second.members,
+            file_ids=first.file_ids | second.file_ids,
+            frequency=first.frequency + second.frequency,
+            span=universe.records_of(first.file_ids | second.file_ids),
+        )
+        merge_operations += 1
+        deleted.update((first_name, second_name))
+        del live[first_name]
+        del live[second_name]
+        merged_name = merged.name
+        live[merged_name] = merged
+
+        # The merged node only stays a merge candidate below the span cap.
+        below_cap = (
+            constraints.span_threshold is None
+            or merged.span < constraints.span_threshold
+        )
+        if below_cap:
+            for other_name in list(live):
+                if other_name == merged_name:
+                    continue
+                push_pair(merged_name, other_name)
+
+    return GPartResult(
+        merges=list(live.values()),
+        num_initial=len(partitions),
+        num_merge_operations=merge_operations,
+    )

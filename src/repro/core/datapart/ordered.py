@@ -1,0 +1,197 @@
+"""Ordered (time-series) partition merging: exact DP and bi-criteria approximation.
+
+Section VI-B of the paper: when partitions have a natural order (time-series
+data, partitions sorted by query end time), only *contiguous* runs of
+partitions are worth merging, so the solution is a segmentation of the ordered
+list into blocks.  A dynamic program over (prefix length, remaining cost
+budget) finds the minimum-space segmentation whose total expected read cost
+stays within ``C_thresh`` (Theorem 5); because the DP is pseudo-polynomial in
+the budget, Theorem 6 discretises costs into buckets of ``epsilon * C_thresh``
+and extends the budget by ``N * epsilon`` to obtain a polynomial (1, 1 + N·eps)
+bi-criteria approximation — for ``epsilon = 1/N`` a (1, 2) approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .partitions import FileUniverse, InitialPartition, Merge
+
+__all__ = ["OrderedMergeResult", "solve_ordered_dp", "solve_ordered_approx"]
+
+
+@dataclass
+class OrderedMergeResult:
+    """A segmentation of the ordered partitions into contiguous merges."""
+
+    merges: list[Merge]
+    total_span: float
+    total_cost: float
+    cost_unit: float
+    budget_units: int
+
+    @property
+    def num_final(self) -> int:
+        return len(self.merges)
+
+
+def _contiguous_merges(
+    partitions: Sequence[InitialPartition], universe: FileUniverse
+) -> list[list[Merge]]:
+    """``merges[i][j]`` = the merge of partitions ``j..i`` inclusive (j <= i)."""
+    n = len(partitions)
+    table: list[list[Merge]] = []
+    for end in range(n):
+        row: list[Merge] = [None] * (end + 1)  # type: ignore[list-item]
+        files: set[str] = set()
+        frequency = 0.0
+        members: list[str] = []
+        # Build merges [start..end] by extending backwards from `end`.
+        for start in range(end, -1, -1):
+            files |= partitions[start].file_ids
+            frequency += partitions[start].frequency
+            members.insert(0, partitions[start].name)
+            row[start] = Merge(
+                members=tuple(members),
+                file_ids=frozenset(files),
+                frequency=frequency,
+                span=universe.records_of(files),
+            )
+        table.append(row)
+    return table
+
+
+def solve_ordered_dp(
+    partitions: Sequence[InitialPartition],
+    universe: FileUniverse,
+    cost_threshold: float,
+    cost_unit: float = 1.0,
+    extra_budget_units: int = 0,
+) -> OrderedMergeResult:
+    """Exact DP (Theorem 5) over costs discretised into ``cost_unit`` buckets.
+
+    With ``cost_unit=1`` and integer merge costs the result is exact; larger
+    units trade accuracy for speed (this is what the approximation scheme
+    exploits).  Merge costs are rounded *up* to whole units, so the reported
+    true cost can only be below the discretised budget.
+
+    Raises
+    ------
+    ValueError
+        If even the all-merged or all-singleton segmentations exceed the
+        budget (no feasible segmentation exists).
+    """
+    if not partitions:
+        raise ValueError("at least one ordered partition is required")
+    if cost_threshold < 0:
+        raise ValueError("cost_threshold must be non-negative")
+    if cost_unit <= 0:
+        raise ValueError("cost_unit must be positive")
+
+    merges = _contiguous_merges(partitions, universe)
+    n = len(partitions)
+
+    def units_of(merge: Merge) -> int:
+        return int(math.ceil(merge.cost / cost_unit)) if merge.cost > 0 else 0
+
+    # Budget units beyond the cost of the most expensive possible segmentation
+    # cannot change the answer, so clamp there: any segmentation consists of at
+    # most n merges, each costing at most the cost of the cheapest-per-merge
+    # upper bound (the single all-covering merge dominates every sub-merge's
+    # span and frequency).  Without the clamp a caller passing an effectively
+    # unbounded threshold would allocate a DP table proportional to it.
+    full_merge_units = units_of(merges[n - 1][0])
+    useful_units = n * (full_merge_units + 1)
+    requested_units = int(math.floor(cost_threshold / cost_unit)) + extra_budget_units
+    budget_units = min(requested_units, useful_units)
+
+    infinity = float("inf")
+    # best[i][b] = minimum total span covering the first i partitions using at
+    # most b cost units; choice[i][b] = start index of the merge ending at i-1.
+    best = [[infinity] * (budget_units + 1) for _ in range(n + 1)]
+    choice: list[list[int | None]] = [[None] * (budget_units + 1) for _ in range(n + 1)]
+    for budget in range(budget_units + 1):
+        best[0][budget] = 0.0
+
+    for end in range(1, n + 1):
+        row = merges[end - 1]
+        for budget in range(budget_units + 1):
+            best_value = infinity
+            best_start: int | None = None
+            for start in range(end):
+                merge = row[start]
+                cost_units = units_of(merge)
+                if cost_units > budget:
+                    continue
+                previous = best[start][budget - cost_units]
+                if previous == infinity:
+                    continue
+                value = previous + merge.span
+                if value < best_value:
+                    best_value = value
+                    best_start = start
+            best[end][budget] = best_value
+            choice[end][budget] = best_start
+
+    if best[n][budget_units] == infinity:
+        raise ValueError(
+            "no segmentation of the ordered partitions fits within the cost "
+            f"budget ({cost_threshold} with unit {cost_unit})"
+        )
+
+    # Recover the segmentation.
+    chosen: list[Merge] = []
+    end = n
+    budget = budget_units
+    while end > 0:
+        start = choice[end][budget]
+        if start is None:
+            raise RuntimeError("DP backtracking failed (inconsistent tables)")
+        merge = merges[end - 1][start]
+        chosen.append(merge)
+        budget -= units_of(merge)
+        end = start
+    chosen.reverse()
+    return OrderedMergeResult(
+        merges=chosen,
+        total_span=float(sum(merge.span for merge in chosen)),
+        total_cost=float(sum(merge.cost for merge in chosen)),
+        cost_unit=cost_unit,
+        budget_units=budget_units,
+    )
+
+
+def solve_ordered_approx(
+    partitions: Sequence[InitialPartition],
+    universe: FileUniverse,
+    cost_threshold: float,
+    epsilon: float | None = None,
+) -> OrderedMergeResult:
+    """Theorem 6: polynomial bi-criteria approximation of the ordered DP.
+
+    Costs are discretised into units of ``epsilon * cost_threshold`` and the
+    budget is extended by ``N`` extra units (i.e. ``N * epsilon *
+    cost_threshold``), guaranteeing the space found is no worse than the true
+    optimum's while the realised cost is at most ``(1 + N * epsilon)`` times
+    the budget.  The default ``epsilon = 1/N`` yields the (1, 2) bi-criteria
+    guarantee in ``O(N^3)``.
+    """
+    if not partitions:
+        raise ValueError("at least one ordered partition is required")
+    if cost_threshold <= 0:
+        raise ValueError("cost_threshold must be positive for the approximation scheme")
+    n = len(partitions)
+    if epsilon is None:
+        epsilon = 1.0 / n
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    cost_unit = epsilon * cost_threshold
+    return solve_ordered_dp(
+        partitions,
+        universe,
+        cost_threshold=cost_threshold,
+        cost_unit=cost_unit,
+        extra_budget_units=n,
+    )

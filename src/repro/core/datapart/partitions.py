@@ -1,0 +1,226 @@
+"""DATAPART data structures: initial partitions, merges, feasibility and costs.
+
+Section VI of the paper: every *query family* (queries touching the same set
+of files) defines an **initial partition** — the set of files it reads, with
+an aggregate access frequency.  DATAPART merges initial partitions into final
+partitions so that files accessed together live together, trading duplicated
+bytes (a file can appear in several final partitions) against expected read
+cost.
+
+Key quantities (all defined here so that G-PART, the ILP and the ordered DP
+agree on them):
+
+* ``Sp(P)`` — the span of a partition: total records of its (distinct) files;
+* ``Ov(Pi, Pj) = Sp(Pi) + Sp(Pj) - Sp(Pi ∪ Pj)`` — overlap;
+* ``rho(P)`` — access frequency; a merge's frequency is the sum of its members';
+* ``C(M) = Sp(M) * rho(M)`` — expected read cost of a merge;
+* a pair of partitions is *feasible to merge* when their frequencies are
+  comparable: ``1/rho_c <= rho(Pi)/rho(Pj) <= rho_c`` or
+  ``|rho(Pi) - rho(Pj)| <= rho'_c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ...workloads.queries import QueryFamily
+
+__all__ = [
+    "FileUniverse",
+    "InitialPartition",
+    "Merge",
+    "MergeConstraints",
+    "partitions_from_query_families",
+    "duplication_ratio",
+]
+
+
+class FileUniverse:
+    """Sizes of every file that partitions may reference.
+
+    ``records`` is the paper's span unit (number of rows); ``size_gb`` is used
+    when the merged partitions are handed to the cost model / OPTASSIGN.
+    """
+
+    def __init__(self, records: Mapping[str, int], size_gb: Mapping[str, float] | None = None):
+        if not records:
+            raise ValueError("the file universe must contain at least one file")
+        for file_id, count in records.items():
+            if count < 0:
+                raise ValueError(f"file {file_id!r} has negative record count")
+        self._records = dict(records)
+        self._size_gb = dict(size_gb) if size_gb is not None else {}
+
+    def __contains__(self, file_id: object) -> bool:
+        return file_id in self._records
+
+    @property
+    def file_ids(self) -> set[str]:
+        return set(self._records)
+
+    def records_of(self, file_ids: Iterable[str]) -> int:
+        """Total records of a set of files (each counted once)."""
+        total = 0
+        for file_id in set(file_ids):
+            try:
+                total += self._records[file_id]
+            except KeyError:
+                raise KeyError(f"unknown file id {file_id!r}") from None
+        return total
+
+    def size_gb_of(self, file_ids: Iterable[str]) -> float:
+        """Total GB of a set of files; 0.0 for files without a recorded size."""
+        return float(sum(self._size_gb.get(file_id, 0.0) for file_id in set(file_ids)))
+
+
+@dataclass(frozen=True)
+class InitialPartition:
+    """A query family's file footprint with its access frequency."""
+
+    name: str
+    file_ids: frozenset[str]
+    frequency: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("partition name must be non-empty")
+        if not self.file_ids:
+            raise ValueError(f"partition {self.name!r} must reference at least one file")
+        if self.frequency < 0:
+            raise ValueError("frequency must be non-negative")
+        if not isinstance(self.file_ids, frozenset):
+            object.__setattr__(self, "file_ids", frozenset(self.file_ids))
+
+    def span(self, universe: FileUniverse) -> int:
+        return universe.records_of(self.file_ids)
+
+
+@dataclass(frozen=True)
+class Merge:
+    """A union of initial partitions chosen as one final partition."""
+
+    members: tuple[str, ...]
+    file_ids: frozenset[str]
+    frequency: float
+    span: int
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a merge must contain at least one member")
+        if self.span < 0:
+            raise ValueError("span must be non-negative")
+        if self.frequency < 0:
+            raise ValueError("frequency must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return "+".join(self.members)
+
+    @property
+    def cost(self) -> float:
+        """Expected read cost ``C(M) = Sp(M) * rho(M)``."""
+        return self.span * self.frequency
+
+    @staticmethod
+    def of(
+        partitions: Sequence[InitialPartition], universe: FileUniverse
+    ) -> "Merge":
+        """Build the merge of ``partitions`` (order of members is preserved)."""
+        if not partitions:
+            raise ValueError("cannot merge an empty set of partitions")
+        file_ids: set[str] = set()
+        for partition in partitions:
+            file_ids |= partition.file_ids
+        return Merge(
+            members=tuple(partition.name for partition in partitions),
+            file_ids=frozenset(file_ids),
+            frequency=float(sum(partition.frequency for partition in partitions)),
+            span=universe.records_of(file_ids),
+        )
+
+
+@dataclass(frozen=True)
+class MergeConstraints:
+    """Feasibility and budget knobs of the merging problem.
+
+    ``frequency_ratio`` is the paper's ``rho_c``, ``frequency_diff`` is
+    ``rho'_c``, ``span_threshold`` is G-PART's soft cap ``S_thresh`` on merge
+    span (None = uncapped) and ``cost_threshold`` is the ILP/DP read-cost
+    budget ``C_thresh`` (None = unbounded).
+    """
+
+    frequency_ratio: float = 4.0
+    frequency_diff: float = 0.0
+    span_threshold: int | None = None
+    cost_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.frequency_ratio < 1.0:
+            raise ValueError("frequency_ratio must be at least 1")
+        if self.frequency_diff < 0.0:
+            raise ValueError("frequency_diff must be non-negative")
+        if self.span_threshold is not None and self.span_threshold <= 0:
+            raise ValueError("span_threshold must be positive when set")
+        if self.cost_threshold is not None and self.cost_threshold < 0:
+            raise ValueError("cost_threshold must be non-negative when set")
+
+    def frequencies_compatible(self, first: float, second: float) -> bool:
+        """The paper's pairwise feasibility test on access frequencies."""
+        if abs(first - second) <= self.frequency_diff:
+            return True
+        if first == 0.0 or second == 0.0:
+            return False
+        ratio = first / second
+        return 1.0 / self.frequency_ratio <= ratio <= self.frequency_ratio
+
+    def pair_feasible(self, first: InitialPartition | Merge, second: InitialPartition | Merge) -> bool:
+        return self.frequencies_compatible(first.frequency, second.frequency)
+
+
+def partitions_from_query_families(
+    families: Sequence[QueryFamily],
+) -> tuple[list[InitialPartition], FileUniverse]:
+    """Convert workload query families into DATAPART inputs.
+
+    File record counts and sizes are recovered from the family metadata; a
+    file referenced by several families keeps the maximum record count seen
+    (they are the same file, so the counts agree in practice).
+    """
+    if not families:
+        raise ValueError("at least one query family is required")
+    records: dict[str, int] = {}
+    sizes: dict[str, float] = {}
+    partitions = []
+    for family in families:
+        per_file_records = family.num_records / max(len(family.file_ids), 1)
+        per_file_gb = family.size_gb / max(len(family.file_ids), 1)
+        for file_id in family.file_ids:
+            records[file_id] = max(records.get(file_id, 0), int(round(per_file_records)))
+            sizes[file_id] = max(sizes.get(file_id, 0.0), per_file_gb)
+        partitions.append(
+            InitialPartition(
+                name=family.name,
+                file_ids=family.file_ids,
+                frequency=family.frequency,
+            )
+        )
+    return partitions, FileUniverse(records, sizes)
+
+
+def duplication_ratio(merges: Sequence[Merge], universe: FileUniverse) -> float:
+    """The paper's duplication metric: ``1 - |distinct records| / |stored records|``.
+
+    0.0 means no file is stored twice; values approach 1.0 as overlap between
+    final partitions grows.
+    """
+    if not merges:
+        return 0.0
+    stored = sum(merge.span for merge in merges)
+    distinct_files: set[str] = set()
+    for merge in merges:
+        distinct_files |= merge.file_ids
+    distinct = universe.records_of(distinct_files)
+    if stored == 0:
+        return 0.0
+    return 1.0 - distinct / stored

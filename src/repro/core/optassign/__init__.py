@@ -1,0 +1,32 @@
+"""OPTASSIGN: optimal tier + compression assignment (Section IV of the paper).
+
+* :class:`OptAssignProblem` / :class:`CandidateOption` — the instance and its
+  per-partition candidate enumeration.
+* :func:`solve_greedy` — optimal for unbounded capacities (Theorem 3).
+* :func:`solve_ilp` — exact MILP for the general capacity-bounded case (Eq. 1).
+* :func:`solve_matching` — optimal bipartite matching for equal-size,
+  no-compression instances (Theorem 2).
+* :func:`solve_optassign` — the facade with automatic solver choice and
+  iterative latency relaxation.
+"""
+
+from .capacity import SolveReport, solve_optassign
+from .greedy import solve_greedy
+from .ilp import IlpInfeasibleError, solve_ilp
+from .matching import MatchingNotApplicableError, solve_matching
+from .problem import CandidateOption, OptAssignProblem, ProfileTable
+from .result import Assignment
+
+__all__ = [
+    "OptAssignProblem",
+    "CandidateOption",
+    "ProfileTable",
+    "Assignment",
+    "solve_greedy",
+    "solve_ilp",
+    "IlpInfeasibleError",
+    "solve_matching",
+    "MatchingNotApplicableError",
+    "solve_optassign",
+    "SolveReport",
+]

@@ -1,0 +1,90 @@
+"""The OPTASSIGN facade: pick the right solver and relax latency if needed.
+
+``solve_optassign`` is the entry point the pipeline and the benchmarks use.
+It dispatches to the greedy solver (optimal, linear time) when no tier has a
+finite capacity, and to the ILP otherwise; when the constraints are jointly
+infeasible it relaxes every latency threshold by a growing factor, as the
+paper prescribes ("the latency requirements need to be relaxed iteratively
+till a feasible solution is found").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .greedy import solve_greedy
+from .ilp import IlpInfeasibleError, solve_ilp
+from .problem import OptAssignProblem
+from .result import Assignment
+
+__all__ = ["solve_optassign", "SolveReport"]
+
+
+@dataclass
+class SolveReport:
+    """The assignment plus how it was obtained (solver, relaxation applied)."""
+
+    assignment: Assignment
+    solver: str
+    latency_relaxation: float
+
+    @property
+    def relaxed(self) -> bool:
+        return self.latency_relaxation > 1.0
+
+
+def solve_optassign(
+    problem: OptAssignProblem,
+    prefer: str = "auto",
+    max_relaxation_rounds: int = 6,
+    relaxation_step: float = 2.0,
+    time_limit_s: float | None = None,
+) -> SolveReport:
+    """Solve OPTASSIGN, relaxing latency thresholds if the instance is infeasible.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    prefer:
+        ``"auto"`` (greedy when capacities are unbounded, ILP otherwise),
+        ``"greedy"`` or ``"ilp"``.
+    max_relaxation_rounds:
+        How many times to multiply latency thresholds by ``relaxation_step``
+        before giving up.
+    relaxation_step:
+        Multiplicative latency relaxation per round (> 1).
+
+    Raises
+    ------
+    ValueError
+        If ``prefer`` is unknown or no solution exists even after relaxation.
+    """
+    if prefer not in ("auto", "greedy", "ilp"):
+        raise ValueError(f"prefer must be 'auto', 'greedy' or 'ilp', got {prefer!r}")
+    if relaxation_step <= 1.0:
+        raise ValueError("relaxation_step must be greater than 1")
+    if prefer == "auto":
+        solver = "ilp" if problem.has_finite_capacity() else "greedy"
+    else:
+        solver = prefer
+
+    factor = 1.0
+    last_error: Exception | None = None
+    for _ in range(max_relaxation_rounds + 1):
+        candidate = problem if factor == 1.0 else problem.relaxed(factor)
+        try:
+            if solver == "greedy":
+                assignment = solve_greedy(candidate, enforce_unbounded=False)
+            else:
+                assignment = solve_ilp(candidate, time_limit_s=time_limit_s)
+            return SolveReport(
+                assignment=assignment, solver=solver, latency_relaxation=factor
+            )
+        except (ValueError, IlpInfeasibleError) as error:
+            last_error = error
+            factor *= relaxation_step
+    raise ValueError(
+        f"OPTASSIGN instance remained infeasible after relaxing latency "
+        f"thresholds {max_relaxation_rounds} times (last error: {last_error})"
+    )

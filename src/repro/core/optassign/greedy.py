@@ -1,0 +1,58 @@
+"""Greedy OPTASSIGN solver — optimal when tiers have no capacity bound (Theorem 3).
+
+When every tier's reserved capacity is unbounded, partitions do not compete
+for space and the problem decomposes: each partition independently takes the
+cheapest latency-feasible (tier, scheme) option.  The paper's enterprise data
+lake is exactly this pay-per-use setting, and the greedy solver is what scales
+to hundreds of PB-sized datasets (their 463-dataset account optimises in a few
+seconds; ours is well under that).
+"""
+
+from __future__ import annotations
+
+from .problem import CandidateOption, OptAssignProblem
+from .result import Assignment
+
+__all__ = ["solve_greedy"]
+
+
+def solve_greedy(problem: OptAssignProblem, enforce_unbounded: bool = True) -> Assignment:
+    """Pick the minimum-objective feasible option for every partition.
+
+    Parameters
+    ----------
+    problem:
+        The OPTASSIGN instance.
+    enforce_unbounded:
+        When True (default) the solver refuses to run on instances with
+        finite tier capacities, because greedy is only *optimal* without
+        capacity coupling.  Pass False to use it as a heuristic anyway (the
+        capacity-aware wrapper does this as a fallback and then repairs).
+
+    Raises
+    ------
+    ValueError
+        If some partition has no latency-feasible option at all — in that
+        case the instance's constraints are contradictory and the caller
+        should relax latency thresholds (see ``solve_optassign``).
+    """
+    if enforce_unbounded and problem.has_finite_capacity():
+        raise ValueError(
+            "greedy OPTASSIGN is only optimal without capacity constraints; "
+            "use solve_optassign (ILP) for capacity-bounded instances"
+        )
+    choices: dict[str, CandidateOption] = {}
+    infeasible: list[str] = []
+    for partition in problem.partitions:
+        options = problem.options_for(partition)
+        if not options:
+            infeasible.append(partition.name)
+            continue
+        choices[partition.name] = min(options, key=lambda option: option.objective)
+    if infeasible:
+        raise ValueError(
+            "no latency-feasible (tier, scheme) option exists for partitions: "
+            f"{infeasible[:5]}{'...' if len(infeasible) > 5 else ''}; "
+            "relax latency thresholds or add faster tiers"
+        )
+    return Assignment(problem=problem, choices=choices, solver="greedy")

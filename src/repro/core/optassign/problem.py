@@ -1,0 +1,191 @@
+"""Problem definition for OPTASSIGN (Section IV of the paper).
+
+An :class:`OptAssignProblem` bundles the data partitions, the cost model (tier
+catalog, compute price, horizon, objective weights) and the per-partition
+compression profiles, and enumerates the *candidate options* — the feasible
+(tier, scheme) pairs for each partition, with their objective value, billed
+cost and latency.  The solvers (ILP, greedy, matching) all consume the same
+candidate enumeration so they optimise exactly the same quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ...cloud import (
+    CompressionProfile,
+    CostBreakdown,
+    CostModel,
+    DataPartition,
+    NO_COMPRESSION_PROFILE,
+)
+
+__all__ = ["CandidateOption", "OptAssignProblem", "ProfileTable"]
+
+
+#: Per-partition compression profiles, keyed by partition name then scheme name.
+ProfileTable = Mapping[str, Mapping[str, CompressionProfile]]
+
+
+@dataclass(frozen=True)
+class CandidateOption:
+    """One feasible-or-not (tier, scheme) choice for one partition."""
+
+    partition: str
+    tier_index: int
+    scheme: str
+    objective: float
+    breakdown: CostBreakdown
+    latency_s: float
+    latency_feasible: bool
+    codec_allowed: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible with respect to latency SLA and codec pinning (not capacity)."""
+        return self.latency_feasible and self.codec_allowed
+
+
+class OptAssignProblem:
+    """The OPTASSIGN instance: partitions, prices, compression profiles.
+
+    Parameters
+    ----------
+    partitions:
+        The placement units.  Names must be unique.
+    cost_model:
+        Prices, horizon, objective weights and the tier catalog.
+    profiles:
+        ``profiles[partition_name][scheme]`` gives the predicted
+        :class:`CompressionProfile` of applying ``scheme`` to that partition.
+        The ``"none"`` scheme is always available and is added automatically
+        if missing.  When ``profiles`` is ``None`` the problem degenerates to
+        tier assignment only (the paper's ``K = 0`` configuration).
+    """
+
+    def __init__(
+        self,
+        partitions: Sequence[DataPartition],
+        cost_model: CostModel,
+        profiles: ProfileTable | None = None,
+    ):
+        names = [partition.name for partition in partitions]
+        if len(set(names)) != len(names):
+            raise ValueError("partition names must be unique")
+        if not partitions:
+            raise ValueError("at least one partition is required")
+        self.partitions: list[DataPartition] = list(partitions)
+        self.cost_model = cost_model
+        self._profiles: dict[str, dict[str, CompressionProfile]] = {}
+        for partition in self.partitions:
+            partition_profiles = dict(profiles.get(partition.name, {})) if profiles else {}
+            for scheme, profile in partition_profiles.items():
+                if scheme != profile.scheme:
+                    raise ValueError(
+                        f"profile keyed {scheme!r} has scheme {profile.scheme!r} "
+                        f"for partition {partition.name!r}"
+                    )
+            partition_profiles.setdefault("none", NO_COMPRESSION_PROFILE)
+            self._profiles[partition.name] = partition_profiles
+        # Validate that pinned codecs actually have a profile.
+        for partition in self.partitions:
+            pinned = partition.current_codec
+            if pinned is not None and pinned not in self._profiles[partition.name]:
+                raise ValueError(
+                    f"partition {partition.name!r} is pinned to codec {pinned!r} "
+                    "but no profile for that codec was provided"
+                )
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def tier_count(self) -> int:
+        return len(self.cost_model.tiers)
+
+    @property
+    def partition_names(self) -> list[str]:
+        return [partition.name for partition in self.partitions]
+
+    def schemes_for(self, partition: DataPartition) -> list[str]:
+        """Compression schemes with a profile available for ``partition``."""
+        return sorted(self._profiles[partition.name])
+
+    def profile_for(self, partition_name: str, scheme: str) -> CompressionProfile:
+        return self._profiles[partition_name][scheme]
+
+    # -- candidate enumeration ----------------------------------------------------
+    def options_for(
+        self, partition: DataPartition, include_infeasible: bool = False
+    ) -> list[CandidateOption]:
+        """All (tier, scheme) candidates for ``partition``.
+
+        By default only latency-feasible, codec-allowed options are returned;
+        ``include_infeasible`` keeps the rest (used for diagnostics and for
+        the latency-relaxation loop).
+        """
+        model = self.cost_model
+        options: list[CandidateOption] = []
+        for tier_index in range(self.tier_count):
+            for scheme in self.schemes_for(partition):
+                profile = self._profiles[partition.name][scheme]
+                latency = model.access_latency_s(partition, tier_index, profile)
+                option = CandidateOption(
+                    partition=partition.name,
+                    tier_index=tier_index,
+                    scheme=scheme,
+                    objective=model.placement_objective(partition, tier_index, profile),
+                    breakdown=model.placement_breakdown(partition, tier_index, profile),
+                    latency_s=latency,
+                    latency_feasible=latency <= partition.latency_threshold_s,
+                    codec_allowed=model.is_codec_allowed(partition, scheme),
+                )
+                if include_infeasible or option.feasible:
+                    options.append(option)
+        return options
+
+    def all_options(
+        self, include_infeasible: bool = False
+    ) -> dict[str, list[CandidateOption]]:
+        """Candidate options for every partition, keyed by partition name."""
+        return {
+            partition.name: self.options_for(partition, include_infeasible)
+            for partition in self.partitions
+        }
+
+    def stored_gb(self, partition: DataPartition, scheme: str) -> float:
+        """On-disk size of ``partition`` under ``scheme`` (used by capacity constraints)."""
+        profile = self._profiles[partition.name][scheme]
+        return profile.compressed_gb(partition.size_gb)
+
+    def has_finite_capacity(self) -> bool:
+        """True if any tier has a finite reserved capacity."""
+        return any(tier.capacity_gb != float("inf") for tier in self.cost_model.tiers)
+
+    def relaxed(self, latency_factor: float) -> "OptAssignProblem":
+        """A copy of the problem with every latency threshold multiplied by ``latency_factor``.
+
+        The paper notes that when capacity and latency constraints make the
+        ILP infeasible, latency requirements are relaxed iteratively until a
+        solution exists.
+        """
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+        relaxed_partitions = [
+            DataPartition(
+                name=partition.name,
+                size_gb=partition.size_gb,
+                predicted_accesses=partition.predicted_accesses,
+                latency_threshold_s=partition.latency_threshold_s * latency_factor,
+                current_tier=partition.current_tier,
+                current_codec=partition.current_codec,
+                file_ids=partition.file_ids,
+                read_fraction=partition.read_fraction,
+                pushdown_fraction=partition.pushdown_fraction,
+            )
+            for partition in self.partitions
+        ]
+        problem = OptAssignProblem.__new__(OptAssignProblem)
+        problem.partitions = relaxed_partitions
+        problem.cost_model = self.cost_model
+        problem._profiles = self._profiles
+        return problem

@@ -1,0 +1,141 @@
+"""Assignment results: the output of every OPTASSIGN solver.
+
+An :class:`Assignment` maps each partition to its chosen (tier, scheme) pair
+and carries the aggregate objective value, the billed cost breakdown and the
+latency profile of the placement, plus the "[Premium, Hot, Cool]"-style tier
+occupancy vector the paper prints in its pipeline tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ...cloud import CostBreakdown, PlacementDecision
+from .problem import CandidateOption, OptAssignProblem
+
+__all__ = ["Assignment"]
+
+
+@dataclass
+class Assignment:
+    """A complete placement produced by an OPTASSIGN solver."""
+
+    problem: OptAssignProblem
+    choices: dict[str, CandidateOption]
+    solver: str
+
+    def __post_init__(self) -> None:
+        missing = set(self.problem.partition_names) - set(self.choices)
+        if missing:
+            raise ValueError(f"assignment missing partitions: {sorted(missing)}")
+
+    # -- aggregates ---------------------------------------------------------------
+    @property
+    def objective(self) -> float:
+        """Total weighted objective value (Eq. 1)."""
+        return float(sum(option.objective for option in self.choices.values()))
+
+    @property
+    def breakdown(self) -> CostBreakdown:
+        """Total unweighted (billed) cost breakdown."""
+        total = CostBreakdown()
+        for option in self.choices.values():
+            total += option.breakdown
+        return total
+
+    @property
+    def total_cost(self) -> float:
+        return self.breakdown.total
+
+    def tier_counts(self) -> list[int]:
+        """Number of partitions per tier — the paper's "Tiering Scheme" column."""
+        counts = [0] * self.problem.tier_count
+        for option in self.choices.values():
+            counts[option.tier_index] += 1
+        return counts
+
+    def scheme_counts(self) -> dict[str, int]:
+        """Number of partitions per compression scheme."""
+        counts: dict[str, int] = {}
+        for option in self.choices.values():
+            counts[option.scheme] = counts.get(option.scheme, 0) + 1
+        return counts
+
+    # -- latency ---------------------------------------------------------------------
+    def max_read_latency_s(self) -> float:
+        """Worst-case time to first byte across the placement (paper: "Read Latency")."""
+        tiers = self.problem.cost_model.tiers
+        return max(tiers[option.tier_index].latency_s for option in self.choices.values())
+
+    def expected_decompression_latency_s(self) -> float:
+        """Access-weighted mean decompression latency (paper: "Expected Decomp. Latency")."""
+        by_name = {partition.name: partition for partition in self.problem.partitions}
+        total_weight = 0.0
+        weighted = 0.0
+        for name, option in self.choices.items():
+            partition = by_name[name]
+            profile = self.problem.profile_for(name, option.scheme)
+            accesses = partition.effective_accesses
+            weighted += accesses * profile.decompression_seconds(
+                partition.read_gb_per_access
+            )
+            total_weight += accesses
+        return weighted / total_weight if total_weight else 0.0
+
+    def latency_violations(self) -> list[str]:
+        """Partitions whose chosen option violates their latency SLA."""
+        return [
+            name for name, option in self.choices.items() if not option.latency_feasible
+        ]
+
+    def is_latency_feasible(self) -> bool:
+        return not self.latency_violations()
+
+    # -- capacity --------------------------------------------------------------------
+    def tier_usage_gb(self) -> list[float]:
+        """On-disk GB stored per tier under this placement."""
+        usage = [0.0] * self.problem.tier_count
+        by_name = {partition.name: partition for partition in self.problem.partitions}
+        for name, option in self.choices.items():
+            usage[option.tier_index] += self.problem.stored_gb(
+                by_name[name], option.scheme
+            )
+        return usage
+
+    def is_capacity_feasible(self, tolerance: float = 1e-9) -> bool:
+        """True if no tier's reserved capacity is exceeded."""
+        usage = self.tier_usage_gb()
+        for tier, used in zip(self.problem.cost_model.tiers, usage):
+            if used > tier.capacity_gb + tolerance:
+                return False
+        return True
+
+    # -- interoperability -----------------------------------------------------------
+    def to_placement(self) -> dict[str, PlacementDecision]:
+        """Convert to the simulator's placement format."""
+        return {
+            name: PlacementDecision(
+                tier_index=option.tier_index,
+                profile=self.problem.profile_for(name, option.scheme),
+            )
+            for name, option in self.choices.items()
+        }
+
+    def summary(self) -> dict[str, float | list[int] | str]:
+        """A compact dictionary used by reports and benchmarks."""
+        breakdown = self.breakdown
+        return {
+            "solver": self.solver,
+            "storage_cost": breakdown.storage,
+            "decompression_cost": breakdown.decompression,
+            "read_cost": breakdown.read,
+            "write_cost": breakdown.write,
+            "total_cost": breakdown.total,
+            "read_latency_s": self.max_read_latency_s(),
+            "expected_decompression_latency_ms": 1000.0
+            * self.expected_decompression_latency_s(),
+            "tier_counts": self.tier_counts(),
+        }

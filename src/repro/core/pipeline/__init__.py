@@ -1,0 +1,14 @@
+"""The SCOPe unified pipeline and the paper's baseline variants (Section VII)."""
+
+from .report import PipelineRow, format_matrix, format_pipeline_table
+from .scope import ScopeConfig, ScopePipeline, ScopeVariant, paper_variant_suite
+
+__all__ = [
+    "PipelineRow",
+    "format_pipeline_table",
+    "format_matrix",
+    "ScopeConfig",
+    "ScopePipeline",
+    "ScopeVariant",
+    "paper_variant_suite",
+]

@@ -1,0 +1,95 @@
+"""Result rows and table formatting for the pipeline experiments (Tables IX-XI).
+
+Each pipeline variant produces one :class:`PipelineRow` with the same columns
+the paper prints: storage / decompression / read / total cost, read latency
+(time to first byte), expected decompression latency, and the tier occupancy
+vector ("Tiering Scheme").  :func:`format_pipeline_table` renders a list of
+rows as an aligned text table for the benchmark harness and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PipelineRow", "format_pipeline_table", "format_matrix"]
+
+
+@dataclass
+class PipelineRow:
+    """One row of a Table IX/X/XI-style comparison."""
+
+    variant: str
+    other_method: str
+    uses_partitioning: bool
+    uses_tiering: bool
+    uses_compression: bool
+    storage_cost: float
+    decompression_cost: float
+    read_cost: float
+    total_cost: float
+    read_latency_s: float
+    expected_decompression_latency_ms: float
+    tier_counts: list[int] = field(default_factory=list)
+    num_partitions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "other_method": self.other_method,
+            "P": self.uses_partitioning,
+            "T": self.uses_tiering,
+            "C": self.uses_compression,
+            "storage_cost": self.storage_cost,
+            "decompression_cost": self.decompression_cost,
+            "read_cost": self.read_cost,
+            "total_cost": self.total_cost,
+            "read_latency_s": self.read_latency_s,
+            "expected_decompression_latency_ms": self.expected_decompression_latency_ms,
+            "tier_counts": list(self.tier_counts),
+            "num_partitions": self.num_partitions,
+        }
+
+
+def _flag(value: bool) -> str:
+    return "Y" if value else "-"
+
+
+def format_pipeline_table(rows: list[PipelineRow], title: str = "") -> str:
+    """Render rows in the paper's column layout as fixed-width text."""
+    header = (
+        f"{'Variant':42s} {'Adapts':18s} {'P':1s} {'T':1s} {'C':1s} "
+        f"{'Storage':>10s} {'Decomp':>8s} {'Read':>10s} {'Total':>10s} "
+        f"{'TTFB(s)':>8s} {'Dec.lat(ms)':>11s}  {'Tiering scheme':s}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.variant:42s} {row.other_method:18s} "
+            f"{_flag(row.uses_partitioning)} {_flag(row.uses_tiering)} {_flag(row.uses_compression)} "
+            f"{row.storage_cost:10.1f} {row.decompression_cost:8.2f} {row.read_cost:10.2f} "
+            f"{row.total_cost:10.1f} {row.read_latency_s:8.3f} "
+            f"{row.expected_decompression_latency_ms:11.3f}  {row.tier_counts}"
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(matrix, row_labels, column_labels, title: str = "") -> str:
+    """Render a small numeric matrix (e.g. a confusion matrix) as text."""
+    width = max(
+        [len(str(label)) for label in column_labels]
+        + [len(f"{value}") for row in matrix for value in row]
+        + [8]
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * 12 + " ".join(f"{str(label):>{width}s}" for label in column_labels))
+    for label, row in zip(row_labels, matrix):
+        lines.append(
+            f"{str(label):12s}" + " ".join(f"{value:>{width}}" for value in row)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,433 @@
+"""SCOPe: the unified pipeline combining G-PART, COMPREDICT and OPTASSIGN (Section VII).
+
+The pipeline mirrors the paper's flow:
+
+1. Query logs are grouped into query families; each family's file footprint
+   becomes an initial partition.
+2. G-PART merges the initial partitions into final partitions (optional —
+   turning it off reproduces the "no partitioning" baselines where whole
+   datasets are the placement units).
+3. COMPREDICT (or ground-truth measurement) provides per-partition compression
+   profiles for the candidate schemes (optional — turning it off reproduces
+   the "no compression" baselines).
+4. OPTASSIGN assigns every partition a tier and a scheme, minimising the
+   weighted cost objective under latency SLAs and optional capacity
+   reservations (restricting the tier catalog to a single tier reproduces the
+   "store on premium" baselines).
+
+Every variant in Tables IX-XI is a :class:`ScopeVariant`; :class:`ScopePipeline`
+prepares the shared state once (file splits, query families, G-PART output,
+partition contents) and then evaluates any number of variants against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...cloud import (
+    CompressionProfile,
+    CostModel,
+    CostWeights,
+    DataPartition,
+    TierCatalog,
+    azure_tier_catalog,
+)
+from ...compression import CodecRegistry, Layout, default_registry, measure_table
+from ...tabular import Table
+from ...workloads.queries import (
+    QueryWorkload,
+    TableFiles,
+    build_query_families,
+    split_table_into_files,
+)
+from ..compredict import CompressionPredictor
+from ..datapart import (
+    FileUniverse,
+    InitialPartition,
+    Merge,
+    MergeConstraints,
+    gpart,
+    partitions_from_query_families,
+)
+from ..optassign import OptAssignProblem, solve_optassign
+from .report import PipelineRow
+
+__all__ = ["ScopeConfig", "ScopeVariant", "ScopePipeline", "paper_variant_suite"]
+
+
+@dataclass(frozen=True)
+class ScopeConfig:
+    """Shared configuration of a pipeline run.
+
+    ``target_total_gb`` rescales the synthetic tables' byte sizes so the cost
+    model sees paper-scale volumes (e.g. 100 GB or 1 TB) while row counts stay
+    laptop-sized; ``None`` keeps the actual serialised sizes.
+    """
+
+    rows_per_file: int = 250
+    duration_months: float = 5.5
+    schemes: tuple[str, ...] = ("gzip", "snappy", "lz4")
+    layout: str = Layout.CSV
+    latency_threshold_s: float = 300.0
+    compute_cost_per_s: float = 0.001
+    target_total_gb: float | None = None
+    include_archive: bool = False
+    include_premium: bool = True
+    capacity_fractions: tuple[float, ...] | None = (0.2, 0.35, 0.6)
+    merge_constraints: MergeConstraints = field(
+        default_factory=lambda: MergeConstraints(frequency_ratio=5.0)
+    )
+    use_predicted_compression: bool = False
+    seed: int = 97
+
+    def __post_init__(self) -> None:
+        if self.rows_per_file <= 0:
+            raise ValueError("rows_per_file must be positive")
+        if self.duration_months <= 0:
+            raise ValueError("duration_months must be positive")
+        if self.latency_threshold_s <= 0:
+            raise ValueError("latency_threshold_s must be positive")
+        if self.target_total_gb is not None and self.target_total_gb <= 0:
+            raise ValueError("target_total_gb must be positive when set")
+
+
+@dataclass(frozen=True)
+class ScopeVariant:
+    """One row of the paper's pipeline comparison tables."""
+
+    name: str
+    other_method: str = "-"
+    use_partitioning: bool = True
+    use_tiering: bool = True
+    use_compression: bool = True
+    weights: CostWeights = field(default_factory=CostWeights)
+    apply_capacity: bool = False
+
+
+def paper_variant_suite() -> list[ScopeVariant]:
+    """The eleven variants of Tables IX-XI, in the paper's row order."""
+    latency_focused = CostWeights(alpha=0.0, beta=1.0, gamma=0.1)
+    read_focused = CostWeights(alpha=0.05, beta=1.0, gamma=0.1)
+    balanced = CostWeights(alpha=1.0, beta=1.0, gamma=1.0)
+    return [
+        ScopeVariant(
+            name="Default (store on premium)",
+            use_partitioning=False, use_tiering=False, use_compression=False,
+        ),
+        ScopeVariant(
+            name="Compress & store on premium", other_method="Ares",
+            use_partitioning=False, use_tiering=False, use_compression=True,
+        ),
+        ScopeVariant(
+            name="Multi-Tiering", other_method="Hermes",
+            use_partitioning=False, use_tiering=True, use_compression=False,
+        ),
+        ScopeVariant(
+            name="Latency time focused", other_method="HCompress",
+            use_partitioning=False, use_tiering=True, use_compression=True,
+            weights=latency_focused,
+        ),
+        ScopeVariant(
+            name="Partition & store on premium",
+            use_partitioning=True, use_tiering=False, use_compression=False,
+        ),
+        ScopeVariant(
+            name="Partitioning + Tiering", other_method="Hermes + G-PART",
+            use_partitioning=True, use_tiering=True, use_compression=False,
+        ),
+        ScopeVariant(
+            name="Partitioning + Compression", other_method="Ares + G-PART",
+            use_partitioning=True, use_tiering=False, use_compression=True,
+        ),
+        ScopeVariant(
+            name="SCOPe (Latency time focused)", other_method="HCompress + G-PART",
+            use_partitioning=True, use_tiering=True, use_compression=True,
+            weights=latency_focused,
+        ),
+        ScopeVariant(
+            name="SCOPe (No capacity constraint)",
+            use_partitioning=True, use_tiering=True, use_compression=True,
+            weights=balanced, apply_capacity=False,
+        ),
+        ScopeVariant(
+            name="SCOPe (Read+Decomp. cost focused)",
+            use_partitioning=True, use_tiering=True, use_compression=True,
+            weights=read_focused,
+        ),
+        ScopeVariant(
+            name="SCOPe (Total cost focused)",
+            use_partitioning=True, use_tiering=True, use_compression=True,
+            weights=balanced, apply_capacity=True,
+        ),
+    ]
+
+
+class ScopePipeline:
+    """Prepares a workload once and evaluates SCOPe variants against it."""
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        workload: QueryWorkload,
+        config: ScopeConfig | None = None,
+        registry: CodecRegistry | None = None,
+    ):
+        if not tables:
+            raise ValueError("at least one table is required")
+        self.tables = dict(tables)
+        self.workload = workload
+        self.config = config or ScopeConfig()
+        self.registry = registry or default_registry()
+        self._prepared = False
+
+    # -- preparation -------------------------------------------------------------
+    def prepare(self) -> "ScopePipeline":
+        """Split tables into files, build query families, run G-PART, cache contents."""
+        config = self.config
+        # 1. File splits, with byte sizes optionally rescaled to the target volume.
+        raw_splits = {
+            name: split_table_into_files(table, config.rows_per_file)
+            for name, table in self.tables.items()
+        }
+        actual_total_gb = sum(split.total_size_gb for split in raw_splits.values())
+        scale = 1.0
+        if config.target_total_gb is not None and actual_total_gb > 0:
+            scale = config.target_total_gb / actual_total_gb
+        self.size_scale = scale
+        self.table_files: dict[str, TableFiles] = {
+            name: split_table_into_files(table, config.rows_per_file, size_scale=scale)
+            for name, table in self.tables.items()
+        }
+
+        # 2. Query families -> initial partitions.
+        self.families = build_query_families(self.table_files, self.workload)
+        if not self.families:
+            raise ValueError("the workload produced no non-empty query families")
+        self.initial_partitions, self.universe = partitions_from_query_families(
+            self.families
+        )
+
+        # 3. G-PART merges (used by the partition-aware variants).  If the
+        #    caller did not fix a span cap, derive one: merges stop growing at
+        #    half the largest table, which keeps hot, selective partitions from
+        #    being folded into whole-table partitions (the paper's S_thresh).
+        constraints = config.merge_constraints
+        if constraints.span_threshold is None:
+            largest_table_records = max(
+                table.num_rows for table in self.tables.values()
+            )
+            constraints = MergeConstraints(
+                frequency_ratio=constraints.frequency_ratio,
+                frequency_diff=constraints.frequency_diff,
+                span_threshold=max(1, largest_table_records // 2),
+                cost_threshold=constraints.cost_threshold,
+            )
+        self.merge_constraints = constraints
+        self.gpart_result = gpart(self.initial_partitions, self.universe, constraints)
+
+        # 4. Per-file row ranges for materialising partition contents.
+        self._file_rows: dict[str, tuple[str, tuple[int, int]]] = {}
+        for table_name, split in self.table_files.items():
+            for block, row_range in zip(split.files, split.row_ranges):
+                self._file_rows[block.file_id] = (table_name, row_range)
+
+        # 5. Dataset-level (unpartitioned) placement units: one per table,
+        #    with the access frequency of every query that touches it.
+        accesses_per_table: dict[str, float] = {name: 0.0 for name in self.tables}
+        for family in self.families:
+            table_name = next(iter(family.file_ids)).split(".f")[0]
+            accesses_per_table[table_name] = (
+                accesses_per_table.get(table_name, 0.0) + family.frequency
+            )
+        self._dataset_accesses = accesses_per_table
+        self._profile_cache: dict[tuple[str, str], CompressionProfile] = {}
+        self._content_cache: dict[frozenset[str], Table] = {}
+        self._predictor: CompressionPredictor | None = None
+        self._prepared = True
+        return self
+
+    def _require_prepared(self) -> None:
+        if not self._prepared:
+            raise RuntimeError("call prepare() before evaluating variants")
+
+    # -- partition construction ---------------------------------------------------
+    def _content_for_files(self, file_ids: frozenset[str]) -> Table:
+        """Materialise the rows of a set of files (all from one table)."""
+        if file_ids in self._content_cache:
+            return self._content_cache[file_ids]
+        tables_hit = {self._file_rows[file_id][0] for file_id in file_ids}
+        if len(tables_hit) != 1:
+            raise ValueError(
+                f"a partition must reference files of a single table, got {tables_hit}"
+            )
+        table_name = tables_hit.pop()
+        table = self.tables[table_name]
+        indices: list[int] = []
+        for file_id in sorted(file_ids):
+            _, (start, stop) = self._file_rows[file_id]
+            indices.extend(range(start, stop))
+        content = table.select_rows(indices, name=f"{table_name}_partition")
+        self._content_cache[file_ids] = content
+        return content
+
+    def _placement_units(self, use_partitioning: bool) -> list[tuple[str, frozenset[str], float]]:
+        """(name, file ids, predicted accesses) for each placement unit.
+
+        With partitioning enabled the units are the G-PART merges plus, per
+        table, a zero-access "remainder" partition holding the files no query
+        family ever touches — data cannot be dropped just because it is cold,
+        so the storage footprint is conserved across variants.
+        """
+        if use_partitioning:
+            units = [
+                (merge.name, merge.file_ids, merge.frequency)
+                for merge in self.gpart_result.merges
+            ]
+            covered: set[str] = set()
+            for merge in self.gpart_result.merges:
+                covered |= merge.file_ids
+            for table_name, split in self.table_files.items():
+                remainder = frozenset(split.file_ids) - covered
+                if remainder:
+                    units.append((f"{table_name}.cold_remainder", frozenset(remainder), 0.0))
+            return units
+        units = []
+        for table_name, split in self.table_files.items():
+            units.append(
+                (
+                    table_name,
+                    frozenset(split.file_ids),
+                    self._dataset_accesses.get(table_name, 0.0),
+                )
+            )
+        return units
+
+    def _profiles_for(
+        self, name: str, file_ids: frozenset[str], use_compression: bool
+    ) -> dict[str, CompressionProfile]:
+        if not use_compression:
+            return {}
+        profiles: dict[str, CompressionProfile] = {}
+        content = self._content_for_files(file_ids)
+        for scheme in self.config.schemes:
+            cache_key = (name, scheme)
+            if cache_key not in self._profile_cache:
+                self._profile_cache[cache_key] = self._measure_or_predict(content, scheme)
+            profiles[scheme] = self._profile_cache[cache_key]
+        return profiles
+
+    def _measure_or_predict(self, content: Table, scheme: str) -> CompressionProfile:
+        if self.config.use_predicted_compression:
+            predictor = self._ensure_predictor()
+            return predictor.predict_profile(content, scheme, self.config.layout)
+        measurement = measure_table(
+            self.registry.create(scheme), content, self.config.layout
+        )
+        return CompressionProfile(
+            scheme=scheme,
+            ratio=max(measurement.ratio, 1.0),
+            decompression_s_per_gb=measurement.decompression_s_per_gb,
+        )
+
+    def _ensure_predictor(self) -> CompressionPredictor:
+        if self._predictor is None:
+            rng = np.random.default_rng(self.config.seed)
+            samples: list[Table] = []
+            for table in self.tables.values():
+                # A handful of random contiguous chunks per table is enough to
+                # fit the on-the-fly predictor used inside the pipeline.
+                for _ in range(8):
+                    if table.num_rows < 20:
+                        samples.append(table)
+                        continue
+                    start = int(rng.integers(0, max(table.num_rows - 20, 1)))
+                    length = int(rng.integers(20, min(200, table.num_rows - start) + 1))
+                    samples.append(table.slice(start, start + length))
+            codecs = [self.registry.create(scheme) for scheme in self.config.schemes]
+            predictor = CompressionPredictor()
+            predictor.fit(samples, codecs, layouts=(self.config.layout,))
+            self._predictor = predictor
+        return self._predictor
+
+    # -- tier catalog / cost model ---------------------------------------------------
+    def _tier_catalog(self, use_tiering: bool, apply_capacity: bool, total_gb: float) -> TierCatalog:
+        catalog = azure_tier_catalog(
+            include_archive=self.config.include_archive,
+            include_premium=self.config.include_premium,
+        )
+        if not use_tiering:
+            return catalog.subset([catalog[0].name])
+        if apply_capacity and self.config.capacity_fractions is not None:
+            fractions = list(self.config.capacity_fractions)
+            capacities = []
+            for index in range(len(catalog)):
+                if index < len(fractions):
+                    capacities.append(max(fractions[index] * total_gb, 1e-9))
+                else:
+                    capacities.append(float("inf"))
+            catalog = catalog.with_capacities(capacities)
+        return catalog
+
+    # -- evaluation -------------------------------------------------------------------
+    def run_variant(self, variant: ScopeVariant) -> PipelineRow:
+        """Evaluate one variant and return its Table IX/X/XI-style row."""
+        self._require_prepared()
+        config = self.config
+        units = self._placement_units(variant.use_partitioning)
+
+        partitions: list[DataPartition] = []
+        profiles: dict[str, dict[str, CompressionProfile]] = {}
+        total_gb = 0.0
+        for name, file_ids, accesses in units:
+            size_gb = self.universe.size_gb_of(file_ids) if variant.use_partitioning else (
+                self.table_files[name].total_size_gb
+            )
+            total_gb += size_gb
+            partitions.append(
+                DataPartition(
+                    name=name,
+                    size_gb=size_gb,
+                    predicted_accesses=accesses,
+                    latency_threshold_s=config.latency_threshold_s,
+                )
+            )
+            profiles[name] = self._profiles_for(name, file_ids, variant.use_compression)
+
+        catalog = self._tier_catalog(
+            variant.use_tiering, variant.apply_capacity, total_gb
+        )
+        cost_model = CostModel(
+            tiers=catalog,
+            compute_cost_per_s=config.compute_cost_per_s,
+            duration_months=config.duration_months,
+            weights=variant.weights,
+        )
+        problem = OptAssignProblem(partitions, cost_model, profiles)
+        report = solve_optassign(problem)
+        assignment = report.assignment
+        breakdown = assignment.breakdown
+        return PipelineRow(
+            variant=variant.name,
+            other_method=variant.other_method,
+            uses_partitioning=variant.use_partitioning,
+            uses_tiering=variant.use_tiering,
+            uses_compression=variant.use_compression,
+            storage_cost=breakdown.storage,
+            decompression_cost=breakdown.decompression,
+            read_cost=breakdown.read + breakdown.write,
+            total_cost=breakdown.total,
+            read_latency_s=assignment.max_read_latency_s(),
+            expected_decompression_latency_ms=1000.0
+            * assignment.expected_decompression_latency_s(),
+            tier_counts=assignment.tier_counts(),
+            num_partitions=len(partitions),
+        )
+
+    def run_suite(self, variants: Sequence[ScopeVariant] | None = None) -> list[PipelineRow]:
+        """Evaluate a list of variants (default: the paper's eleven rows)."""
+        self._require_prepared()
+        variants = list(variants) if variants is not None else paper_variant_suite()
+        return [self.run_variant(variant) for variant in variants]

@@ -1,0 +1,54 @@
+"""Machine-learning substrate: from-scratch models standing in for scikit-learn/XGBoost.
+
+The paper compares Random Forest, XGBoost, SVR, an MLP and a naive averaging
+baseline for compression-performance prediction, and uses a Random Forest for
+optimal-tier prediction.  These are all provided here on top of numpy so the
+reproduction has no unavailable dependencies.
+"""
+
+from .boosting import GradientBoostingRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .linear import AveragingRegressor, RidgeRegressor, SupportVectorRegressor
+from .metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    regression_report,
+    root_mean_squared_error,
+)
+from .mlp import MLPRegressor
+from .model_selection import KFold, out_of_time_split, train_test_split
+from .preprocessing import MinMaxScaler, StandardScaler
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingRegressor",
+    "AveragingRegressor",
+    "RidgeRegressor",
+    "SupportVectorRegressor",
+    "MLPRegressor",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "KFold",
+    "out_of_time_split",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "regression_report",
+]

@@ -1,0 +1,81 @@
+"""Gradient-boosted regression trees (the paper's "XGBoost" stand-in).
+
+Least-squares boosting: each stage fits a shallow CART regression tree to the
+residuals of the current ensemble and is added with a learning-rate shrinkage.
+Optional stochastic subsampling of rows per stage mirrors XGBoost's
+``subsample`` parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over shallow regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeRegressor] = []
+        self._initial_prediction = 0.0
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError("X and y have different lengths")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        self._initial_prediction = float(np.mean(y))
+        current = np.full(len(y), self._initial_prediction)
+        n_samples = len(y)
+        sample_size = max(1, int(round(self.subsample * n_samples)))
+        for _ in range(self.n_estimators):
+            residuals = y - current
+            if self.subsample < 1.0:
+                indices = rng.choice(n_samples, size=sample_size, replace=False)
+            else:
+                indices = np.arange(n_samples)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2 ** 31 - 1)),
+            )
+            tree.fit(X[indices], residuals[indices])
+            self.estimators_.append(tree)
+            current = current + self.learning_rate * tree.predict(X)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("model must be fitted before calling predict")
+        X = np.asarray(X, dtype=float)
+        prediction = np.full(len(X), self._initial_prediction)
+        for tree in self.estimators_:
+            prediction = prediction + self.learning_rate * tree.predict(X)
+        return prediction

@@ -1,0 +1,119 @@
+"""Random forests (bagged CART trees) for regression and classification.
+
+The paper's best-performing predictor for both compression behaviour and
+optimal-tier prediction is a Random Forest; these implementations bootstrap
+the training set and restrict each split to a random feature subset, then
+average (regression) or majority-vote via averaged class probabilities
+(classification).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor", "RandomForestClassifier"]
+
+
+class _BaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list = []
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n_samples = len(X)
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2 ** 31 - 1))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            tree.fit(X[indices], y[indices])
+            self.estimators_.append(tree)
+
+    def _check_fitted(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError("model must be fitted before calling predict")
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bagging ensemble of :class:`DecisionTreeRegressor`, averaged."""
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        self._fit_forest(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bagging ensemble of :class:`DecisionTreeClassifier`; soft voting."""
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._fit_forest(X, y)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        # Trees may have seen different bootstrap label subsets; align their
+        # probability columns onto the forest-wide class list.
+        aggregated = np.zeros((len(X), len(self.classes_)))
+        class_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            for column, label in enumerate(tree.classes_.tolist()):
+                aggregated[:, class_index[label]] += probabilities[:, column]
+        aggregated /= len(self.estimators_)
+        return aggregated
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )

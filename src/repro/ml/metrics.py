@@ -1,0 +1,170 @@
+"""Regression and classification metrics used throughout the paper's tables.
+
+The compression-prediction tables report MAE, MAPE and R²; the tier-prediction
+experiment reports a confusion matrix and an F1 score above 0.96.  All metrics
+accept array-likes and return plain floats (or an ndarray for the confusion
+matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "regression_report",
+]
+
+
+def _as_1d(values) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    return array
+
+
+def _check_lengths(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"y_true and y_pred have different lengths: {len(y_true)} vs {len(y_pred)}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """MAE: mean of |y_true - y_pred|."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred, epsilon: float = 1e-12) -> float:
+    """MAPE in percent: 100 * mean(|y_true - y_pred| / |y_true|).
+
+    Targets with magnitude below ``epsilon`` are clamped to ``epsilon`` to
+    avoid division by zero (compression ratios and decompression speeds are
+    strictly positive in practice).
+    """
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    denominator = np.maximum(np.abs(y_true), epsilon)
+    return float(100.0 * np.mean(np.abs(y_true - y_pred) / denominator))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """MSE: mean of squared errors."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """RMSE: square root of the MSE."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination R².
+
+    Returns 0.0 when the targets are constant and predictions are perfect,
+    and a large negative value when they are constant but mispredicted, which
+    matches scikit-learn's convention closely enough for reporting.
+    """
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    _check_lengths(y_true, y_pred)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if total == 0.0:
+        return 0.0 if residual == 0.0 else -float("inf")
+    return 1.0 - residual / total
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred have different lengths")
+    if len(y_true) == 0:
+        raise ValueError("accuracy is undefined for empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix with rows = true labels, columns = predicted labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred have different lengths")
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    labels = list(labels)
+    index = {label: position for position, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true_label, predicted_label in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[true_label], index[predicted_label]] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true, y_pred, positive_label=1
+) -> tuple[float, float, float]:
+    """Binary precision, recall and F1 for ``positive_label``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred have different lengths")
+    true_positive = int(np.sum((y_true == positive_label) & (y_pred == positive_label)))
+    false_positive = int(np.sum((y_true != positive_label) & (y_pred == positive_label)))
+    false_negative = int(np.sum((y_true == positive_label) & (y_pred != positive_label)))
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if (true_positive + false_positive)
+        else 0.0
+    )
+    recall = (
+        true_positive / (true_positive + false_negative)
+        if (true_positive + false_negative)
+        else 0.0
+    )
+    f1 = (
+        2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    )
+    return float(precision), float(recall), float(f1)
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """F1 score, macro-averaged over classes by default."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()))
+    if average == "macro":
+        scores = [
+            precision_recall_f1(y_true, y_pred, positive_label=label)[2]
+            for label in labels
+        ]
+        return float(np.mean(scores)) if scores else 0.0
+    if average == "binary":
+        if len(labels) > 2:
+            raise ValueError("binary F1 requested but more than two labels present")
+        positive = labels[-1]
+        return precision_recall_f1(y_true, y_pred, positive_label=positive)[2]
+    raise ValueError(f"unknown average {average!r}; expected 'macro' or 'binary'")
+
+
+def regression_report(y_true, y_pred) -> dict[str, float]:
+    """The (MAE, MAPE, R²) triple reported in the paper's prediction tables."""
+    return {
+        "mae": mean_absolute_error(y_true, y_pred),
+        "mape": mean_absolute_percentage_error(y_true, y_pred),
+        "r2": r2_score(y_true, y_pred),
+    }

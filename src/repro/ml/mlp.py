@@ -1,0 +1,139 @@
+"""A small fully-connected neural network regressor (the paper's "MLP"/"Neural Network").
+
+Two ReLU hidden layers trained with Adam on mean squared error, with feature
+standardisation folded in.  This is intentionally modest: the paper's point is
+that an MLP is competitive with, but not better than, the tree ensembles on
+these small tabular prediction problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor:
+    """Feed-forward ReLU network trained with Adam on MSE loss."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (64, 32),
+        learning_rate: float = 0.01,
+        epochs: int = 300,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        random_state: int | None = None,
+    ):
+        if not hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        if any(size < 1 for size in hidden_sizes):
+            raise ValueError("hidden layer sizes must be positive")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: list[np.ndarray] | None = None
+        self._biases: list[np.ndarray] | None = None
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) != len(y):
+            raise ValueError("X and y have different lengths")
+        rng = np.random.default_rng(self.random_state)
+
+        self._x_mean = X.mean(axis=0)
+        x_scale = X.std(axis=0)
+        x_scale[x_scale == 0] = 1.0
+        self._x_scale = x_scale
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        X = (X - self._x_mean) / self._x_scale
+        y = (y - self._y_mean) / self._y_scale
+
+        sizes = [X.shape[1], *self.hidden_sizes, 1]
+        self._weights = [
+            rng.normal(scale=np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+            for fan_in, fan_out in zip(sizes[:-1], sizes[1:])
+        ]
+        self._biases = [np.zeros(fan_out) for fan_out in sizes[1:]]
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n_samples = len(X)
+        batch_size = min(self.batch_size, n_samples)
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch_size):
+                batch = order[start : start + batch_size]
+                grads_w, grads_b = self._gradients(X[batch], y[batch])
+                step += 1
+                for layer in range(len(self._weights)):
+                    grads_w[layer] += self.l2 * self._weights[layer]
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    m_w_hat = m_w[layer] / (1 - beta1 ** step)
+                    v_w_hat = v_w[layer] / (1 - beta2 ** step)
+                    m_b_hat = m_b[layer] / (1 - beta1 ** step)
+                    v_b_hat = v_b[layer] / (1 - beta2 ** step)
+                    self._weights[layer] -= (
+                        self.learning_rate * m_w_hat / (np.sqrt(v_w_hat) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate * m_b_hat / (np.sqrt(v_b_hat) + eps)
+                    )
+        return self
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        activations = [X]
+        pre_activations = []
+        current = X
+        for layer, (weights, biases) in enumerate(zip(self._weights, self._biases)):
+            z = current @ weights + biases
+            pre_activations.append(z)
+            if layer < len(self._weights) - 1:
+                current = np.maximum(z, 0.0)
+            else:
+                current = z
+            activations.append(current)
+        return activations, pre_activations
+
+    def _gradients(self, X: np.ndarray, y: np.ndarray):
+        activations, pre_activations = self._forward(X)
+        batch = len(X)
+        delta = 2.0 * (activations[-1] - y) / batch
+        grads_w = [np.zeros_like(w) for w in self._weights]
+        grads_b = [np.zeros_like(b) for b in self._biases]
+        for layer in reversed(range(len(self._weights))):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * (
+                    pre_activations[layer - 1] > 0
+                )
+        return grads_w, grads_b
+
+    def predict(self, X) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("model must be fitted before calling predict")
+        X = np.asarray(X, dtype=float)
+        X = (X - self._x_mean) / self._x_scale
+        activations, _ = self._forward(X)
+        return activations[-1].reshape(-1) * self._y_scale + self._y_mean

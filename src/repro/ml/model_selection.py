@@ -1,0 +1,102 @@
+"""Dataset splitting utilities: random split, K-fold, and out-of-time split.
+
+The paper emphasises *out-of-time* validation for the tier predictor (train on
+earlier months, test on later ones); :func:`out_of_time_split` implements that
+protocol, while :func:`train_test_split` / :class:`KFold` cover the compression
+prediction experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "out_of_time_split"]
+
+
+def train_test_split(
+    X,
+    y,
+    test_fraction: float = 0.25,
+    random_state: int | None = None,
+    shuffle: bool = True,
+):
+    """Split (X, y) into train and test subsets.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.  At least one sample is
+    always kept on each side (requires at least two samples).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y have different lengths")
+    n_samples = len(X)
+    if n_samples < 2:
+        raise ValueError("need at least two samples to split")
+    n_test = int(round(test_fraction * n_samples))
+    n_test = min(max(n_test, 1), n_samples - 1)
+    indices = np.arange(n_samples)
+    if shuffle:
+        rng = np.random.default_rng(random_state)
+        rng.shuffle(indices)
+    test_indices = indices[:n_test]
+    train_indices = indices[n_test:]
+    return X[train_indices], X[test_indices], y[train_indices], y[test_indices]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_samples = len(X)
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_indices = indices[start : start + size]
+            train_indices = np.concatenate(
+                [indices[:start], indices[start + size :]]
+            )
+            yield train_indices, test_indices
+            start += size
+
+
+def out_of_time_split(
+    timestamps: Sequence[float], test_fraction: float = 0.25
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chronological split: the latest ``test_fraction`` of samples form the test set.
+
+    Returns ``(train_indices, test_indices)``; ties on the cut timestamp go to
+    the test side so the train set never contains data newer than the test set.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    timestamps = np.asarray(timestamps, dtype=float)
+    n_samples = len(timestamps)
+    if n_samples < 2:
+        raise ValueError("need at least two samples to split")
+    order = np.argsort(timestamps, kind="stable")
+    n_test = int(round(test_fraction * n_samples))
+    n_test = min(max(n_test, 1), n_samples - 1)
+    test_indices = order[-n_test:]
+    train_indices = order[:-n_test]
+    return train_indices, test_indices

@@ -1,0 +1,71 @@
+"""Feature scaling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before calling transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before calling inverse_transform")
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.min_ = X.min(axis=0)
+        value_range = X.max(axis=0) - self.min_
+        value_range[value_range == 0] = 1.0
+        self.range_ = value_range
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fitted before calling transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

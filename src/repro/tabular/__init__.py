@@ -1,0 +1,39 @@
+"""Lightweight tabular substrate: typed in-memory tables, layouts and scans.
+
+Stands in for the PostgreSQL / Apache Spark execution engines of the paper:
+SCOPe only needs query-result bytes in row- or column-oriented layouts and
+per-column value statistics, both of which this subpackage provides without
+external dependencies.
+"""
+
+from .columnar import columnar_bytes_to_table, table_to_columnar_bytes
+from .csvio import csv_bytes_to_table, table_to_csv_bytes
+from .generators import (
+    categorical_column,
+    float_column,
+    integer_column,
+    random_strings,
+    random_table,
+    string_column,
+)
+from .scan import Predicate, Query, run_query
+from .table import Column, DataType, Table
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Table",
+    "Predicate",
+    "Query",
+    "run_query",
+    "table_to_csv_bytes",
+    "csv_bytes_to_table",
+    "table_to_columnar_bytes",
+    "columnar_bytes_to_table",
+    "random_table",
+    "random_strings",
+    "categorical_column",
+    "integer_column",
+    "float_column",
+    "string_column",
+]

@@ -1,0 +1,72 @@
+"""Row-oriented (CSV) serialisation of :class:`repro.tabular.Table`.
+
+The paper uses CSV files as the representative row-store layout when studying
+how storage layout affects compression-ratio prediction.  Serialisation here
+is deliberately simple (comma separated, header row, repr-style values) —
+compression codecs only care about the byte stream's redundancy structure.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .table import Column, DataType, Table
+
+__all__ = ["table_to_csv_bytes", "csv_bytes_to_table"]
+
+
+def table_to_csv_bytes(table: Table) -> bytes:
+    """Serialise ``table`` to UTF-8 CSV bytes (header + one line per row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.column_names)
+    for row in table.iter_rows():
+        writer.writerow([_format_value(value) for value in row])
+    return buffer.getvalue().encode("utf-8")
+
+
+def csv_bytes_to_table(
+    payload: bytes, dtypes: dict[str, str] | None = None, name: str = "table"
+) -> Table:
+    """Parse CSV bytes produced by :func:`table_to_csv_bytes` back into a table.
+
+    ``dtypes`` maps column name to a :class:`repro.tabular.DataType` value;
+    columns without an entry are parsed as strings.
+    """
+    text = payload.decode("utf-8")
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV payload") from None
+    dtypes = dtypes or {}
+    columns_data: list[list] = [[] for _ in header]
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(header)}"
+            )
+        for slot, raw, column_name in zip(columns_data, row, header):
+            slot.append(_parse_value(raw, dtypes.get(column_name, DataType.STRING)))
+    columns = [
+        Column(column_name, dtypes.get(column_name, DataType.STRING), values)
+        for column_name, values in zip(header, columns_data)
+    ]
+    return Table(columns, name=name)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _parse_value(raw: str, dtype: str):
+    if dtype == DataType.INT:
+        return int(raw)
+    if dtype == DataType.FLOAT:
+        return float(raw)
+    return raw

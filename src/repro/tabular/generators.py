@@ -1,0 +1,133 @@
+"""Random table generators used by tests and by the synthetic workloads.
+
+All generators accept a ``numpy.random.Generator`` so experiments are
+reproducible, and expose knobs that matter for compression behaviour:
+cardinality of categorical columns (repetition), numeric ranges, string
+lengths and an optional sort column.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+import numpy as np
+
+from .table import Column, DataType, Table
+
+__all__ = [
+    "random_strings",
+    "categorical_column",
+    "integer_column",
+    "float_column",
+    "string_column",
+    "random_table",
+]
+
+_ALPHABET = np.array(list(string.ascii_lowercase + string.digits))
+
+
+def random_strings(
+    rng: np.random.Generator, count: int, length: int = 12
+) -> list[str]:
+    """``count`` random fixed-length lowercase/digit strings."""
+    if count < 0 or length < 0:
+        raise ValueError("count and length must be non-negative")
+    if count == 0:
+        return []
+    letters = rng.choice(_ALPHABET, size=(count, max(length, 1)))
+    return ["".join(row) for row in letters]
+
+
+def categorical_column(
+    rng: np.random.Generator,
+    name: str,
+    num_rows: int,
+    cardinality: int,
+    value_length: int = 10,
+    zipf_exponent: float | None = None,
+) -> Column:
+    """A string column drawn from a fixed vocabulary of ``cardinality`` values.
+
+    With ``zipf_exponent`` set, values are drawn with a Zipf-like skew so a
+    few values dominate (which raises repetition and compressibility).
+    """
+    if cardinality <= 0:
+        raise ValueError("cardinality must be positive")
+    vocabulary = random_strings(rng, cardinality, value_length)
+    if zipf_exponent is None:
+        picks = rng.integers(0, cardinality, size=num_rows)
+    else:
+        weights = 1.0 / np.arange(1, cardinality + 1) ** zipf_exponent
+        weights /= weights.sum()
+        picks = rng.choice(cardinality, size=num_rows, p=weights)
+    return Column(name, DataType.STRING, [vocabulary[i] for i in picks])
+
+
+def integer_column(
+    rng: np.random.Generator, name: str, num_rows: int, low: int = 0, high: int = 10_000
+) -> Column:
+    """A uniform integer column in ``[low, high)``."""
+    if high <= low:
+        raise ValueError("high must exceed low")
+    values = rng.integers(low, high, size=num_rows)
+    return Column(name, DataType.INT, [int(v) for v in values])
+
+
+def float_column(
+    rng: np.random.Generator,
+    name: str,
+    num_rows: int,
+    low: float = 0.0,
+    high: float = 1000.0,
+    decimals: int = 2,
+) -> Column:
+    """A uniform float column in ``[low, high)`` rounded to ``decimals`` places."""
+    if high <= low:
+        raise ValueError("high must exceed low")
+    values = rng.uniform(low, high, size=num_rows)
+    return Column(name, DataType.FLOAT, [round(float(v), decimals) for v in values])
+
+
+def string_column(
+    rng: np.random.Generator, name: str, num_rows: int, length: int = 24
+) -> Column:
+    """A high-entropy string column (every value unique with high probability)."""
+    return Column(name, DataType.STRING, random_strings(rng, num_rows, length))
+
+
+def random_table(
+    rng: np.random.Generator,
+    num_rows: int,
+    name: str = "random",
+    categorical_cardinality: int = 32,
+    num_categorical: int = 2,
+    num_int: int = 2,
+    num_float: int = 1,
+    num_text: int = 1,
+    sort_by: str | None = None,
+) -> Table:
+    """A mixed-type table whose compressibility is controlled by its knobs.
+
+    Lower ``categorical_cardinality`` means more repetition and therefore
+    better compression; ``num_text`` high-entropy columns pull the ratio down.
+    """
+    if num_rows <= 0:
+        raise ValueError("num_rows must be positive")
+    columns: list[Column] = []
+    for index in range(num_categorical):
+        columns.append(
+            categorical_column(
+                rng, f"cat_{index}", num_rows, cardinality=categorical_cardinality
+            )
+        )
+    for index in range(num_int):
+        columns.append(integer_column(rng, f"int_{index}", num_rows))
+    for index in range(num_float):
+        columns.append(float_column(rng, f"float_{index}", num_rows))
+    for index in range(num_text):
+        columns.append(string_column(rng, f"text_{index}", num_rows))
+    table = Table(columns, name=name)
+    if sort_by is not None:
+        table = table.sort_by(sort_by)
+    return table

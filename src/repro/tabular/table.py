@@ -1,0 +1,269 @@
+"""A minimal typed, columnar, in-memory table.
+
+The paper runs TPC-H queries on PostgreSQL and enterprise queries on Spark;
+SCOPe itself only ever sees (a) the bytes of query results / partitions in a
+row-oriented or column-oriented layout and (b) simple per-column statistics
+(datatype, value frequencies) used for the weighted-entropy features.  This
+module provides exactly that: a :class:`Table` of named, typed :class:`Column`
+objects with row selection, projection, concatenation and per-column value
+statistics.  pandas is intentionally not used (it is not available offline).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["DataType", "Column", "Table"]
+
+
+class DataType:
+    """Logical column datatypes understood by the feature extractor."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    ALL = (INT, FLOAT, STRING, DATE)
+
+    @staticmethod
+    def validate(dtype: str) -> str:
+        if dtype not in DataType.ALL:
+            raise ValueError(f"unknown dtype {dtype!r}; expected one of {DataType.ALL}")
+        return dtype
+
+    @staticmethod
+    def infer(value: Any) -> str:
+        """Best-effort datatype inference for a single Python value."""
+        if isinstance(value, bool):
+            return DataType.INT
+        if isinstance(value, int):
+            return DataType.INT
+        if isinstance(value, float):
+            return DataType.FLOAT
+        return DataType.STRING
+
+
+@dataclass
+class Column:
+    """A named, typed sequence of values."""
+
+    name: str
+    dtype: str
+    values: list
+
+    def __post_init__(self) -> None:
+        DataType.validate(self.dtype)
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if not isinstance(self.values, list):
+            self.values = list(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """A new column containing the values at ``indices`` (in that order)."""
+        values = self.values
+        return Column(self.name, self.dtype, [values[i] for i in indices])
+
+    def value_counts(self) -> Counter:
+        """Frequency of each distinct (stringified) value."""
+        return Counter(str(value) for value in self.values)
+
+    def distinct_count(self) -> int:
+        return len(set(str(value) for value in self.values))
+
+
+class Table:
+    """An ordered collection of equal-length :class:`Column` objects."""
+
+    def __init__(self, columns: Sequence[Column], name: str = "table"):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {len(column) for column in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"columns have differing lengths: {sorted(lengths)}")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names: {names}")
+        self.name = name
+        self._columns: list[Column] = list(columns)
+        self._by_name = {column.name: column for column in self._columns}
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[Any]],
+        column_names: Sequence[str],
+        dtypes: Sequence[str] | None = None,
+        name: str = "table",
+    ) -> "Table":
+        """Build a table from a list of row tuples."""
+        if not column_names:
+            raise ValueError("column_names must be non-empty")
+        if dtypes is not None and len(dtypes) != len(column_names):
+            raise ValueError("dtypes must match column_names in length")
+        columns_data: list[list[Any]] = [[] for _ in column_names]
+        for row in rows:
+            if len(row) != len(column_names):
+                raise ValueError(
+                    f"row of width {len(row)} does not match {len(column_names)} columns"
+                )
+            for slot, value in zip(columns_data, row):
+                slot.append(value)
+        if dtypes is None:
+            dtypes = [
+                DataType.infer(values[0]) if values else DataType.STRING
+                for values in columns_data
+            ]
+        columns = [
+            Column(column_name, dtype, values)
+            for column_name, dtype, values in zip(column_names, dtypes, columns_data)
+        ]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        dtypes: Mapping[str, str] | None = None,
+        name: str = "table",
+    ) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        columns = []
+        for column_name, values in data.items():
+            values = list(values)
+            if dtypes and column_name in dtypes:
+                dtype = dtypes[column_name]
+            else:
+                dtype = DataType.infer(values[0]) if values else DataType.STRING
+            columns.append(Column(column_name, dtype, values))
+        return cls(columns, name=name)
+
+    # -- basic accessors ------------------------------------------------------
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self._columns]
+
+    @property
+    def dtypes(self) -> dict[str, str]:
+        return {column.name: column.dtype for column in self._columns}
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._columns[0])
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self._by_name[column_name]
+
+    def __contains__(self, column_name: object) -> bool:
+        return column_name in self._by_name
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, rows={self.num_rows}, "
+            f"columns={self.column_names})"
+        )
+
+    def row(self, index: int) -> tuple:
+        """The values of row ``index`` across all columns."""
+        return tuple(column[index] for column in self._columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    # -- transformations -------------------------------------------------------
+    def select_rows(self, indices: Sequence[int], name: str | None = None) -> "Table":
+        """A new table containing only the rows at ``indices``."""
+        for index in indices:
+            if index < 0 or index >= self.num_rows:
+                raise IndexError(f"row index {index} out of range")
+        return Table(
+            [column.take(indices) for column in self._columns],
+            name=name or self.name,
+        )
+
+    def filter(self, predicate: Callable[[tuple], bool], name: str | None = None) -> "Table":
+        """Rows for which ``predicate(row_tuple)`` is true."""
+        indices = [index for index, row in enumerate(self.iter_rows()) if predicate(row)]
+        return self.select_rows(indices, name=name)
+
+    def project(self, column_names: Sequence[str], name: str | None = None) -> "Table":
+        """A new table containing only ``column_names`` (in that order)."""
+        missing = [c for c in column_names if c not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown columns: {missing}")
+        return Table(
+            [self._by_name[c] for c in column_names], name=name or self.name
+        )
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        n = max(0, min(n, self.num_rows))
+        return self.select_rows(list(range(n)))
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Rows in ``[start, stop)``."""
+        start = max(0, start)
+        stop = min(self.num_rows, stop)
+        if stop < start:
+            stop = start
+        return self.select_rows(list(range(start, stop)))
+
+    def sort_by(self, column_name: str, descending: bool = False) -> "Table":
+        """A new table with rows sorted by ``column_name``."""
+        column = self._by_name[column_name]
+        order = sorted(
+            range(self.num_rows), key=lambda i: column[i], reverse=descending
+        )
+        return self.select_rows(order)
+
+    def concat(self, other: "Table", name: str | None = None) -> "Table":
+        """Vertically stack another table with identical schema."""
+        if self.column_names != other.column_names:
+            raise ValueError("schemas differ: cannot concatenate")
+        columns = [
+            Column(a.name, a.dtype, a.values + b.values)
+            for a, b in zip(self._columns, other._columns)
+        ]
+        return Table(columns, name=name or self.name)
+
+    # -- statistics --------------------------------------------------------------
+    def columns_by_dtype(self) -> dict[str, list[Column]]:
+        """Group the table's columns by their logical datatype."""
+        groups: dict[str, list[Column]] = {}
+        for column in self._columns:
+            groups.setdefault(column.dtype, []).append(column)
+        return groups
+
+    def approx_row_bytes(self) -> float:
+        """Average serialized width of a row in bytes (CSV-style estimate)."""
+        if self.num_rows == 0:
+            return 0.0
+        sample = min(self.num_rows, 256)
+        total = 0
+        for index in range(sample):
+            total += sum(len(str(value)) + 1 for value in self.row(index))
+        return total / sample

@@ -1,0 +1,54 @@
+"""Workload substrate: synthetic TPC-H-like data, query workloads and enterprise logs.
+
+Stands in for the paper's TPC-H dbgen data and the proprietary Adobe
+Experience Platform access logs (see DESIGN.md, substitution table).
+"""
+
+from .access_logs import (
+    AccessPattern,
+    PATTERN_NAMES,
+    generate_monthly_reads,
+    generate_monthly_writes,
+    zipf_dataset_weights,
+)
+from .enterprise import (
+    CUSTOMER_ACCOUNT_PRESETS,
+    EnterpriseCatalogConfig,
+    generate_enterprise_catalog,
+    generate_enterprise_tables,
+)
+from .queries import (
+    QueryFamily,
+    QueryWorkload,
+    TableFiles,
+    build_query_families,
+    generate_tpch_queries,
+    query_footprint,
+    split_table_into_files,
+    zipf_frequencies,
+)
+from .tpch import TPCH_TABLE_NAMES, TpchConfig, TpchDatabase, generate_tpch
+
+__all__ = [
+    "AccessPattern",
+    "PATTERN_NAMES",
+    "generate_monthly_reads",
+    "generate_monthly_writes",
+    "zipf_dataset_weights",
+    "EnterpriseCatalogConfig",
+    "generate_enterprise_catalog",
+    "generate_enterprise_tables",
+    "CUSTOMER_ACCOUNT_PRESETS",
+    "QueryFamily",
+    "QueryWorkload",
+    "TableFiles",
+    "build_query_families",
+    "generate_tpch_queries",
+    "query_footprint",
+    "split_table_into_files",
+    "zipf_frequencies",
+    "TPCH_TABLE_NAMES",
+    "TpchConfig",
+    "TpchDatabase",
+    "generate_tpch",
+]

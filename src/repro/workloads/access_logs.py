@@ -1,0 +1,143 @@
+"""Synthetic enterprise access-log generation (the patterns of Figs. 1 and 2).
+
+The paper's Enterprise Data I experiments rely on historical dataset-level
+access logs with a handful of characteristic shapes:
+
+* **skew** — a few datasets receive most accesses (Fig. 1a);
+* **recency** — access frequency falls with dataset age (Fig. 1b);
+* **decaying** — reads that decline month over month (Fig. 2 top-left);
+* **constant** — a steady trickle of reads (Fig. 2 top-right);
+* **periodic / seasonal** — regular peaks, e.g. year-on-year analysis
+  (Fig. 2 bottom-left);
+* **spike** — a one-time activation burst followed by silence (the marketing
+  use case described in the introduction);
+* **inactive** — ingested once and essentially never read again.
+
+Each generator produces a monthly read-count series; the catalog generator in
+:mod:`repro.workloads.enterprise` combines them with sizes and ages to build
+full :class:`repro.cloud.Dataset` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "AccessPattern",
+    "generate_monthly_reads",
+    "generate_monthly_writes",
+    "zipf_dataset_weights",
+    "PATTERN_NAMES",
+]
+
+
+class AccessPattern:
+    """Names of the qualitative access-trend classes shown in Fig. 2."""
+
+    DECAYING = "decaying"
+    CONSTANT = "constant"
+    PERIODIC = "periodic"
+    SPIKE = "spike"
+    INACTIVE = "inactive"
+
+
+PATTERN_NAMES: tuple[str, ...] = (
+    AccessPattern.DECAYING,
+    AccessPattern.CONSTANT,
+    AccessPattern.PERIODIC,
+    AccessPattern.SPIKE,
+    AccessPattern.INACTIVE,
+)
+
+
+def generate_monthly_reads(
+    rng: np.random.Generator,
+    pattern: str,
+    months: int,
+    base_level: float = 100.0,
+    noise: float = 0.15,
+) -> list[float]:
+    """A monthly read-count series of the requested qualitative shape.
+
+    ``base_level`` sets the overall magnitude (it interacts with the Zipf
+    weights across datasets), ``noise`` adds multiplicative jitter so the
+    series are not perfectly clean.
+    """
+    if months <= 0:
+        raise ValueError("months must be positive")
+    if base_level < 0:
+        raise ValueError("base_level must be non-negative")
+    timeline = np.arange(months, dtype=float)
+
+    if pattern == AccessPattern.DECAYING:
+        # Exponential decay with a half-life of about a quarter of the history.
+        half_life = max(months / 4.0, 1.0)
+        series = base_level * 0.5 ** (timeline / half_life)
+    elif pattern == AccessPattern.CONSTANT:
+        series = np.full(months, base_level)
+    elif pattern == AccessPattern.PERIODIC:
+        # Twelve-month seasonality with a small baseline between peaks.
+        period = 12.0
+        phase = rng.uniform(0, 2 * np.pi)
+        series = base_level * (
+            0.15 + 0.85 * np.maximum(0.0, np.sin(2 * np.pi * timeline / period + phase)) ** 4
+        )
+    elif pattern == AccessPattern.SPIKE:
+        series = np.zeros(months)
+        spike_month = int(rng.integers(0, months))
+        series[spike_month] = base_level * months / 3.0
+        if spike_month + 1 < months:
+            series[spike_month + 1] = base_level
+    elif pattern == AccessPattern.INACTIVE:
+        series = np.zeros(months)
+        if months > 1 and rng.uniform() < 0.3:
+            series[int(rng.integers(0, months))] = rng.uniform(0, 2)
+    else:
+        raise ValueError(
+            f"unknown access pattern {pattern!r}; expected one of {PATTERN_NAMES}"
+        )
+
+    jitter = rng.normal(1.0, noise, size=months)
+    series = np.maximum(series * np.clip(jitter, 0.0, None), 0.0)
+    return [float(round(value, 3)) for value in series]
+
+
+def generate_monthly_writes(
+    rng: np.random.Generator,
+    months: int,
+    ingest_heavy: bool = True,
+    base_level: float = 10.0,
+) -> list[float]:
+    """Monthly write counts: a big ingestion burst followed by incremental updates.
+
+    This mirrors the paper's Fig. 2 bottom-right: writes concentrate around
+    ingestion with a long, low tail of incremental appends.
+    """
+    if months <= 0:
+        raise ValueError("months must be positive")
+    series = np.full(months, base_level * 0.1)
+    if ingest_heavy:
+        series[0] = base_level * 10.0
+    series *= np.clip(rng.normal(1.0, 0.2, size=months), 0.0, None)
+    return [float(round(value, 3)) for value in series]
+
+
+def zipf_dataset_weights(
+    rng: np.random.Generator, num_datasets: int, exponent: float = 1.1
+) -> np.ndarray:
+    """Normalised access weights across datasets (Fig. 1a skew).
+
+    The heaviest datasets get a weight orders of magnitude above the tail;
+    shuffling decorrelates weight from dataset index.
+    """
+    if num_datasets <= 0:
+        raise ValueError("num_datasets must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, num_datasets + 1, dtype=float)
+    weights = 1.0 / ranks ** exponent if exponent > 0 else np.ones(num_datasets)
+    weights /= weights.sum()
+    rng.shuffle(weights)
+    return weights

@@ -1,0 +1,420 @@
+"""Query workload generation: templates, frequencies, and file footprints.
+
+SCOPe is driven by *access logs*, i.e. which files each query touches and how
+often it runs.  This module provides:
+
+* :class:`TableFiles` — a dataset split into fixed-size files (row ranges),
+  which is how data lands in a data lake as ingestion batches;
+* template-based query generation over the TPC-H-like tables (a small library
+  of parameterised predicates mirroring the paper's "20 queries from each of
+  the 22 templates" protocol, shrunk to the synthetic schema);
+* :func:`query_footprint` — the minimal set of files a query must scan, in an
+  attribute-agnostic way (a file is touched if any of its rows satisfies the
+  query), exactly the granularity DATAPART works at;
+* :class:`QueryFamily` — queries that map to the same file set, with an
+  aggregate access frequency, which are DATAPART's *initial partitions*;
+* uniform or Zipf-skewed frequency assignment across queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..cloud import FileBlock
+from ..tabular import Predicate, Query, Table, run_query
+from .tpch import TpchDatabase
+
+__all__ = [
+    "TableFiles",
+    "split_table_into_files",
+    "query_footprint",
+    "QueryFamily",
+    "QueryWorkload",
+    "generate_tpch_queries",
+    "zipf_frequencies",
+    "build_query_families",
+]
+
+_GB = 1024.0 ** 3
+
+
+@dataclass
+class TableFiles:
+    """A table split into contiguous row-range files (ingestion batches)."""
+
+    table: Table
+    files: list[FileBlock]
+    row_ranges: list[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        if len(self.files) != len(self.row_ranges):
+            raise ValueError("files and row_ranges must align")
+
+    @property
+    def file_ids(self) -> list[str]:
+        return [block.file_id for block in self.files]
+
+    @property
+    def total_size_gb(self) -> float:
+        return float(sum(block.size_gb for block in self.files))
+
+    def file_for_row(self, row_index: int) -> str:
+        """File id containing ``row_index``."""
+        for block, (start, stop) in zip(self.files, self.row_ranges):
+            if start <= row_index < stop:
+                return block.file_id
+        raise IndexError(f"row {row_index} outside table of {self.table.num_rows} rows")
+
+    def block_by_id(self, file_id: str) -> FileBlock:
+        for block in self.files:
+            if block.file_id == file_id:
+                return block
+        raise KeyError(f"unknown file id {file_id!r}")
+
+
+def split_table_into_files(
+    table: Table, rows_per_file: int, size_scale: float = 1.0
+) -> TableFiles:
+    """Split ``table`` into files of ``rows_per_file`` consecutive rows.
+
+    ``size_scale`` inflates the per-file GB size so a laptop-scale synthetic
+    table can stand in for a 100 GB or 1 TB dataset: the row *counts* stay
+    small but the cost model sees paper-scale volumes.
+    """
+    if rows_per_file <= 0:
+        raise ValueError("rows_per_file must be positive")
+    if size_scale <= 0:
+        raise ValueError("size_scale must be positive")
+    bytes_per_row = max(table.approx_row_bytes(), 1.0)
+    files: list[FileBlock] = []
+    row_ranges: list[tuple[int, int]] = []
+    index = 0
+    for start in range(0, table.num_rows, rows_per_file):
+        stop = min(start + rows_per_file, table.num_rows)
+        rows = stop - start
+        files.append(
+            FileBlock(
+                file_id=f"{table.name}.f{index:04d}",
+                num_records=rows,
+                size_gb=rows * bytes_per_row * size_scale / _GB,
+            )
+        )
+        row_ranges.append((start, stop))
+        index += 1
+    return TableFiles(table=table, files=files, row_ranges=row_ranges)
+
+
+def query_footprint(table_files: TableFiles, query: Query) -> frozenset[str]:
+    """The set of file ids containing at least one row matched by ``query``.
+
+    This is the attribute-agnostic "minimal set of records to scan" notion
+    the paper uses: the partitioner never looks at which attributes a query
+    reads, only at which files it must open.
+    """
+    table = table_files.table
+    if not query.predicates:
+        return frozenset(table_files.file_ids)
+    columns = {p.column: table[p.column] for p in query.predicates}
+    touched: set[str] = set()
+    for (start, stop), block in zip(table_files.row_ranges, table_files.files):
+        for row in range(start, stop):
+            if all(p.matches(columns[p.column][row]) for p in query.predicates):
+                touched.add(block.file_id)
+                break
+    return frozenset(touched)
+
+
+@dataclass
+class QueryFamily:
+    """All queries that touch the same set of files, with aggregate frequency."""
+
+    name: str
+    file_ids: frozenset[str]
+    frequency: float
+    num_records: int
+    size_gb: float
+    queries: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0:
+            raise ValueError("frequency must be non-negative")
+        if not isinstance(self.file_ids, frozenset):
+            self.file_ids = frozenset(self.file_ids)
+
+
+@dataclass
+class QueryWorkload:
+    """A set of queries with access frequencies over one or more tables."""
+
+    queries: list[Query]
+    frequencies: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.queries) != len(self.frequencies):
+            raise ValueError("queries and frequencies must have the same length")
+        if any(f < 0 for f in self.frequencies):
+            raise ValueError("frequencies must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def total_accesses(self) -> float:
+        return float(sum(self.frequencies))
+
+
+def zipf_frequencies(
+    rng: np.random.Generator,
+    num_queries: int,
+    total_accesses: float,
+    exponent: float = 1.2,
+) -> list[float]:
+    """Zipf-distributed access frequencies summing to ``total_accesses``.
+
+    ``exponent == 0`` degenerates to a uniform workload.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if total_accesses < 0:
+        raise ValueError("total_accesses must be non-negative")
+    ranks = np.arange(1, num_queries + 1, dtype=float)
+    weights = 1.0 / ranks ** exponent if exponent > 0 else np.ones(num_queries)
+    weights /= weights.sum()
+    rng.shuffle(weights)
+    return [float(w * total_accesses) for w in weights]
+
+
+# ---------------------------------------------------------------------------
+# Query templates over the TPC-H-like schema
+# ---------------------------------------------------------------------------
+
+def _date_range(rng: np.random.Generator, months: int = 6) -> tuple[str, str]:
+    year = int(rng.integers(1992, 1999))
+    month = int(rng.integers(1, 13))
+    end_month = month + months
+    end_year = year + (end_month - 1) // 12
+    end_month = (end_month - 1) % 12 + 1
+    return f"{year:04d}-{month:02d}-01", f"{end_year:04d}-{end_month:02d}-28"
+
+
+def _template_library() -> list[Callable[[np.random.Generator, TpchDatabase], Query]]:
+    """22 parameterised templates echoing the flavour of the TPC-H query set."""
+
+    def lineitem_shipdate(rng, db):
+        low, high = _date_range(rng, months=int(rng.integers(3, 13)))
+        return Query("lineitem", (Predicate("l_shipdate", "between", (low, high)),), name="q_shipdate")
+
+    def lineitem_quantity(rng, db):
+        low = int(rng.integers(1, 40))
+        return Query("lineitem", (Predicate("l_quantity", ">=", low),), name="q_quantity")
+
+    def lineitem_discount(rng, db):
+        low = round(float(rng.uniform(0.0, 0.06)), 2)
+        return Query("lineitem", (Predicate("l_discount", "between", (low, low + 0.02)),), name="q_discount")
+
+    def lineitem_returnflag(rng, db):
+        flag = ["A", "N", "R"][int(rng.integers(0, 3))]
+        return Query("lineitem", (Predicate("l_returnflag", "==", flag),), name="q_returnflag")
+
+    def lineitem_shipmode(rng, db):
+        modes = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+        mode = modes[int(rng.integers(0, len(modes)))]
+        return Query("lineitem", (Predicate("l_shipmode", "==", mode),), name="q_shipmode")
+
+    def lineitem_recent(rng, db):
+        low, _ = _date_range(rng, months=1)
+        return Query("lineitem", (Predicate("l_shipdate", ">=", low),), name="q_recent_lineitem")
+
+    def lineitem_order_range(rng, db):
+        n_orders = db["orders"].num_rows
+        start = int(rng.integers(1, max(2, n_orders // 2)))
+        return Query("lineitem", (Predicate("l_orderkey", "between", (start, start + max(1, n_orders // 10))),), name="q_orderkey_range")
+
+    def orders_date(rng, db):
+        low, high = _date_range(rng, months=int(rng.integers(3, 13)))
+        return Query("orders", (Predicate("o_orderdate", "between", (low, high)),), name="q_orderdate")
+
+    def orders_priority(rng, db):
+        priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+        priority = priorities[int(rng.integers(0, len(priorities)))]
+        return Query("orders", (Predicate("o_orderpriority", "==", priority),), name="q_priority")
+
+    def orders_status(rng, db):
+        status = ["F", "O", "P"][int(rng.integers(0, 3))]
+        return Query("orders", (Predicate("o_orderstatus", "==", status),), name="q_status")
+
+    def orders_price(rng, db):
+        low = float(rng.uniform(1_000, 300_000))
+        return Query("orders", (Predicate("o_totalprice", ">=", low),), name="q_totalprice")
+
+    def orders_customer(rng, db):
+        n_customer = db["customer"].num_rows
+        start = int(rng.integers(1, max(2, n_customer // 2)))
+        return Query("orders", (Predicate("o_custkey", "between", (start, start + max(1, n_customer // 20))),), name="q_custrange")
+
+    def customer_segment(rng, db):
+        segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+        segment = segments[int(rng.integers(0, len(segments)))]
+        return Query("customer", (Predicate("c_mktsegment", "==", segment),), name="q_segment")
+
+    def customer_balance(rng, db):
+        low = float(rng.uniform(0, 5_000))
+        return Query("customer", (Predicate("c_acctbal", ">=", low),), name="q_balance")
+
+    def customer_nation(rng, db):
+        n_nation = db["nation"].num_rows
+        nation = int(rng.integers(0, n_nation))
+        return Query("customer", (Predicate("c_nationkey", "==", nation),), name="q_cust_nation")
+
+    def part_size(rng, db):
+        low = int(rng.integers(1, 40))
+        return Query("part", (Predicate("p_size", "between", (low, low + 10)),), name="q_partsize")
+
+    def part_brand(rng, db):
+        brand = f"Brand#{int(rng.integers(1, 6))}{int(rng.integers(1, 6))}"
+        return Query("part", (Predicate("p_brand", "==", brand),), name="q_brand")
+
+    def part_container(rng, db):
+        containers = ["JUMBO BOX", "LG CASE", "MED BAG", "SM PACK", "WRAP DRUM"]
+        container = containers[int(rng.integers(0, len(containers)))]
+        return Query("part", (Predicate("p_container", "==", container),), name="q_container")
+
+    def partsupp_cost(rng, db):
+        low = float(rng.uniform(1, 800))
+        return Query("partsupp", (Predicate("ps_supplycost", "<=", low),), name="q_supplycost")
+
+    def partsupp_qty(rng, db):
+        low = int(rng.integers(1, 8_000))
+        return Query("partsupp", (Predicate("ps_availqty", ">=", low),), name="q_availqty")
+
+    def supplier_balance(rng, db):
+        low = float(rng.uniform(0, 5_000))
+        return Query("supplier", (Predicate("s_acctbal", ">=", low),), name="q_supp_balance")
+
+    def supplier_nation(rng, db):
+        n_nation = db["nation"].num_rows
+        nation = int(rng.integers(0, n_nation))
+        return Query("supplier", (Predicate("s_nationkey", "==", nation),), name="q_supp_nation")
+
+    return [
+        lineitem_shipdate, lineitem_quantity, lineitem_discount, lineitem_returnflag,
+        lineitem_shipmode, lineitem_recent, lineitem_order_range,
+        orders_date, orders_priority, orders_status, orders_price, orders_customer,
+        customer_segment, customer_balance, customer_nation,
+        part_size, part_brand, part_container,
+        partsupp_cost, partsupp_qty,
+        supplier_balance, supplier_nation,
+    ]
+
+
+def generate_tpch_queries(
+    database: TpchDatabase,
+    queries_per_template: int = 20,
+    total_accesses: float = 1_000.0,
+    skew_exponent: float = 0.0,
+    seed: int = 11,
+) -> QueryWorkload:
+    """Generate a workload from the 22 templates (paper: 20 queries per template)."""
+    if queries_per_template <= 0:
+        raise ValueError("queries_per_template must be positive")
+    rng = np.random.default_rng(seed)
+    templates = _template_library()
+    queries: list[Query] = []
+    for template_index, template in enumerate(templates):
+        for instance in range(queries_per_template):
+            query = template(rng, database)
+            queries.append(
+                Query(
+                    table=query.table,
+                    predicates=query.predicates,
+                    projection=query.projection,
+                    name=f"{query.name}_{template_index:02d}_{instance:02d}",
+                )
+            )
+    if skew_exponent > 0:
+        # The enterprise logs show a recency pattern: most accesses go to
+        # queries over recent time windows.  We therefore hand the largest
+        # Zipf weights to the date-range queries (most recent range first) and
+        # the tail to the non-temporal queries, instead of assigning ranks at
+        # random.  This mirrors how skewed analytical workloads concentrate on
+        # fresh data and is what makes access-aware partitioning worthwhile.
+        ranks = np.arange(1, len(queries) + 1, dtype=float)
+        weights = 1.0 / ranks ** skew_exponent
+        weights /= weights.sum()
+        order = sorted(
+            range(len(queries)),
+            key=lambda index: (_recency_rank(queries[index]), rng.uniform()),
+        )
+        frequencies = [0.0] * len(queries)
+        for rank, query_index in enumerate(order):
+            frequencies[query_index] = float(weights[rank] * total_accesses)
+    else:
+        frequencies = [total_accesses / len(queries)] * len(queries)
+    return QueryWorkload(queries=queries, frequencies=frequencies)
+
+
+def _recency_rank(query: Query) -> tuple[int, str]:
+    """Sort key giving date-range queries (most recent first) the lowest ranks."""
+    latest_date = ""
+    for predicate in query.predicates:
+        values = []
+        if isinstance(predicate.value, (tuple, list)):
+            values = [str(v) for v in predicate.value]
+        else:
+            values = [str(predicate.value)]
+        for value in values:
+            if len(value) == 10 and value[4] == "-" and value[7] == "-":
+                latest_date = max(latest_date, value)
+    if latest_date:
+        # Negative ordering on the date string: newer dates sort first.
+        return (0, "".join(chr(255 - ord(c)) for c in latest_date))
+    return (1, "")
+
+
+def build_query_families(
+    table_files: dict[str, TableFiles], workload: QueryWorkload
+) -> list[QueryFamily]:
+    """Group the workload's queries into query families (DATAPART's initial partitions).
+
+    Two queries belong to the same family when they touch exactly the same
+    files.  Queries with an empty footprint (no matching rows) are dropped —
+    they never cause any scan cost.
+    """
+    grouped: dict[tuple[str, frozenset[str]], dict] = {}
+    for query, frequency in zip(workload.queries, workload.frequencies):
+        files = table_files.get(query.table)
+        if files is None:
+            raise KeyError(f"no file split provided for table {query.table!r}")
+        footprint = query_footprint(files, query)
+        if not footprint:
+            continue
+        key = (query.table, footprint)
+        if key not in grouped:
+            blocks = [files.block_by_id(file_id) for file_id in footprint]
+            grouped[key] = {
+                "frequency": 0.0,
+                "queries": [],
+                "num_records": sum(block.num_records for block in blocks),
+                "size_gb": sum(block.size_gb for block in blocks),
+            }
+        grouped[key]["frequency"] += frequency
+        grouped[key]["queries"].append(query.name)
+
+    families = []
+    for index, ((table_name, footprint), info) in enumerate(sorted(
+        grouped.items(), key=lambda item: (item[0][0], sorted(item[0][1]))
+    )):
+        families.append(
+            QueryFamily(
+                name=f"{table_name}.family{index:04d}",
+                file_ids=footprint,
+                frequency=info["frequency"],
+                num_records=info["num_records"],
+                size_gb=info["size_gb"],
+                queries=tuple(info["queries"]),
+            )
+        )
+    return families

@@ -1,0 +1,266 @@
+"""A scaled-down, synthetic TPC-H-like database generator.
+
+The paper evaluates COMPREDICT and the full SCOPe pipeline on TPC-H data at
+1 GB, 100 GB and 1 TB scale (plus a Zipf-skewed variant).  The official dbgen
+tool and the full data volumes are not available here, so this module
+generates the same *schema shape* — the eight TPC-H tables with their
+characteristic mix of keys, low-cardinality flags, dates, numeric measures and
+free-text comments — at a laptop-friendly row count controlled by a scale
+factor.  The quantities SCOPe consumes (bytes per layout, per-column value
+distributions, query footprints) have the same structure as the real thing.
+
+Row counts follow TPC-H's relative proportions (lineitem is by far the
+largest, orders next, and so on); a ``scale`` of 1.0 corresponds to roughly
+sixty thousand synthetic rows across all tables, and the ``skew`` parameter
+switches value generation from uniform to Zipf-like (the paper's "TPC-H Skew"
+variant with skew factor z ≈ 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tabular import Column, DataType, Table
+from ..tabular.generators import random_strings
+
+__all__ = ["TpchConfig", "TpchDatabase", "generate_tpch", "TPCH_TABLE_NAMES"]
+
+#: The eight TPC-H tables, smallest to largest.
+TPCH_TABLE_NAMES: tuple[str, ...] = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+#: Base row counts at scale 1.0 (proportions follow TPC-H; absolute values are
+#: shrunk so the 8 tables total ~60k rows and fit comfortably in memory).
+_BASE_ROWS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 200,
+    "customer": 3_000,
+    "part": 4_000,
+    "partsupp": 8_000,
+    "orders": 15_000,
+    "lineitem": 30_000,
+}
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_ORDER_STATUS = ["F", "O", "P"]
+_RETURN_FLAGS = ["A", "N", "R"]
+_LINE_STATUS = ["F", "O"]
+_CONTAINERS = ["JUMBO BOX", "LG CASE", "MED BAG", "SM PACK", "WRAP DRUM"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Generation parameters for the synthetic TPC-H-like database."""
+
+    scale: float = 1.0
+    skew: float = 0.0
+    seed: int = 7
+    comment_length: int = 24
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+
+    def rows_for(self, table_name: str) -> int:
+        base = _BASE_ROWS[table_name]
+        return max(1, int(round(base * self.scale)))
+
+
+@dataclass
+class TpchDatabase:
+    """The generated tables plus the configuration that produced them."""
+
+    config: TpchConfig
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Table:
+        return self.tables[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self.tables)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(table.num_rows for table in self.tables.values())
+
+
+def _skewed_integers(
+    rng: np.random.Generator, count: int, high: int, skew: float
+) -> np.ndarray:
+    """Integers in [1, high], uniform when skew == 0 and Zipf-like otherwise."""
+    if high < 1:
+        raise ValueError("high must be at least 1")
+    if skew <= 0:
+        return rng.integers(1, high + 1, size=count)
+    ranks = np.arange(1, high + 1, dtype=float)
+    weights = 1.0 / ranks ** skew
+    weights /= weights.sum()
+    return rng.choice(np.arange(1, high + 1), size=count, p=weights)
+
+
+def _dates(rng: np.random.Generator, count: int, skew: float) -> list[str]:
+    """ISO dates in the TPC-H 1992-1998 range (recent dates favoured under skew)."""
+    days_range = 7 * 365
+    if skew <= 0:
+        offsets = rng.integers(0, days_range, size=count)
+    else:
+        # Zipf over "days ago" so recent dates dominate, echoing the recency
+        # pattern of the enterprise logs.
+        offsets = days_range - _skewed_integers(rng, count, days_range, skew)
+    dates = []
+    for offset in offsets:
+        year = 1992 + int(offset) // 365
+        day_of_year = int(offset) % 365
+        month = min(12, day_of_year // 30 + 1)
+        day = min(28, day_of_year % 30 + 1)
+        dates.append(f"{year:04d}-{month:02d}-{day:02d}")
+    return dates
+
+
+def _choice(
+    rng: np.random.Generator, values: list[str], count: int, skew: float
+) -> list[str]:
+    indices = _skewed_integers(rng, count, len(values), skew) - 1
+    return [values[i] for i in indices]
+
+
+def generate_tpch(config: TpchConfig | None = None) -> TpchDatabase:
+    """Generate all eight TPC-H-like tables according to ``config``."""
+    config = config or TpchConfig()
+    rng = np.random.default_rng(config.seed)
+    skew = config.skew
+    comment_length = config.comment_length
+    tables: dict[str, Table] = {}
+
+    n_region = config.rows_for("region")
+    tables["region"] = Table(
+        [
+            Column("r_regionkey", DataType.INT, list(range(n_region))),
+            Column("r_name", DataType.STRING, [_REGIONS[i % len(_REGIONS)] for i in range(n_region)]),
+            Column("r_comment", DataType.STRING, random_strings(rng, n_region, comment_length)),
+        ],
+        name="region",
+    )
+
+    n_nation = config.rows_for("nation")
+    tables["nation"] = Table(
+        [
+            Column("n_nationkey", DataType.INT, list(range(n_nation))),
+            Column("n_name", DataType.STRING, random_strings(rng, n_nation, 10)),
+            Column("n_regionkey", DataType.INT, [int(v) for v in rng.integers(0, n_region, size=n_nation)]),
+            Column("n_comment", DataType.STRING, random_strings(rng, n_nation, comment_length)),
+        ],
+        name="nation",
+    )
+
+    n_supplier = config.rows_for("supplier")
+    tables["supplier"] = Table(
+        [
+            Column("s_suppkey", DataType.INT, list(range(1, n_supplier + 1))),
+            Column("s_name", DataType.STRING, [f"Supplier#{i:09d}" for i in range(1, n_supplier + 1)]),
+            Column("s_nationkey", DataType.INT, [int(v) for v in rng.integers(0, n_nation, size=n_supplier)]),
+            Column("s_acctbal", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(-999, 9999, size=n_supplier)]),
+            Column("s_comment", DataType.STRING, random_strings(rng, n_supplier, comment_length)),
+        ],
+        name="supplier",
+    )
+
+    n_customer = config.rows_for("customer")
+    tables["customer"] = Table(
+        [
+            Column("c_custkey", DataType.INT, list(range(1, n_customer + 1))),
+            Column("c_name", DataType.STRING, [f"Customer#{i:09d}" for i in range(1, n_customer + 1)]),
+            Column("c_nationkey", DataType.INT, [int(v) for v in rng.integers(0, n_nation, size=n_customer)]),
+            Column("c_mktsegment", DataType.STRING, _choice(rng, _SEGMENTS, n_customer, skew)),
+            Column("c_acctbal", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(-999, 9999, size=n_customer)]),
+            Column("c_comment", DataType.STRING, random_strings(rng, n_customer, comment_length)),
+        ],
+        name="customer",
+    )
+
+    n_part = config.rows_for("part")
+    tables["part"] = Table(
+        [
+            Column("p_partkey", DataType.INT, list(range(1, n_part + 1))),
+            Column("p_name", DataType.STRING, random_strings(rng, n_part, 18)),
+            Column("p_brand", DataType.STRING, _choice(rng, _BRANDS, n_part, skew)),
+            Column("p_container", DataType.STRING, _choice(rng, _CONTAINERS, n_part, skew)),
+            Column("p_size", DataType.INT, [int(v) for v in _skewed_integers(rng, n_part, 50, skew)]),
+            Column("p_retailprice", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(900, 2100, size=n_part)]),
+            Column("p_comment", DataType.STRING, random_strings(rng, n_part, comment_length // 2)),
+        ],
+        name="part",
+    )
+
+    n_partsupp = config.rows_for("partsupp")
+    tables["partsupp"] = Table(
+        [
+            Column("ps_partkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_partsupp, n_part, skew)]),
+            Column("ps_suppkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_partsupp, n_supplier, skew)]),
+            Column("ps_availqty", DataType.INT, [int(v) for v in rng.integers(1, 10_000, size=n_partsupp)]),
+            Column("ps_supplycost", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(1, 1000, size=n_partsupp)]),
+            Column("ps_comment", DataType.STRING, random_strings(rng, n_partsupp, comment_length)),
+        ],
+        name="partsupp",
+    )
+
+    # The two fact tables are stored ordered by their date column, the way
+    # event data lands in a data lake (ingestion batches are time-ordered).
+    # This is what makes date-range query footprints map to contiguous subsets
+    # of files, which DATAPART exploits.
+    n_orders = config.rows_for("orders")
+    order_keys = list(range(1, n_orders + 1))
+    tables["orders"] = Table(
+        [
+            Column("o_orderkey", DataType.INT, order_keys),
+            Column("o_custkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_orders, n_customer, skew)]),
+            Column("o_orderstatus", DataType.STRING, _choice(rng, _ORDER_STATUS, n_orders, skew)),
+            Column("o_totalprice", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(850, 480_000, size=n_orders)]),
+            Column("o_orderdate", DataType.STRING, _dates(rng, n_orders, skew)),
+            Column("o_orderpriority", DataType.STRING, _choice(rng, _PRIORITIES, n_orders, skew)),
+            Column("o_comment", DataType.STRING, random_strings(rng, n_orders, comment_length)),
+        ],
+        name="orders",
+    ).sort_by("o_orderdate")
+
+    n_lineitem = config.rows_for("lineitem")
+    tables["lineitem"] = Table(
+        [
+            Column("l_orderkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_lineitem, n_orders, skew)]),
+            Column("l_partkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_lineitem, n_part, skew)]),
+            Column("l_suppkey", DataType.INT, [int(v) for v in _skewed_integers(rng, n_lineitem, n_supplier, skew)]),
+            Column("l_quantity", DataType.INT, [int(v) for v in rng.integers(1, 51, size=n_lineitem)]),
+            Column("l_extendedprice", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(900, 105_000, size=n_lineitem)]),
+            Column("l_discount", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(0.0, 0.1, size=n_lineitem)]),
+            Column("l_tax", DataType.FLOAT, [round(float(v), 2) for v in rng.uniform(0.0, 0.08, size=n_lineitem)]),
+            Column("l_returnflag", DataType.STRING, _choice(rng, _RETURN_FLAGS, n_lineitem, skew)),
+            Column("l_linestatus", DataType.STRING, _choice(rng, _LINE_STATUS, n_lineitem, skew)),
+            Column("l_shipdate", DataType.STRING, _dates(rng, n_lineitem, skew)),
+            Column("l_shipmode", DataType.STRING, _choice(rng, _SHIP_MODES, n_lineitem, skew)),
+            Column("l_comment", DataType.STRING, random_strings(rng, n_lineitem, comment_length // 2)),
+        ],
+        name="lineitem",
+    ).sort_by("l_shipdate")
+
+    return TpchDatabase(config=config, tables=tables)

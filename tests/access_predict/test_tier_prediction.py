@@ -1,0 +1,182 @@
+"""Tests for tier-prediction features, labelling, the classifier and rule baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import Dataset, DatasetCatalog
+from repro.core.access_predict import (
+    TierFeatureBuilder,
+    TierPredictor,
+    ideal_tier_labels,
+    percent_benefit_vs_baseline,
+    placement_cost,
+    rule_all_hot,
+    rule_hot_if_recent,
+    rule_previous_optimal,
+    split_history,
+)
+
+
+@pytest.fixture
+def small_catalog():
+    """A hand-built catalog with clearly hot and clearly cold datasets."""
+    datasets = [
+        # 400 reads/month: at Azure's per-GB prices the read-cost difference
+        # between hot and cool dwarfs the storage saving, so hot is optimal.
+        Dataset("hot_ds", 10.0, 0, [400.0] * 12, [1.0] * 12, current_tier=0),
+        Dataset("cold_ds", 5000.0, 0, [0.0] * 12, [1.0] * 12, current_tier=0),
+        Dataset("young_ds", 20.0, 10, [3.0, 2.0], [1.0, 1.0], current_tier=0),
+        Dataset("decay_ds", 800.0, 0, [40.0, 20.0, 10.0, 5.0, 2.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], [1.0] * 12, current_tier=0),
+    ]
+    return DatasetCatalog(datasets)
+
+
+class TestSplitHistory:
+    def test_split_lengths(self):
+        dataset = Dataset("d", 1.0, 0, [1.0, 2.0, 3.0, 4.0], [0.0] * 4)
+        split = split_history(dataset, horizon_months=2)
+        assert split.history_reads == (1.0, 2.0)
+        assert split.future_reads == (3.0, 4.0)
+        assert split.future_read_total == pytest.approx(7.0)
+
+    def test_young_dataset_has_empty_history(self):
+        dataset = Dataset("d", 1.0, 0, [1.0], [0.0])
+        split = split_history(dataset, horizon_months=6)
+        assert split.history_reads == ()
+        assert split.future_reads == (1.0,)
+
+    def test_invalid_horizon(self):
+        dataset = Dataset("d", 1.0, 0, [1.0], [0.0])
+        with pytest.raises(ValueError):
+            split_history(dataset, horizon_months=0)
+
+
+class TestFeatureBuilder:
+    def test_feature_vector_layout(self, small_catalog):
+        builder = TierFeatureBuilder(lookback_months=3)
+        matrix, splits = builder.build_matrix(small_catalog, horizon_months=2)
+        assert matrix.shape == (len(small_catalog), len(builder.feature_names))
+        assert len(splits) == len(small_catalog)
+        # First feature is size, second is history length in months.
+        assert matrix[0, 0] == pytest.approx(10.0)
+        assert matrix[0, 1] == pytest.approx(10.0)
+
+    def test_lag_features_use_most_recent_history(self):
+        dataset = Dataset("d", 1.0, 0, [1.0, 2.0, 3.0, 9.0, 8.0], [0.0] * 5)
+        builder = TierFeatureBuilder(lookback_months=2)
+        split = split_history(dataset, horizon_months=2)
+        features = builder.features_for(dataset, split)
+        names = builder.feature_names
+        assert features[names.index("reads_lag_1")] == pytest.approx(3.0)
+        assert features[names.index("reads_lag_2")] == pytest.approx(2.0)
+
+    def test_invalid_lookback(self):
+        with pytest.raises(ValueError):
+            TierFeatureBuilder(lookback_months=0)
+
+
+class TestLabeling:
+    def test_ideal_tiers_separate_hot_from_cold(self, small_catalog, hotcool_cost_model):
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(small_catalog, horizon_months=2)
+        labels = ideal_tier_labels(small_catalog, splits, hotcool_cost_model)
+        by_name = dict(zip(small_catalog.names, labels))
+        assert by_name["hot_ds"] == 0      # heavily read -> hot
+        assert by_name["cold_ds"] == 1     # never read -> cool
+        assert by_name["decay_ds"] == 1    # no longer read -> cool
+
+    def test_placement_cost_matches_manual_sum(self, small_catalog, hotcool_cost_model):
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(small_catalog, horizon_months=2)
+        all_hot = [0] * len(small_catalog)
+        cost = placement_cost(small_catalog, splits, all_hot, hotcool_cost_model)
+        storage_only = sum(
+            hotcool_cost_model.tiers[0].storage_cost_for(d.size_gb, 6.0) for d in small_catalog
+        )
+        assert cost.storage == pytest.approx(storage_only)
+
+    def test_percent_benefit_positive_for_ideal_tiers(self, small_catalog, hotcool_cost_model):
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(small_catalog, horizon_months=2)
+        labels = ideal_tier_labels(small_catalog, splits, hotcool_cost_model)
+        benefit = percent_benefit_vs_baseline(
+            small_catalog, splits, labels, hotcool_cost_model, baseline_tier=0
+        )
+        assert benefit > 0.0
+
+    def test_split_count_mismatch_rejected(self, small_catalog, hotcool_cost_model):
+        with pytest.raises(ValueError):
+            ideal_tier_labels(small_catalog, [], hotcool_cost_model)
+
+
+class TestTierPredictor:
+    def test_high_f1_on_synthetic_enterprise_catalog(self, enterprise_catalog, hotcool_cost_model):
+        """The paper reports F1 > 0.96; the synthetic catalog should also be
+        highly predictable (we assert a slightly looser bound for robustness)."""
+        catalog, _ = enterprise_catalog
+        horizon = 2
+        builder = TierFeatureBuilder(lookback_months=4)
+        features, splits = builder.build_matrix(catalog, horizon_months=horizon)
+        labels = ideal_tier_labels(catalog, splits, hotcool_cost_model)
+        rng = np.random.default_rng(0)
+        indices = rng.permutation(len(catalog))
+        train, test = indices[: int(0.7 * len(indices))], indices[int(0.7 * len(indices)) :]
+        predictor = TierPredictor(feature_builder=builder).fit(
+            features[train], [labels[i] for i in train]
+        )
+        report = predictor.evaluate(features[test], [labels[i] for i in test])
+        assert report.f1_macro > 0.8
+        assert report.confusion.sum() == len(test)
+        assert report.confusion.trace() >= 0.8 * len(test)
+
+    def test_fit_and_predict_catalog_convenience(self, small_catalog, hotcool_cost_model):
+        predictor = TierPredictor().fit_catalog(small_catalog, 2, hotcool_cost_model)
+        placement = predictor.predict_catalog(small_catalog, 2)
+        assert set(placement) == set(small_catalog.names)
+        assert all(tier in (0, 1) for tier in placement.values())
+
+    def test_predict_before_fit(self, small_catalog):
+        with pytest.raises(RuntimeError):
+            TierPredictor().predict(np.zeros((1, 16)))
+
+
+class TestRuleBaselines:
+    def test_rule_all_hot(self, small_catalog):
+        placement = rule_all_hot(small_catalog)
+        assert set(placement.values()) == {0}
+
+    def test_rule_hot_if_recent(self, small_catalog):
+        placement = rule_hot_if_recent(small_catalog, horizon_months=2, recency_months=2)
+        assert placement["hot_ds"] == 0
+        assert placement["cold_ds"] == 1
+        assert placement["decay_ds"] == 1  # last reads happened long ago
+
+    def test_rule_previous_optimal(self, small_catalog, hotcool_cost_model):
+        placement = rule_previous_optimal(
+            small_catalog, horizon_months=2, previous_window_months=2,
+            cost_model=hotcool_cost_model,
+        )
+        assert placement["cold_ds"] == 1
+        assert placement["hot_ds"] == 0
+
+    def test_optassign_with_known_access_beats_rules(self, enterprise_catalog, hotcool_cost_model):
+        """Table IV shape: OPTASSIGN with known future accesses beats every rule."""
+        catalog, _ = enterprise_catalog
+        horizon = 2
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(catalog, horizon_months=horizon)
+        labels = ideal_tier_labels(catalog, splits, hotcool_cost_model)
+
+        def benefit(placement):
+            return percent_benefit_vs_baseline(
+                catalog, splits, placement, hotcool_cost_model, baseline_tier=0
+            )
+
+        optassign_benefit = benefit(labels)
+        recent_benefit = benefit(rule_hot_if_recent(catalog, horizon, recency_months=2))
+        previous_benefit = benefit(
+            rule_previous_optimal(catalog, horizon, previous_window_months=1, cost_model=hotcool_cost_model)
+        )
+        assert optassign_benefit >= recent_benefit - 1e-9
+        assert optassign_benefit >= 0.0
+        assert optassign_benefit >= previous_benefit - 1e-9

@@ -1,0 +1,203 @@
+"""Tests for the cost model (Eq. 1 arithmetic) and cost breakdowns."""
+
+import math
+
+import pytest
+
+from repro.cloud import (
+    CompressionProfile,
+    CostBreakdown,
+    CostModel,
+    CostWeights,
+    DataPartition,
+    NO_COMPRESSION_PROFILE,
+    StorageTier,
+    TierCatalog,
+    azure_tier_catalog,
+)
+
+
+def two_tier_model(duration=1.0, weights=None, compute=0.001):
+    catalog = TierCatalog(
+        [
+            StorageTier("hot", storage_cost=2.0, read_cost=0.01, write_cost=0.01, latency_s=0.05),
+            StorageTier("cool", storage_cost=1.0, read_cost=0.05, write_cost=0.01, latency_s=0.05),
+        ]
+    )
+    return CostModel(catalog, compute_cost_per_s=compute, duration_months=duration, weights=weights)
+
+
+class TestCompressionProfile:
+    def test_compressed_size(self):
+        profile = CompressionProfile("gzip", ratio=4.0, decompression_s_per_gb=2.0)
+        assert profile.compressed_gb(8.0) == pytest.approx(2.0)
+
+    def test_decompression_seconds(self):
+        profile = CompressionProfile("gzip", ratio=4.0, decompression_s_per_gb=2.0)
+        assert profile.decompression_seconds(3.0) == pytest.approx(6.0)
+
+    def test_identity_profile(self):
+        assert NO_COMPRESSION_PROFILE.ratio == 1.0
+        assert NO_COMPRESSION_PROFILE.decompression_s_per_gb == 0.0
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionProfile("gzip", ratio=0.0, decompression_s_per_gb=0.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionProfile("gzip", ratio=2.0, decompression_s_per_gb=-1.0)
+
+
+class TestCostBreakdown:
+    def test_total_sums_components(self):
+        breakdown = CostBreakdown(storage=1.0, read=2.0, write=3.0, decompression=4.0)
+        assert breakdown.total == pytest.approx(10.0)
+
+    def test_addition(self):
+        a = CostBreakdown(storage=1.0, read=1.0)
+        b = CostBreakdown(write=2.0, decompression=3.0)
+        combined = a + b
+        assert combined.total == pytest.approx(7.0)
+        a += b
+        assert a.total == pytest.approx(7.0)
+
+    def test_scaled(self):
+        breakdown = CostBreakdown(storage=2.0, read=4.0).scaled(0.5)
+        assert breakdown.storage == 1.0 and breakdown.read == 2.0
+
+    def test_as_dict_and_approx_equals(self):
+        breakdown = CostBreakdown(storage=1.0)
+        assert breakdown.as_dict()["total"] == pytest.approx(1.0)
+        assert breakdown.approx_equals(CostBreakdown(storage=1.0 + 1e-9))
+        assert not breakdown.approx_equals(CostBreakdown(storage=2.0))
+
+
+class TestCostWeights:
+    def test_defaults_are_unit(self):
+        weights = CostWeights()
+        assert (weights.alpha, weights.beta, weights.gamma) == (1.0, 1.0, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(alpha=-1.0)
+
+
+class TestCostModel:
+    def test_storage_and_write_costs_for_new_data(self):
+        model = two_tier_model(duration=2.0)
+        partition = DataPartition("p", size_gb=10.0, predicted_accesses=0.0)
+        breakdown = model.placement_breakdown(partition, 0)
+        # Storage: 2 cents/GB/month * 10 GB * 2 months; write: 0.01 * 10 GB.
+        assert breakdown.storage == pytest.approx(40.0)
+        assert breakdown.write == pytest.approx(0.1)
+        assert breakdown.read == 0.0
+        assert breakdown.decompression == 0.0
+
+    def test_read_and_decompression_costs(self):
+        model = two_tier_model(compute=0.002)
+        profile = CompressionProfile("gzip", ratio=2.0, decompression_s_per_gb=5.0)
+        partition = DataPartition("p", size_gb=10.0, predicted_accesses=4.0)
+        breakdown = model.placement_breakdown(partition, 1, profile)
+        # Read: 0.05 cents/GB * (10/2) GB * 4 accesses = 1.0
+        assert breakdown.read == pytest.approx(1.0)
+        # Decompression: 0.002 cents/s * 5 s/GB * 10 GB * 4 accesses = 0.4
+        assert breakdown.decompression == pytest.approx(0.4)
+        # Storage shrinks by the compression ratio.
+        assert breakdown.storage == pytest.approx(1.0 * 5.0 * 2.0 / 2.0 * 1.0)
+
+    def test_compression_reduces_storage_and_read(self):
+        model = two_tier_model()
+        partition = DataPartition("p", size_gb=10.0, predicted_accesses=5.0)
+        uncompressed = model.placement_breakdown(partition, 0)
+        compressed = model.placement_breakdown(
+            partition, 0, CompressionProfile("gzip", ratio=4.0, decompression_s_per_gb=1.0)
+        )
+        assert compressed.storage < uncompressed.storage
+        assert compressed.read < uncompressed.read
+        assert compressed.decompression > 0.0
+
+    def test_existing_partition_pays_move_cost_only_when_moving(self):
+        model = two_tier_model()
+        partition = DataPartition("p", size_gb=10.0, predicted_accesses=0.0, current_tier=0)
+        stay = model.placement_breakdown(partition, 0)
+        move = model.placement_breakdown(partition, 1)
+        assert stay.write == 0.0
+        assert move.write > 0.0
+
+    def test_pushdown_fraction_reduces_access_costs(self):
+        model = two_tier_model()
+        base = DataPartition("p", size_gb=10.0, predicted_accesses=10.0)
+        pushdown = DataPartition(
+            "q", size_gb=10.0, predicted_accesses=10.0, pushdown_fraction=0.5
+        )
+        assert (
+            model.placement_breakdown(pushdown, 0).read
+            == pytest.approx(model.placement_breakdown(base, 0).read * 0.5)
+        )
+
+    def test_objective_applies_weights(self):
+        weights = CostWeights(alpha=0.0, beta=1.0, gamma=0.0)
+        model = two_tier_model(weights=weights)
+        partition = DataPartition("p", size_gb=10.0, predicted_accesses=5.0)
+        breakdown = model.placement_breakdown(partition, 0)
+        assert model.placement_objective(partition, 0) == pytest.approx(
+            breakdown.read + breakdown.decompression
+        )
+
+    def test_latency_is_decompression_plus_ttfb(self):
+        model = two_tier_model()
+        profile = CompressionProfile("gzip", ratio=2.0, decompression_s_per_gb=0.5)
+        partition = DataPartition("p", size_gb=4.0, predicted_accesses=1.0)
+        assert model.access_latency_s(partition, 0, profile) == pytest.approx(
+            0.5 * 4.0 + 0.05
+        )
+
+    def test_latency_feasibility(self):
+        model = CostModel(azure_tier_catalog(), duration_months=1.0)
+        partition = DataPartition("p", size_gb=1.0, predicted_accesses=1.0, latency_threshold_s=1.0)
+        assert model.is_latency_feasible(partition, 0)
+        archive = model.tiers.index_of("archive")
+        assert not model.is_latency_feasible(partition, archive)
+
+    def test_codec_pinning(self):
+        model = two_tier_model()
+        pinned = DataPartition(
+            "p", size_gb=1.0, predicted_accesses=1.0, current_tier=0, current_codec="gzip"
+        )
+        free = DataPartition("q", size_gb=1.0, predicted_accesses=1.0)
+        assert model.is_codec_allowed(pinned, "gzip")
+        assert not model.is_codec_allowed(pinned, "snappy")
+        assert model.is_codec_allowed(free, "snappy")
+
+    def test_assignment_breakdown_sums_partitions(self):
+        model = two_tier_model()
+        partitions = [
+            DataPartition("a", size_gb=1.0, predicted_accesses=1.0),
+            DataPartition("b", size_gb=2.0, predicted_accesses=2.0),
+        ]
+        placement = {
+            "a": (0, NO_COMPRESSION_PROFILE),
+            "b": (1, NO_COMPRESSION_PROFILE),
+        }
+        total = model.assignment_breakdown(partitions, placement)
+        expected = (
+            model.placement_breakdown(partitions[0], 0).total
+            + model.placement_breakdown(partitions[1], 1).total
+        )
+        assert total.total == pytest.approx(expected)
+
+    def test_with_weights_and_duration_return_copies(self):
+        model = two_tier_model()
+        other = model.with_weights(CostWeights(alpha=0.0)).with_duration(12.0)
+        assert other.weights.alpha == 0.0
+        assert other.duration_months == 12.0
+        assert model.weights.alpha == 1.0
+        assert model.duration_months == 1.0
+
+    def test_invalid_constructor_arguments(self):
+        catalog = azure_tier_catalog()
+        with pytest.raises(ValueError):
+            CostModel(catalog, compute_cost_per_s=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(catalog, duration_months=0.0)

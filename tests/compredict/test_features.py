@@ -1,0 +1,124 @@
+"""Tests for weighted-entropy features and the feature extractor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.compredict import (
+    FEATURE_SETS,
+    FeatureExtractor,
+    bucketed_weighted_entropy,
+    weighted_entropy,
+    weighted_entropy_by_dtype,
+)
+from repro.tabular import Column, DataType, Table, random_table
+
+
+class TestWeightedEntropy:
+    def test_empty_collection_is_zero(self):
+        assert weighted_entropy([]) == 0.0
+
+    def test_single_repeated_value_is_zero(self):
+        assert weighted_entropy(["aaa"] * 100) == 0.0
+
+    def test_matches_formula_on_two_values(self):
+        # Two distinct values of length 2, probabilities 0.75 / 0.25.
+        values = ["ab"] * 3 + ["cd"]
+        expected = -(2 * 0.75 * math.log(0.75) + 2 * 0.25 * math.log(0.25))
+        assert weighted_entropy(values) == pytest.approx(expected)
+
+    def test_more_repetition_means_lower_entropy(self):
+        repetitive = ["x" * 8] * 90 + ["y" * 8] * 10
+        diverse = [f"value_{i:03d}" for i in range(100)]
+        assert weighted_entropy(repetitive) < weighted_entropy(diverse)
+
+    def test_longer_strings_weigh_more(self):
+        short = ["a", "b"] * 50
+        long = ["a" * 20, "b" * 20] * 50
+        assert weighted_entropy(long) > weighted_entropy(short)
+
+
+class TestWeightedEntropyByDtype:
+    def test_one_feature_per_datatype(self):
+        table = Table(
+            [
+                Column("i", DataType.INT, [1, 1, 2]),
+                Column("s", DataType.STRING, ["a", "b", "c"]),
+                Column("f", DataType.FLOAT, [0.5, 0.5, 0.5]),
+            ]
+        )
+        features = weighted_entropy_by_dtype(table)
+        assert set(features) == {DataType.INT, DataType.STRING, DataType.FLOAT}
+        assert features[DataType.FLOAT] == pytest.approx(0.0)
+        assert features[DataType.STRING] > 0.0
+
+    def test_columns_of_same_dtype_are_pooled(self):
+        table = Table(
+            [
+                Column("s1", DataType.STRING, ["a"] * 10),
+                Column("s2", DataType.STRING, ["b"] * 10),
+            ]
+        )
+        # Pooled over both columns the values are a 50/50 mix, so entropy > 0.
+        assert weighted_entropy_by_dtype(table)[DataType.STRING] > 0.0
+
+
+class TestBucketedEntropy:
+    def test_bucket_count(self, small_table):
+        buckets = bucketed_weighted_entropy(small_table, num_buckets=5)
+        for series in buckets.values():
+            assert len(series) == 5
+
+    def test_sorted_data_has_lower_bucket_entropy(self):
+        rng = np.random.default_rng(4)
+        table = random_table(rng, 500, categorical_cardinality=10, num_text=0)
+        sorted_table = table.sort_by("cat_0")
+        unsorted_buckets = bucketed_weighted_entropy(table, 5)[DataType.STRING]
+        sorted_buckets = bucketed_weighted_entropy(sorted_table, 5)[DataType.STRING]
+        assert sum(sorted_buckets) < sum(unsorted_buckets)
+
+    def test_invalid_bucket_count(self, small_table):
+        with pytest.raises(ValueError):
+            bucketed_weighted_entropy(small_table, num_buckets=0)
+
+
+class TestFeatureExtractor:
+    def test_feature_sets_and_vector_lengths(self, small_table):
+        for feature_set in FEATURE_SETS:
+            extractor = FeatureExtractor(feature_set=feature_set)
+            vector = extractor.extract(small_table)
+            assert len(vector) == len(extractor.feature_names)
+            assert np.all(np.isfinite(vector))
+
+    def test_size_features_are_prefix_of_entropy_features(self, small_table):
+        size_only = FeatureExtractor(feature_set="size").extract(small_table)
+        with_entropy = FeatureExtractor(feature_set="weighted_entropy").extract(small_table)
+        assert np.allclose(size_only, with_entropy[:2])
+        assert len(with_entropy) > len(size_only)
+
+    def test_extract_many_stacks_rows(self, small_table):
+        extractor = FeatureExtractor()
+        matrix = extractor.extract_many([small_table, small_table.head(50)])
+        assert matrix.shape == (2, len(extractor.feature_names))
+
+    def test_extract_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor().extract_many([])
+
+    def test_unknown_feature_set_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(feature_set="tfidf")
+
+    def test_entropy_feature_tracks_repetitiveness(self):
+        """The core paper claim: entropy features separate compressible from not."""
+        rng = np.random.default_rng(8)
+        repetitive = random_table(rng, 400, categorical_cardinality=4, num_text=0)
+        diverse = random_table(rng, 400, categorical_cardinality=400, num_text=2)
+        extractor = FeatureExtractor(feature_set="weighted_entropy")
+        names = extractor.feature_names
+        string_index = names.index("entropy_string")
+        assert (
+            extractor.extract(repetitive)[string_index]
+            < extractor.extract(diverse)[string_index]
+        )

@@ -1,0 +1,146 @@
+"""Tests for sample construction, ground-truth labelling and the compression predictor."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CompressionProfile
+from repro.compression import GzipCodec, Layout, SnappyLikeCodec, default_registry
+from repro.core.compredict import (
+    CompressionPredictor,
+    FeatureExtractor,
+    label_samples,
+    query_result_samples,
+    random_row_samples,
+    sample_statistics,
+    targets_matrix,
+)
+from repro.ml import AveragingRegressor, RandomForestRegressor
+from repro.tabular import Predicate, Query, random_table
+
+
+@pytest.fixture(scope="module")
+def source_table():
+    return random_table(np.random.default_rng(21), 800, name="source", categorical_cardinality=12)
+
+
+@pytest.fixture(scope="module")
+def training_samples(source_table):
+    rng = np.random.default_rng(22)
+    return random_row_samples(source_table, rng, num_samples=30, rows_per_sample=(40, 300))
+
+
+class TestSampling:
+    def test_random_row_samples_sizes(self, source_table):
+        rng = np.random.default_rng(1)
+        samples = random_row_samples(source_table, rng, num_samples=10, rows_per_sample=(20, 50))
+        assert len(samples) == 10
+        assert all(20 <= sample.num_rows <= 50 for sample in samples)
+        assert all(sample.column_names == source_table.column_names for sample in samples)
+
+    def test_random_row_samples_validation(self, source_table):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            random_row_samples(source_table, rng, num_samples=0)
+        with pytest.raises(ValueError):
+            random_row_samples(source_table, rng, num_samples=1, rows_per_sample=(10, 5))
+
+    def test_query_result_samples_filter_by_table_and_size(self, source_table):
+        queries = [
+            Query("source", (Predicate("int_0", ">=", 5000),), name="big"),
+            Query("other_table", (), name="ignored"),
+            Query("source", (Predicate("int_0", ">", 10 ** 9),), name="empty"),
+        ]
+        samples = query_result_samples(source_table, queries, min_rows=5)
+        assert len(samples) == 1
+        assert samples[0].num_rows >= 5
+
+    def test_query_result_samples_max_cap(self, source_table):
+        queries = [
+            Query("source", (Predicate("int_0", ">=", threshold),), name=f"q{threshold}")
+            for threshold in (1000, 2000, 3000, 4000)
+        ]
+        samples = query_result_samples(source_table, queries, max_samples=2)
+        assert len(samples) == 2
+
+    def test_sample_statistics(self, training_samples):
+        stats = sample_statistics(training_samples)
+        assert stats["count"] == len(training_samples)
+        assert stats["min_rows"] <= stats["mean_rows"] <= stats["max_rows"]
+        assert sample_statistics([])["count"] == 0
+
+
+class TestGroundTruth:
+    def test_label_samples_produces_valid_targets(self, training_samples):
+        labeled = label_samples(training_samples[:5], GzipCodec(), Layout.CSV)
+        ratios, speeds = targets_matrix(labeled)
+        assert np.all(ratios > 1.0)
+        assert np.all(speeds > 0.0)
+        assert all(sample.scheme == "gzip" for sample in labeled)
+
+    def test_label_samples_empty_rejected(self):
+        with pytest.raises(ValueError):
+            label_samples([], GzipCodec())
+        with pytest.raises(ValueError):
+            targets_matrix([])
+
+
+class TestCompressionPredictor:
+    def test_fit_predict_profile_bounds(self, training_samples):
+        predictor = CompressionPredictor()
+        predictor.fit(training_samples, [GzipCodec(), SnappyLikeCodec()], layouts=(Layout.CSV,))
+        profile = predictor.predict_profile(training_samples[0], "gzip", Layout.CSV)
+        assert isinstance(profile, CompressionProfile)
+        assert profile.ratio >= 1.0
+        assert profile.decompression_s_per_gb >= 0.0
+        assert len(predictor.trained_combinations) == 2
+
+    def test_prediction_accuracy_on_held_out_samples(self, source_table, training_samples):
+        """Random-forest predictions land close to the measured ratios (Table VI flavour)."""
+        predictor = CompressionPredictor(
+            model_factory=lambda: RandomForestRegressor(n_estimators=30, random_state=1)
+        )
+        train = training_samples[:22]
+        held_out = training_samples[22:]
+        labeled_train = label_samples(train, GzipCodec(), Layout.CSV)
+        labeled_test = label_samples(held_out, GzipCodec(), Layout.CSV)
+        predictor.fit_labeled(labeled_train, "gzip", Layout.CSV)
+        quality = predictor.evaluate(labeled_test, "gzip", Layout.CSV)
+        assert quality.ratio_metrics["mape"] < 20.0
+
+    def test_forest_beats_averaging_baseline(self, training_samples):
+        """The paper's model ranking: a learned model beats naive averaging."""
+        labeled = label_samples(training_samples, GzipCodec(), Layout.CSV)
+        train, test = labeled[:22], labeled[22:]
+        forest = CompressionPredictor().fit_labeled(train, "gzip", Layout.CSV)
+        averaging = CompressionPredictor(
+            model_factory=AveragingRegressor
+        ).fit_labeled(train, "gzip", Layout.CSV)
+        forest_quality = forest.evaluate(test, "gzip", Layout.CSV)
+        averaging_quality = averaging.evaluate(test, "gzip", Layout.CSV)
+        assert (
+            forest_quality.ratio_metrics["mae"] <= averaging_quality.ratio_metrics["mae"]
+        )
+
+    def test_predict_profiles_bulk_shape(self, training_samples):
+        predictor = CompressionPredictor()
+        predictor.fit(training_samples, [GzipCodec()], layouts=(Layout.CSV,))
+        tables = {"a": training_samples[0], "b": training_samples[1]}
+        profiles = predictor.predict_profiles(tables, ["gzip"], Layout.CSV)
+        assert set(profiles) == {"a", "b"}
+        assert set(profiles["a"]) == {"gzip"}
+
+    def test_untrained_combination_raises(self, training_samples):
+        predictor = CompressionPredictor()
+        predictor.fit(training_samples[:5], [GzipCodec()], layouts=(Layout.CSV,))
+        with pytest.raises(KeyError):
+            predictor.predict_profile(training_samples[0], "lz4", Layout.CSV)
+
+    def test_fit_labeled_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPredictor().fit_labeled([], "gzip", Layout.CSV)
+
+    def test_custom_feature_extractor_supported(self, training_samples):
+        predictor = CompressionPredictor(feature_extractor=FeatureExtractor(feature_set="size"))
+        predictor.fit(training_samples[:10], [GzipCodec()], layouts=(Layout.CSV,))
+        profile = predictor.predict_profile(training_samples[0], "gzip", Layout.CSV)
+        assert profile.ratio >= 1.0

@@ -1,0 +1,121 @@
+"""Tests for the codec registry, scheme/layout labels and compression measurement."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    GzipCodec,
+    Layout,
+    PAPER_SCHEME_LAYOUTS,
+    PAPER_SCHEMES,
+    SchemeLayout,
+    default_registry,
+    measure_compression,
+    measure_table,
+)
+from repro.tabular import random_table
+
+
+class TestLayout:
+    def test_serialize_both_layouts(self, small_table):
+        csv_bytes = Layout.serialize(small_table, Layout.CSV)
+        columnar_bytes = Layout.serialize(small_table, Layout.PARQUET)
+        assert csv_bytes != columnar_bytes
+        assert len(csv_bytes) > 0 and len(columnar_bytes) > 0
+
+    def test_unknown_layout_rejected(self, small_table):
+        with pytest.raises(ValueError):
+            Layout.serialize(small_table, "orc")
+
+
+class TestSchemeLayout:
+    def test_labels_match_paper_convention(self):
+        assert SchemeLayout("gzip", Layout.CSV).label == "gzip"
+        assert SchemeLayout("gzip", Layout.PARQUET).label == "parquet + gzip"
+
+    def test_paper_constants(self):
+        assert PAPER_SCHEMES == ("gzip", "snappy", "lz4")
+        assert len(PAPER_SCHEME_LAYOUTS) == 5
+
+
+class TestRegistry:
+    def test_contains_all_paper_schemes_plus_none(self):
+        registry = default_registry()
+        for scheme in ("none", "gzip", "zlib", "bz2", "lzma", "snappy", "lz4"):
+            assert scheme in registry
+
+    def test_create_returns_fresh_instances(self):
+        registry = default_registry()
+        assert registry.create("gzip") is not registry.create("gzip")
+
+    def test_create_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            default_registry().create("zstd")
+
+    def test_create_all_subset(self):
+        codecs = default_registry().create_all(["gzip", "lz4"])
+        assert set(codecs) == {"gzip", "lz4"}
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.register("gzip", GzipCodec)
+
+
+class TestMeasurement:
+    def test_measurement_fields(self, small_table):
+        measurement = measure_table(GzipCodec(), small_table, Layout.CSV)
+        assert measurement.scheme == "gzip"
+        assert measurement.layout == Layout.CSV
+        assert measurement.uncompressed_bytes > measurement.compressed_bytes
+        assert measurement.ratio > 1.0
+        assert measurement.decompression_s_per_gb > 0.0
+        assert measurement.compression_s_per_gb > 0.0
+
+    def test_identity_measurement(self):
+        registry = default_registry()
+        measurement = measure_compression(registry.create("none"), b"hello world" * 100)
+        assert measurement.ratio == pytest.approx(1.0)
+
+    def test_corrupted_codec_detected(self):
+        class BrokenCodec(GzipCodec):
+            name = "broken"
+
+            def decompress(self, payload):
+                return b"wrong"
+
+        with pytest.raises(ValueError):
+            measure_compression(BrokenCodec(), b"payload" * 50)
+
+    def test_empty_payload_measurement(self):
+        measurement = measure_compression(GzipCodec(), b"")
+        assert measurement.decompression_s_per_gb == 0.0
+
+    def test_native_speedup_scales_reported_speed(self, small_table):
+        """The snappy substitute reports calibrated (faster) per-GB decompression."""
+        registry = default_registry()
+        snappy = measure_table(registry.create("snappy"), small_table, Layout.CSV)
+        assert snappy.native_speedup > 1.0
+        raw_s_per_gb = snappy.decompress_seconds * (1024.0 ** 3) / snappy.uncompressed_bytes
+        assert snappy.decompression_s_per_gb < raw_s_per_gb
+
+    def test_repetitive_table_compresses_better_than_unique(self):
+        rng = np.random.default_rng(11)
+        repetitive = random_table(rng, 400, categorical_cardinality=4, num_text=0)
+        unique = random_table(rng, 400, categorical_cardinality=400, num_text=3)
+        gzip = GzipCodec()
+        assert (
+            measure_table(gzip, repetitive, Layout.CSV).ratio
+            > measure_table(gzip, unique, Layout.CSV).ratio
+        )
+
+    def test_parquet_layout_compresses_categorical_data_better(self):
+        rng = np.random.default_rng(12)
+        table = random_table(rng, 500, categorical_cardinality=6, num_text=0)
+        gzip = GzipCodec()
+        csv_ratio = measure_table(gzip, table, Layout.CSV).ratio
+        parquet_size = len(Layout.serialize(table, Layout.PARQUET))
+        csv_size = len(Layout.serialize(table, Layout.CSV))
+        # The columnar layout is already smaller on disk before compression.
+        assert parquet_size < csv_size
+        assert csv_ratio > 1.0

@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the synthetic TPC-H database, query workloads, the
+enterprise catalog) are session-scoped so the several hundred tests that use
+them pay the generation cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import CostModel, DataPartition, azure_tier_catalog
+from repro.tabular import random_table
+from repro.workloads import (
+    EnterpriseCatalogConfig,
+    TpchConfig,
+    generate_enterprise_catalog,
+    generate_tpch,
+    generate_tpch_queries,
+    split_table_into_files,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A small TPC-H-like database (scale 0.05, uniform values)."""
+    return generate_tpch(TpchConfig(scale=0.05, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tpch_workload(tpch_db):
+    """A Zipf-skewed workload of 2 queries per template over the small database."""
+    return generate_tpch_queries(
+        tpch_db, queries_per_template=2, total_accesses=500.0, skew_exponent=1.1, seed=8
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_table_files(tpch_db):
+    """File splits (100 rows per file) for every table of the small database."""
+    return {
+        name: split_table_into_files(tpch_db[name], rows_per_file=100)
+        for name in tpch_db.table_names
+    }
+
+
+@pytest.fixture(scope="session")
+def enterprise_catalog():
+    """A small enterprise catalog (80 datasets, 12 months of history)."""
+    config = EnterpriseCatalogConfig(
+        num_datasets=80,
+        total_size_gb=50_000.0,
+        history_months=12,
+        seed=21,
+        total_monthly_accesses=5_000.0,
+    )
+    return generate_enterprise_catalog(config)
+
+
+@pytest.fixture(scope="session")
+def small_table():
+    """A 400-row mixed-type table used by compression and feature tests."""
+    generator = np.random.default_rng(99)
+    return random_table(generator, 400, name="small", categorical_cardinality=16)
+
+
+@pytest.fixture
+def hotcool_cost_model() -> CostModel:
+    """Hot/cool cost model over a 6-month horizon (enterprise experiments)."""
+    catalog = azure_tier_catalog(include_archive=False, include_premium=False)
+    return CostModel(catalog, duration_months=6.0)
+
+
+@pytest.fixture
+def full_cost_model() -> CostModel:
+    """Premium/hot/cool/archive cost model over the paper's 5.5-month horizon."""
+    catalog = azure_tier_catalog()
+    return CostModel(catalog, duration_months=5.5)
+
+
+@pytest.fixture
+def sample_partitions() -> list[DataPartition]:
+    """A handful of partitions with diverse sizes, access counts and SLAs."""
+    return [
+        DataPartition("hot_small", size_gb=5.0, predicted_accesses=500.0, latency_threshold_s=1.0),
+        DataPartition("hot_large", size_gb=500.0, predicted_accesses=200.0, latency_threshold_s=1.0),
+        DataPartition("warm", size_gb=50.0, predicted_accesses=10.0, latency_threshold_s=10.0),
+        DataPartition("cold_large", size_gb=2000.0, predicted_accesses=0.5, latency_threshold_s=7200.0),
+        DataPartition("frozen", size_gb=800.0, predicted_accesses=0.0, latency_threshold_s=7200.0),
+    ]

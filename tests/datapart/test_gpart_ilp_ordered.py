@@ -1,0 +1,298 @@
+"""Tests for G-PART, the MERGEPARTITIONS ILP and the ordered (time-series) DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datapart import (
+    FileUniverse,
+    InitialPartition,
+    Merge,
+    MergeConstraints,
+    MergeIlpInfeasibleError,
+    duplication_ratio,
+    enumerate_candidate_merges,
+    gpart,
+    solve_merge_ilp,
+    solve_ordered_approx,
+    solve_ordered_dp,
+)
+
+
+@pytest.fixture
+def universe():
+    return FileUniverse({f"f{i}": 100 for i in range(12)})
+
+
+def partition(name, files, frequency, universe=None):
+    return InitialPartition(name, frozenset(files), frequency)
+
+
+class TestGPart:
+    def test_identical_footprints_merge(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1"}, 10.0),
+            partition("b", {"f0", "f1"}, 12.0),
+            partition("c", {"f5"}, 11.0),
+        ]
+        result = gpart(partitions, universe, MergeConstraints(frequency_ratio=2.0))
+        merged_members = {merge.members for merge in result.merges}
+        assert ("a", "b") in merged_members or ("b", "a") in merged_members
+        assert result.num_initial == 3
+        assert result.num_merge_operations >= 1
+
+    def test_every_initial_partition_is_covered(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1"}, 5.0),
+            partition("b", {"f1", "f2"}, 6.0),
+            partition("c", {"f3"}, 100.0),
+            partition("d", {"f9"}, 0.5),
+        ]
+        result = gpart(partitions, universe)
+        covered = set()
+        for merge in result.merges:
+            covered.update(merge.members)
+        assert covered == {"a", "b", "c", "d"}
+
+    def test_highest_overlap_merged_first(self, universe):
+        partitions = [
+            partition("near1", {"f0", "f1", "f2"}, 10.0),
+            partition("near2", {"f0", "f1", "f3"}, 10.0),
+            partition("far", {"f2", "f9"}, 10.0),
+        ]
+        result = gpart(partitions, universe)
+        for merge in result.merges:
+            if "near1" in merge.members:
+                assert "near2" in merge.members
+                break
+        else:
+            pytest.fail("near1 not covered")
+
+    def test_frequency_constraint_blocks_merging(self, universe):
+        partitions = [
+            partition("hot", {"f0", "f1"}, 1000.0),
+            partition("cold", {"f0", "f1"}, 1.0),
+        ]
+        constrained = gpart(partitions, universe, MergeConstraints(frequency_ratio=2.0))
+        assert constrained.num_final == 2
+        permissive = gpart(partitions, universe, MergeConstraints(frequency_ratio=10_000.0))
+        assert permissive.num_final == 1
+
+    def test_span_threshold_stops_growth(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1"}, 10.0),
+            partition("b", {"f1", "f2"}, 10.0),
+            partition("c", {"f2", "f3"}, 10.0),
+            partition("d", {"f3", "f4"}, 10.0),
+        ]
+        unlimited = gpart(partitions, universe, MergeConstraints(frequency_ratio=4.0))
+        capped = gpart(
+            partitions, universe,
+            MergeConstraints(frequency_ratio=4.0, span_threshold=300),
+        )
+        assert max(merge.span for merge in capped.merges) <= max(
+            merge.span for merge in unlimited.merges
+        )
+        assert capped.num_final >= unlimited.num_final
+
+    def test_gpart_reduces_span_versus_no_merging(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1", "f2"}, 10.0),
+            partition("b", {"f1", "f2", "f3"}, 11.0),
+            partition("c", {"f2", "f3", "f4"}, 12.0),
+        ]
+        no_merge_span = sum(p.span(universe) for p in partitions)
+        result = gpart(partitions, universe)
+        assert result.total_span < no_merge_span
+
+    def test_gpart_tradeoff_between_extremes(self, universe):
+        """Fig. 7 shape: G-PART sits between no-merging and merge-everything."""
+        rng = np.random.default_rng(3)
+        partitions = []
+        for index in range(8):
+            files = {f"f{i}" for i in rng.choice(12, size=4, replace=False)}
+            partitions.append(partition(f"q{index}", files, float(rng.uniform(5, 15))))
+        result = gpart(partitions, universe, MergeConstraints(frequency_ratio=3.0))
+        no_merge = [Merge.of([p], universe) for p in partitions]
+        merge_all = [Merge.of(partitions, universe)]
+        dup_none = duplication_ratio(no_merge, universe)
+        dup_gpart = duplication_ratio(result.merges, universe)
+        dup_all = duplication_ratio(merge_all, universe)
+        cost_none = sum(m.cost for m in no_merge)
+        cost_gpart = result.total_cost
+        cost_all = sum(m.cost for m in merge_all)
+        assert dup_all <= dup_gpart <= dup_none + 1e-9
+        assert cost_none <= cost_gpart + 1e-9 <= cost_all + 1e-9
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            gpart([], universe)
+        duplicated = [partition("p", {"f0"}, 1.0), partition("p", {"f1"}, 1.0)]
+        with pytest.raises(ValueError):
+            gpart(duplicated, universe)
+
+
+class TestMergeIlp:
+    def test_exhaustive_ilp_is_at_least_as_good_as_gpart(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1"}, 4.0),
+            partition("b", {"f1", "f2"}, 5.0),
+            partition("c", {"f2", "f3"}, 6.0),
+            partition("d", {"f7"}, 5.0),
+        ]
+        constraints = MergeConstraints(frequency_ratio=3.0)
+        gpart_result = gpart(partitions, universe, constraints)
+        candidates = enumerate_candidate_merges(
+            partitions, universe, constraints, max_merge_size=len(partitions),
+            extra_merges=gpart_result.merges,
+        )
+        ilp_result = solve_merge_ilp(partitions, candidates, cost_threshold=None)
+        assert ilp_result.total_span <= gpart_result.total_span + 1e-9
+
+    def test_cost_threshold_is_respected(self, universe):
+        partitions = [
+            partition("a", {"f0", "f1"}, 4.0),
+            partition("b", {"f1", "f2"}, 5.0),
+        ]
+        candidates = enumerate_candidate_merges(partitions, universe, max_merge_size=2)
+        generous = solve_merge_ilp(partitions, candidates, cost_threshold=10_000.0)
+        assert generous.total_cost <= 10_000.0
+        singleton_cost = sum(Merge.of([p], universe).cost for p in partitions)
+        tight = solve_merge_ilp(partitions, candidates, cost_threshold=singleton_cost)
+        assert tight.total_cost <= singleton_cost + 1e-9
+
+    def test_infeasible_budget_raises(self, universe):
+        partitions = [partition("a", {"f0"}, 10.0)]
+        candidates = enumerate_candidate_merges(partitions, universe)
+        with pytest.raises(MergeIlpInfeasibleError):
+            solve_merge_ilp(partitions, candidates, cost_threshold=1.0)
+
+    def test_candidates_must_cover_all_partitions(self, universe):
+        partitions = [partition("a", {"f0"}, 1.0), partition("b", {"f1"}, 1.0)]
+        only_a = [Merge.of([partitions[0]], universe)]
+        with pytest.raises(MergeIlpInfeasibleError):
+            solve_merge_ilp(partitions, only_a, cost_threshold=None)
+
+    def test_candidate_enumeration_respects_feasibility(self, universe):
+        partitions = [
+            partition("hot", {"f0", "f1"}, 1000.0),
+            partition("cold", {"f1", "f2"}, 1.0),
+        ]
+        candidates = enumerate_candidate_merges(
+            partitions, universe, MergeConstraints(frequency_ratio=2.0), max_merge_size=2
+        )
+        assert all(len(merge.members) == 1 for merge in candidates)
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            enumerate_candidate_merges([], universe)
+        with pytest.raises(ValueError):
+            solve_merge_ilp([], [], cost_threshold=None)
+
+
+class TestOrderedDp:
+    def ordered_partitions(self):
+        # Time-ordered query footprints over consecutive, overlapping file windows.
+        return [
+            partition("t0", {"f0", "f1"}, 4.0),
+            partition("t1", {"f1", "f2"}, 4.0),
+            partition("t2", {"f2", "f3"}, 4.0),
+            partition("t3", {"f3", "f4"}, 4.0),
+        ]
+
+    def test_unlimited_budget_merges_everything(self, universe):
+        partitions = self.ordered_partitions()
+        result = solve_ordered_dp(partitions, universe, cost_threshold=10 ** 9, cost_unit=1.0)
+        assert result.num_final == 1
+        assert result.total_span == 500  # f0..f4 stored once
+
+    def test_tight_budget_keeps_singletons(self, universe):
+        partitions = self.ordered_partitions()
+        singleton_cost = sum(Merge.of([p], universe).cost for p in partitions)
+        result = solve_ordered_dp(
+            partitions, universe, cost_threshold=singleton_cost, cost_unit=1.0
+        )
+        assert result.total_cost <= singleton_cost + 1e-9
+        assert result.num_final >= 1
+
+    def test_budget_interpolates_between_extremes(self, universe):
+        partitions = self.ordered_partitions()
+        all_merged = solve_ordered_dp(partitions, universe, 10 ** 9).total_span
+        singleton_cost = sum(Merge.of([p], universe).cost for p in partitions)
+        tight = solve_ordered_dp(partitions, universe, singleton_cost)
+        middle = solve_ordered_dp(partitions, universe, singleton_cost * 1.5)
+        assert all_merged <= middle.total_span <= tight.total_span
+
+    def test_infeasible_budget_raises(self, universe):
+        partitions = self.ordered_partitions()
+        with pytest.raises(ValueError):
+            solve_ordered_dp(partitions, universe, cost_threshold=10.0, cost_unit=1.0)
+
+    def test_dp_segmentation_covers_every_partition_once(self, universe):
+        partitions = self.ordered_partitions()
+        result = solve_ordered_dp(partitions, universe, cost_threshold=10 ** 6)
+        members = [name for merge in result.merges for name in merge.members]
+        assert members == [p.name for p in partitions]
+
+    def test_dp_is_optimal_versus_exhaustive_ilp(self, universe):
+        """Theorem 5 cross-check: the DP matches the exact ILP on contiguous candidates."""
+        partitions = self.ordered_partitions()
+        singleton_cost = sum(Merge.of([p], universe).cost for p in partitions)
+        budget = singleton_cost * 1.4
+        # Candidate set = every contiguous run (what the ordered DP optimises over).
+        candidates = []
+        for start in range(len(partitions)):
+            for stop in range(start + 1, len(partitions) + 1):
+                candidates.append(Merge.of(partitions[start:stop], universe))
+        ilp = solve_merge_ilp(partitions, candidates, cost_threshold=budget)
+        dp = solve_ordered_dp(partitions, universe, cost_threshold=budget, cost_unit=1.0)
+        assert dp.total_span == pytest.approx(ilp.total_span)
+
+    def test_approximation_space_never_worse_than_exact(self, universe):
+        partitions = self.ordered_partitions()
+        singleton_cost = sum(Merge.of([p], universe).cost for p in partitions)
+        budget = singleton_cost * 1.3
+        exact = solve_ordered_dp(partitions, universe, budget, cost_unit=1.0)
+        approx = solve_ordered_approx(partitions, universe, budget, epsilon=1.0 / len(partitions))
+        n = len(partitions)
+        assert approx.total_span <= exact.total_span + 1e-9
+        assert approx.total_cost <= budget * (1 + n * (1.0 / n)) + 1e-9
+
+    def test_validation(self, universe):
+        with pytest.raises(ValueError):
+            solve_ordered_dp([], universe, 10.0)
+        with pytest.raises(ValueError):
+            solve_ordered_dp(self.ordered_partitions(), universe, -1.0)
+        with pytest.raises(ValueError):
+            solve_ordered_dp(self.ordered_partitions(), universe, 10.0, cost_unit=0.0)
+        with pytest.raises(ValueError):
+            solve_ordered_approx(self.ordered_partitions(), universe, 0.0)
+        with pytest.raises(ValueError):
+            solve_ordered_approx(self.ordered_partitions(), universe, 10.0, epsilon=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_partitions=st.integers(min_value=1, max_value=6),
+    num_files=st.integers(min_value=3, max_value=10),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_gpart_coverage_and_span_bounds_property(num_partitions, num_files, seed):
+    """Property: G-PART always covers every partition and never stores more
+    records than the no-merge solution nor fewer than the distinct records."""
+    rng = np.random.default_rng(seed)
+    universe = FileUniverse({f"f{i}": int(rng.integers(10, 200)) for i in range(num_files)})
+    partitions = []
+    for index in range(num_partitions):
+        size = int(rng.integers(1, num_files + 1))
+        files = {f"f{i}" for i in rng.choice(num_files, size=size, replace=False)}
+        partitions.append(InitialPartition(f"p{index}", frozenset(files), float(rng.uniform(0.5, 20))))
+    result = gpart(partitions, universe, MergeConstraints(frequency_ratio=6.0))
+    covered = set()
+    for merge in result.merges:
+        covered.update(merge.members)
+    assert covered == {p.name for p in partitions}
+    no_merge_span = sum(p.span(universe) for p in partitions)
+    distinct_span = universe.records_of(set().union(*[p.file_ids for p in partitions]))
+    assert distinct_span - 1e-9 <= result.total_span <= no_merge_span + 1e-9

@@ -1,0 +1,172 @@
+"""Tests for DATAPART data structures and the overlap graph."""
+
+import pytest
+
+from repro.core.datapart import (
+    FileUniverse,
+    InitialPartition,
+    Merge,
+    MergeConstraints,
+    build_overlap_graph,
+    duplication_ratio,
+    fractional_overlap,
+    merge_statistics,
+    partitions_from_query_families,
+)
+from repro.workloads import build_query_families
+
+
+@pytest.fixture
+def universe():
+    return FileUniverse(
+        records={"f1": 100, "f2": 200, "f3": 300, "f4": 400},
+        size_gb={"f1": 1.0, "f2": 2.0, "f3": 3.0, "f4": 4.0},
+    )
+
+
+@pytest.fixture
+def partitions():
+    return [
+        InitialPartition("p1", frozenset({"f1", "f2"}), frequency=10.0),
+        InitialPartition("p2", frozenset({"f2", "f3"}), frequency=8.0),
+        InitialPartition("p3", frozenset({"f4"}), frequency=1.0),
+    ]
+
+
+class TestFileUniverse:
+    def test_records_and_sizes(self, universe):
+        assert universe.records_of({"f1", "f3"}) == 400
+        assert universe.size_gb_of({"f1", "f3"}) == pytest.approx(4.0)
+        assert "f1" in universe and "missing" not in universe
+
+    def test_duplicates_counted_once(self, universe):
+        assert universe.records_of(["f1", "f1", "f2"]) == 300
+
+    def test_unknown_file_raises(self, universe):
+        with pytest.raises(KeyError):
+            universe.records_of({"ghost"})
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            FileUniverse({})
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            FileUniverse({"f": -1})
+
+
+class TestPartitionAndMerge:
+    def test_span(self, universe, partitions):
+        assert partitions[0].span(universe) == 300
+
+    def test_merge_of_overlapping_partitions(self, universe, partitions):
+        merge = Merge.of(partitions[:2], universe)
+        assert merge.span == 600  # f1 + f2 + f3, f2 counted once
+        assert merge.frequency == pytest.approx(18.0)
+        assert merge.cost == pytest.approx(600 * 18.0)
+        assert merge.members == ("p1", "p2")
+        assert merge.name == "p1+p2"
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            InitialPartition("p", frozenset(), frequency=1.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            InitialPartition("p", frozenset({"f1"}), frequency=-1.0)
+
+    def test_merge_of_empty_rejected(self, universe):
+        with pytest.raises(ValueError):
+            Merge.of([], universe)
+
+
+class TestMergeConstraints:
+    def test_ratio_rule(self):
+        constraints = MergeConstraints(frequency_ratio=4.0)
+        assert constraints.frequencies_compatible(10.0, 3.0)
+        assert not constraints.frequencies_compatible(10.0, 1.0)
+
+    def test_difference_rule_covers_zero_frequencies(self):
+        constraints = MergeConstraints(frequency_ratio=2.0, frequency_diff=5.0)
+        assert constraints.frequencies_compatible(0.0, 4.0)
+        assert not constraints.frequencies_compatible(0.0, 50.0)
+
+    def test_zero_frequency_incompatible_without_diff_allowance(self):
+        constraints = MergeConstraints(frequency_ratio=100.0, frequency_diff=0.0)
+        assert not constraints.frequencies_compatible(0.0, 1.0)
+        assert constraints.frequencies_compatible(0.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MergeConstraints(frequency_ratio=0.5)
+        with pytest.raises(ValueError):
+            MergeConstraints(span_threshold=0)
+        with pytest.raises(ValueError):
+            MergeConstraints(cost_threshold=-1.0)
+
+
+class TestOverlapGraph:
+    def test_fractional_overlap_values(self, universe, partitions):
+        # p1 and p2 share f2 (200 records); union spans 600.
+        assert fractional_overlap(partitions[0], partitions[1], universe) == pytest.approx(200 / 600)
+        assert fractional_overlap(partitions[0], partitions[2], universe) == 0.0
+        assert fractional_overlap(partitions[0], partitions[0], universe) == pytest.approx(1.0)
+
+    def test_graph_has_edges_only_for_overlaps(self, universe, partitions):
+        graph = build_overlap_graph(partitions, universe)
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge("p1", "p2")
+        assert not graph.has_edge("p1", "p3")
+        assert graph["p1"]["p2"]["weight"] == pytest.approx(200 / 600)
+
+    def test_graph_feasibility_flag(self, universe, partitions):
+        constraints = MergeConstraints(frequency_ratio=1.1)
+        graph = build_overlap_graph(partitions, universe, constraints)
+        assert graph["p1"]["p2"]["feasible"] is False
+
+    def test_duplicate_names_rejected(self, universe):
+        duplicated = [
+            InitialPartition("p", frozenset({"f1"}), 1.0),
+            InitialPartition("p", frozenset({"f2"}), 1.0),
+        ]
+        with pytest.raises(ValueError):
+            build_overlap_graph(duplicated, universe)
+
+
+class TestDerivedMetrics:
+    def test_duplication_ratio_zero_for_disjoint_merges(self, universe, partitions):
+        merges = [Merge.of([partitions[0]], universe), Merge.of([partitions[2]], universe)]
+        assert duplication_ratio(merges, universe) == pytest.approx(0.0)
+
+    def test_duplication_ratio_positive_for_overlapping_merges(self, universe, partitions):
+        merges = [Merge.of([partitions[0]], universe), Merge.of([partitions[1]], universe)]
+        # f2 is stored twice: 200 duplicated records out of 800 stored.
+        assert duplication_ratio(merges, universe) == pytest.approx(200 / 800)
+
+    def test_duplication_ratio_empty(self, universe):
+        assert duplication_ratio([], universe) == 0.0
+
+    def test_merge_statistics(self, universe, partitions):
+        merges = [Merge.of(partitions[:2], universe), Merge.of([partitions[2]], universe)]
+        stats = merge_statistics(merges, universe)
+        assert stats["num_partitions"] == 2.0
+        assert stats["total_span"] == 1000.0
+        assert stats["distinct_records"] == 1000.0
+        assert merge_statistics([], universe)["num_partitions"] == 0.0
+
+
+class TestFromQueryFamilies:
+    def test_conversion_preserves_footprints_and_frequencies(
+        self, tpch_table_files, tpch_workload
+    ):
+        families = build_query_families(tpch_table_files, tpch_workload)
+        partitions, universe = partitions_from_query_families(families)
+        assert len(partitions) == len(families)
+        for partition, family in zip(partitions, families):
+            assert partition.file_ids == family.file_ids
+            assert partition.frequency == pytest.approx(family.frequency)
+            assert partition.span(universe) > 0
+
+    def test_empty_families_rejected(self):
+        with pytest.raises(ValueError):
+            partitions_from_query_families([])

@@ -1,0 +1,202 @@
+"""Integration tests spanning multiple modules.
+
+These exercise the same paths the benchmarks use: optimizer output replayed
+through the storage simulator, the enterprise tiering study, and the full
+SCOPe pipeline on TPC-H-like data, asserting the qualitative results the paper
+reports (cost savings versus the platform baseline, G-PART improving the
+baselines, predictions close to ground truth).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AccessEvent,
+    CloudStorageSimulator,
+    CostModel,
+    azure_tier_catalog,
+    percent_cost_benefit,
+)
+from repro.compression import GzipCodec, Layout
+from repro.core.access_predict import (
+    TierFeatureBuilder,
+    TierPredictor,
+    ideal_tier_labels,
+    percent_benefit_vs_baseline,
+)
+from repro.core.compredict import CompressionPredictor, label_samples, random_row_samples
+from repro.core.datapart import MergeConstraints, gpart, partitions_from_query_families
+from repro.core.optassign import OptAssignProblem, solve_greedy, solve_optassign
+from repro.core.pipeline import ScopeConfig, ScopePipeline, paper_variant_suite
+from repro.workloads import build_query_families
+
+
+class TestOptimizerAgainstSimulator:
+    def test_optimized_placement_beats_all_hot_on_replayed_trace(self, enterprise_catalog):
+        """Enterprise Data I flavour: optimize tiers, replay the actual trace, compare bills."""
+        catalog, _ = enterprise_catalog
+        horizon = 6
+        builder = TierFeatureBuilder()
+        _, splits = builder.build_matrix(catalog, horizon_months=horizon)
+        tiers = azure_tier_catalog(include_premium=False)  # hot / cool / archive
+        model = CostModel(tiers, duration_months=float(horizon))
+        labels = ideal_tier_labels(catalog, splits, model)
+
+        simulator = CloudStorageSimulator(tiers)
+        partitions = [
+            dataset.to_partition(split.future_read_total)
+            for dataset, split in zip(catalog, splits)
+        ]
+        trace = [
+            AccessEvent(month=month, partition=dataset.name, reads=reads)
+            for dataset, split in zip(catalog, splits)
+            for month, reads in enumerate(split.future_reads)
+            if reads > 0
+        ]
+        baseline = simulator.simulate(
+            partitions, simulator.default_placement(partitions, tier_index=0), trace, horizon
+        )
+        optimized_placement = {
+            dataset.name: __import__("repro.cloud", fromlist=["PlacementDecision"]).PlacementDecision(tier_index=tier)
+            for dataset, tier in zip(catalog, labels)
+        }
+        optimized = simulator.simulate(partitions, optimized_placement, trace, horizon)
+        benefit = percent_cost_benefit(baseline.total_cost, optimized.total_cost)
+        assert benefit > 10.0
+        assert optimized.latency_violations == 0
+
+    def test_benefit_positive_across_horizons(self, enterprise_catalog):
+        """Table II / IV flavour: the optimizer saves money at both 2- and 6-month horizons.
+
+        (The paper additionally observes the % benefit growing with the
+        horizon; that depends on tier-change and early-deletion charges being
+        large relative to storage, which our synthetic catalog only partially
+        reproduces, so here we only assert that savings exist at every
+        horizon — the horizon sweep itself is reported by the Table IV
+        benchmark.)
+        """
+        catalog, _ = enterprise_catalog
+        tiers = azure_tier_catalog(include_premium=False, include_archive=False)
+        builder = TierFeatureBuilder()
+        benefits = {}
+        for horizon in (2, 6):
+            model = CostModel(tiers, duration_months=float(horizon))
+            _, splits = builder.build_matrix(catalog, horizon_months=horizon)
+            labels = ideal_tier_labels(catalog, splits, model)
+            benefits[horizon] = percent_benefit_vs_baseline(
+                catalog, splits, labels, model, baseline_tier=0
+            )
+        assert benefits[2] > 0.0
+        assert benefits[6] > 0.0
+
+    def test_archive_tier_increases_benefit(self, enterprise_catalog):
+        """Table IV shape: adding the archive layer increases the saving."""
+        catalog, _ = enterprise_catalog
+        builder = TierFeatureBuilder()
+        horizon = 6
+        benefits = {}
+        for include_archive in (False, True):
+            tiers = azure_tier_catalog(include_premium=False, include_archive=include_archive)
+            model = CostModel(tiers, duration_months=float(horizon))
+            _, splits = builder.build_matrix(catalog, horizon_months=horizon)
+            labels = ideal_tier_labels(catalog, splits, model)
+            benefits[include_archive] = percent_benefit_vs_baseline(
+                catalog, splits, labels, model, baseline_tier=0
+            )
+        assert benefits[True] >= benefits[False] - 1e-9
+
+
+class TestPredictionDrivenTiering:
+    def test_predicted_tiering_close_to_known_access_tiering(self, enterprise_catalog):
+        """Table IV shape: the ML-predicted placement captures most of the ideal benefit.
+
+        As in the paper, newly ingested datasets (no history before the
+        prediction boundary) are excluded — their projections come from
+        domain knowledge, not from the history model.
+        """
+        from repro.cloud import DatasetCatalog
+
+        full_catalog, _ = enterprise_catalog
+        horizon = 2
+        catalog = DatasetCatalog(
+            [dataset for dataset in full_catalog if dataset.age_months > horizon]
+        )
+        tiers = azure_tier_catalog(include_premium=False, include_archive=False)
+        model = CostModel(tiers, duration_months=float(horizon))
+        builder = TierFeatureBuilder(lookback_months=4)
+        features, splits = builder.build_matrix(catalog, horizon_months=horizon)
+        labels = ideal_tier_labels(catalog, splits, model)
+        predictor = TierPredictor(feature_builder=builder).fit(features, labels)
+        predicted = predictor.predict(features)
+        ideal_benefit = percent_benefit_vs_baseline(catalog, splits, labels, model)
+        predicted_benefit = percent_benefit_vs_baseline(
+            catalog, splits, list(predicted), model
+        )
+        assert predicted_benefit <= ideal_benefit + 1e-9
+        assert predicted_benefit >= 0.5 * ideal_benefit
+
+
+class TestCompredictFeedsOptassign:
+    def test_predicted_profiles_yield_near_ground_truth_costs(self, small_table):
+        """Fig. 5 shape: optimizing with predicted compression is close to ground truth."""
+        rng = np.random.default_rng(33)
+        samples = random_row_samples(small_table, rng, num_samples=25, rows_per_sample=(40, 200))
+        codec = GzipCodec()
+        predictor = CompressionPredictor().fit(samples, [codec], layouts=(Layout.CSV,))
+
+        # Build partitions from fresh samples and compare optimizer outcomes.
+        evaluation = random_row_samples(small_table, rng, num_samples=8, rows_per_sample=(50, 250))
+        labeled = label_samples(evaluation, codec, Layout.CSV)
+        model = CostModel(azure_tier_catalog(), duration_months=3.0)
+        from repro.cloud import CompressionProfile, DataPartition
+
+        partitions, truth_profiles, predicted_profiles = [], {}, {}
+        for index, sample in enumerate(labeled):
+            name = f"part{index}"
+            partitions.append(
+                DataPartition(name, size_gb=5.0, predicted_accesses=20.0, latency_threshold_s=60.0)
+            )
+            truth_profiles[name] = {
+                "gzip": CompressionProfile("gzip", sample.ratio, sample.decompression_s_per_gb)
+            }
+            predicted_profiles[name] = {
+                "gzip": predictor.predict_profile(sample.table, "gzip", Layout.CSV)
+            }
+        truth_cost = solve_greedy(OptAssignProblem(partitions, model, truth_profiles)).total_cost
+        predicted_cost = solve_greedy(
+            OptAssignProblem(partitions, model, predicted_profiles)
+        ).total_cost
+        assert predicted_cost == pytest.approx(truth_cost, rel=0.15)
+
+
+class TestFullPipeline:
+    def test_scope_beats_platform_default_end_to_end(self, tpch_db, tpch_workload):
+        config = ScopeConfig(rows_per_file=150, target_total_gb=25.0)
+        pipeline = ScopePipeline(tpch_db.tables, tpch_workload, config).prepare()
+        rows = {row.variant: row for row in pipeline.run_suite()}
+        default = rows["Default (store on premium)"].total_cost
+        scope = rows["SCOPe (Total cost focused)"].total_cost
+        assert scope < 0.5 * default
+        # Every baseline improves (or at worst stays equal) when G-PART is applied first.
+        assert rows["Partitioning + Tiering"].total_cost <= rows["Multi-Tiering"].total_cost + 1e-9
+
+    def test_gpart_families_flow_into_optassign(self, tpch_db, tpch_table_files, tpch_workload):
+        """The DATAPART -> OPTASSIGN hand-off used by the pipeline is well formed."""
+        families = build_query_families(tpch_table_files, tpch_workload)
+        initial, universe = partitions_from_query_families(families)
+        result = gpart(initial, universe, MergeConstraints(frequency_ratio=5.0))
+        from repro.cloud import DataPartition
+
+        partitions = [
+            DataPartition(
+                merge.name,
+                size_gb=max(universe.size_gb_of(merge.file_ids), 1e-6),
+                predicted_accesses=merge.frequency,
+                latency_threshold_s=300.0,
+            )
+            for merge in result.merges
+        ]
+        model = CostModel(azure_tier_catalog(include_archive=False), duration_months=5.5)
+        report = solve_optassign(OptAssignProblem(partitions, model))
+        assert len(report.assignment.choices) == len(partitions)
+        assert report.assignment.is_latency_feasible()

@@ -1,0 +1,139 @@
+"""Tests for the averaging baseline, ridge, SVR and the MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AveragingRegressor,
+    MLPRegressor,
+    RidgeRegressor,
+    SupportVectorRegressor,
+    mean_absolute_error,
+    r2_score,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(10)
+    X = rng.uniform(-1, 1, size=(300, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + rng.normal(0, 0.02, 300)
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+@pytest.fixture(scope="module")
+def nonlinear_data():
+    rng = np.random.default_rng(11)
+    X = rng.uniform(-2, 2, size=(400, 2))
+    y = np.sin(X[:, 0]) + 0.3 * X[:, 1] ** 2 + rng.normal(0, 0.02, 400)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+class TestAveragingRegressor:
+    def test_predicts_training_mean(self):
+        model = AveragingRegressor().fit(np.zeros((4, 1)), [1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(model.predict(np.zeros((2, 1))), 2.5)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            AveragingRegressor().fit(np.zeros((0, 1)), [])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            AveragingRegressor().predict(np.zeros((1, 1)))
+
+
+class TestRidgeRegressor:
+    def test_recovers_linear_coefficients(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = RidgeRegressor(alpha=1e-6).fit(X_train, y_train)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.05)
+        assert model.coef_[1] == pytest.approx(-1.0, abs=0.05)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.05)
+        assert r2_score(y_test, model.predict(X_test)) > 0.98
+
+    def test_regularisation_shrinks_coefficients(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        weak = RidgeRegressor(alpha=1e-6).fit(X_train, y_train)
+        strong = RidgeRegressor(alpha=1e4).fit(X_train, y_train)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_without_intercept(self, linear_data):
+        X_train, y_train, _, _ = linear_data
+        model = RidgeRegressor(alpha=1.0, fit_intercept=False).fit(X_train, y_train)
+        assert model.intercept_ == 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 1)))
+
+
+class TestSupportVectorRegressor:
+    def test_linear_kernel_fits_linear_signal(self, linear_data):
+        X_train, y_train, X_test, y_test = linear_data
+        model = SupportVectorRegressor(kernel="linear", C=10.0, epsilon=0.01).fit(
+            X_train, y_train
+        )
+        assert r2_score(y_test, model.predict(X_test)) > 0.95
+
+    def test_rbf_kernel_fits_nonlinear_signal(self, nonlinear_data):
+        X_train, y_train, X_test, y_test = nonlinear_data
+        model = SupportVectorRegressor(
+            kernel="rbf", C=10.0, epsilon=0.01, n_components=200, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, model.predict(X_test)) > 0.8
+
+    def test_rbf_beats_linear_on_nonlinear_signal(self, nonlinear_data):
+        X_train, y_train, X_test, y_test = nonlinear_data
+        linear = SupportVectorRegressor(kernel="linear", C=10.0).fit(X_train, y_train)
+        rbf = SupportVectorRegressor(
+            kernel="rbf", C=10.0, n_components=200, random_state=0
+        ).fit(X_train, y_train)
+        assert mean_absolute_error(y_test, rbf.predict(X_test)) < mean_absolute_error(
+            y_test, linear.predict(X_test)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(C=0.0)
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            SupportVectorRegressor(kernel="poly")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SupportVectorRegressor().predict(np.zeros((1, 1)))
+
+
+class TestMLPRegressor:
+    def test_fits_nonlinear_signal(self, nonlinear_data):
+        X_train, y_train, X_test, y_test = nonlinear_data
+        model = MLPRegressor(
+            hidden_sizes=(32, 16), epochs=200, learning_rate=0.01, random_state=0
+        ).fit(X_train, y_train)
+        assert r2_score(y_test, model.predict(X_test)) > 0.8
+
+    def test_deterministic_given_seed(self, linear_data):
+        X_train, y_train, X_test, _ = linear_data
+        first = MLPRegressor(epochs=30, random_state=2).fit(X_train, y_train)
+        second = MLPRegressor(epochs=30, random_state=2).fit(X_train, y_train)
+        assert np.allclose(first.predict(X_test), second.predict(X_test))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_sizes=())
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_sizes=(0,))
+        with pytest.raises(ValueError):
+            MLPRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPRegressor(epochs=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,97 @@
+"""Tests for regression/classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    precision_recall_f1,
+    r2_score,
+    regression_report,
+    root_mean_squared_error,
+)
+
+
+class TestRegressionMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_mape_percent(self):
+        assert mean_absolute_percentage_error([10, 20], [11, 18]) == pytest.approx(10.0)
+
+    def test_mape_handles_tiny_targets(self):
+        value = mean_absolute_percentage_error([0.0, 1.0], [0.0, 1.0])
+        assert value == pytest.approx(0.0)
+
+    def test_mse_rmse(self):
+        assert mean_squared_error([0, 0], [3, 4]) == pytest.approx(12.5)
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = [1.0, 2.0, 3.0, 4.0]
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, [2.5] * 4) == pytest.approx(0.0)
+
+    def test_r2_constant_targets(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 0.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == -float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_regression_report_keys(self):
+        report = regression_report([1, 2], [1, 2])
+        assert set(report) == {"mae", "mape", "r2"}
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+    def test_confusion_matrix_layout(self):
+        matrix = confusion_matrix(["hot", "hot", "cool"], ["hot", "cool", "cool"],
+                                  labels=["hot", "cool"])
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_infers_labels(self):
+        matrix = confusion_matrix([0, 1, 2], [0, 1, 2])
+        assert matrix.trace() == 3
+
+    def test_precision_recall_f1(self):
+        precision, recall, f1 = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0], positive_label=1)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_precision_recall_degenerate(self):
+        precision, recall, f1 = precision_recall_f1([0, 0], [0, 0], positive_label=1)
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_f1_macro_and_binary(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        macro = f1_score(y_true, y_pred, average="macro")
+        binary = f1_score(y_true, y_pred, average="binary")
+        assert 0.0 < macro <= 1.0
+        assert binary == pytest.approx(0.8)
+
+    def test_f1_binary_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 1, 2], [0, 1, 2], average="binary")
+
+    def test_f1_unknown_average(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 1], [0, 1], average="micro")
+
+    def test_perfect_predictions_give_unit_f1(self):
+        assert f1_score(["a", "b", "a"], ["a", "b", "a"]) == pytest.approx(1.0)

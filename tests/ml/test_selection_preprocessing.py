@@ -1,0 +1,130 @@
+"""Tests for data splitting and feature scaling utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import KFold, MinMaxScaler, StandardScaler, out_of_time_split, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.2, random_state=0)
+        assert len(X_test) == 20
+        assert len(X_train) == 80
+        assert set(y_train.tolist()) | set(y_test.tolist()) == set(range(100))
+
+    def test_no_shuffle_keeps_order(self):
+        X = np.arange(10).reshape(-1, 1)
+        y = np.arange(10)
+        _, X_test, _, _ = train_test_split(X, y, test_fraction=0.3, shuffle=False)
+        assert X_test.reshape(-1).tolist() == [0, 1, 2]
+
+    def test_always_keeps_one_sample_each_side(self):
+        X = np.arange(3).reshape(-1, 1)
+        y = np.arange(3)
+        X_train, X_test, _, _ = train_test_split(X, y, test_fraction=0.01)
+        assert len(X_test) >= 1 and len(X_train) >= 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros(1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(5))
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        folds = list(KFold(n_splits=4, random_state=0).split(np.zeros(22)))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(22))
+        for train, test in folds:
+            assert set(train.tolist()).isdisjoint(set(test.tolist()))
+
+    def test_too_many_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.zeros(3)))
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestOutOfTimeSplit:
+    def test_test_set_is_strictly_newer(self):
+        timestamps = [5, 1, 4, 2, 3, 6, 0, 7]
+        train, test = out_of_time_split(timestamps, test_fraction=0.25)
+        newest_train = max(timestamps[i] for i in train)
+        oldest_test = min(timestamps[i] for i in test)
+        assert newest_train <= oldest_test
+        assert len(test) == 2
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            out_of_time_split([1, 2, 3], test_fraction=0.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            out_of_time_split([1])
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        transformed = StandardScaler().fit_transform(X)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_inverse(self):
+        X = np.random.default_rng(1).normal(size=(50, 2))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.hstack([np.ones((10, 1)), np.arange(10).reshape(-1, 1)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.allclose(transformed[:, 0], 0.0)
+
+    def test_minmax_scaler_range(self):
+        X = np.random.default_rng(2).uniform(-5, 5, size=(100, 2))
+        transformed = MinMaxScaler().fit_transform(X)
+        assert transformed.min() >= 0.0 and transformed.max() <= 1.0
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_samples=st.integers(min_value=2, max_value=60),
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_split_property_covers_everything_exactly_once(n_samples, fraction, seed):
+    """Property: a random split partitions the index set with no loss or overlap."""
+    X = np.arange(n_samples).reshape(-1, 1)
+    y = np.arange(n_samples)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_fraction=fraction, random_state=seed
+    )
+    combined = sorted(y_train.tolist() + y_test.tolist())
+    assert combined == list(range(n_samples))
+    assert len(y_test) >= 1 and len(y_train) >= 1

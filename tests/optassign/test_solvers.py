@@ -1,0 +1,277 @@
+"""Tests for the OPTASSIGN solvers: greedy, ILP, bipartite matching and the facade.
+
+The key cross-checks are (a) greedy == ILP on unbounded-capacity instances
+(both are optimal there, Theorem 3), (b) matching == ILP on equal-size
+no-compression instances (Theorem 2), and (c) the ILP respects capacity
+constraints the greedy solver would violate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import (
+    CompressionProfile,
+    CostModel,
+    CostWeights,
+    DataPartition,
+    StorageTier,
+    TierCatalog,
+    azure_tier_catalog,
+)
+from repro.core.optassign import (
+    IlpInfeasibleError,
+    MatchingNotApplicableError,
+    OptAssignProblem,
+    solve_greedy,
+    solve_ilp,
+    solve_matching,
+    solve_optassign,
+)
+
+
+def profiles_for(partitions, ratio=4.0, speed=1.0):
+    return {
+        partition.name: {
+            "gzip": CompressionProfile("gzip", ratio=ratio, decompression_s_per_gb=speed),
+            "snappy": CompressionProfile("snappy", ratio=ratio / 2, decompression_s_per_gb=speed / 5),
+        }
+        for partition in partitions
+    }
+
+
+class TestGreedy:
+    def test_hot_data_stays_fast_cold_data_goes_cold(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(sample_partitions, full_cost_model)
+        assignment = solve_greedy(problem)
+        tiers = full_cost_model.tiers
+        hot_choice = assignment.choices["hot_small"].tier_index
+        frozen_choice = assignment.choices["frozen"].tier_index
+        assert tiers[hot_choice].latency_s <= 1.0
+        assert frozen_choice == tiers.index_of("archive")
+
+    def test_greedy_picks_minimum_objective_option(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(sample_partitions, full_cost_model, profiles_for(sample_partitions))
+        assignment = solve_greedy(problem)
+        for partition in problem.partitions:
+            chosen = assignment.choices[partition.name]
+            best = min(problem.options_for(partition), key=lambda option: option.objective)
+            assert chosen.objective == pytest.approx(best.objective)
+
+    def test_refuses_capacity_bounded_instances_by_default(self, sample_partitions):
+        catalog = azure_tier_catalog(capacities=[1.0, math.inf, math.inf, math.inf])
+        model = CostModel(catalog, duration_months=1.0)
+        problem = OptAssignProblem(sample_partitions, model)
+        with pytest.raises(ValueError):
+            solve_greedy(problem)
+        # But it can be used as a heuristic when explicitly requested.
+        assignment = solve_greedy(problem, enforce_unbounded=False)
+        assert len(assignment.choices) == len(sample_partitions)
+
+    def test_impossible_latency_raises(self, full_cost_model):
+        partition = DataPartition("p", size_gb=1.0, predicted_accesses=1.0, latency_threshold_s=1e-9)
+        problem = OptAssignProblem([partition], full_cost_model)
+        with pytest.raises(ValueError):
+            solve_greedy(problem)
+
+    def test_compression_chosen_for_cold_data(self, full_cost_model):
+        """Cold, rarely-read data prefers the highest compression ratio."""
+        cold = DataPartition("cold", size_gb=1000.0, predicted_accesses=0.1, latency_threshold_s=7200.0)
+        problem = OptAssignProblem([cold], full_cost_model, profiles_for([cold]))
+        assignment = solve_greedy(problem)
+        assert assignment.choices["cold"].scheme == "gzip"
+
+    def test_heavily_read_data_avoids_expensive_decompression(self):
+        """With a very high compute price, hot data is stored uncompressed."""
+        catalog = azure_tier_catalog()
+        model = CostModel(catalog, compute_cost_per_s=10.0, duration_months=1.0)
+        hot = DataPartition("hot", size_gb=10.0, predicted_accesses=1000.0, latency_threshold_s=1.0)
+        problem = OptAssignProblem([hot], model, profiles_for([hot], speed=5.0))
+        assignment = solve_greedy(problem)
+        assert assignment.choices["hot"].scheme == "none"
+
+
+class TestIlp:
+    def test_matches_greedy_without_capacity(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(
+            sample_partitions, full_cost_model, profiles_for(sample_partitions)
+        )
+        greedy = solve_greedy(problem)
+        ilp = solve_ilp(problem)
+        assert ilp.objective == pytest.approx(greedy.objective, rel=1e-9)
+
+    def test_respects_capacity_constraints(self):
+        catalog = TierCatalog(
+            [
+                StorageTier("hot", storage_cost=2.0, read_cost=0.01, write_cost=0.01,
+                            latency_s=0.01, capacity_gb=10.0),
+                StorageTier("cool", storage_cost=1.0, read_cost=0.05, write_cost=0.01,
+                            latency_s=0.05),
+            ]
+        )
+        model = CostModel(catalog, duration_months=1.0)
+        partitions = [
+            DataPartition(f"p{i}", size_gb=8.0, predicted_accesses=100.0, latency_threshold_s=1.0)
+            for i in range(3)
+        ]
+        problem = OptAssignProblem(partitions, model)
+        assignment = solve_ilp(problem)
+        assert assignment.is_capacity_feasible()
+        usage = assignment.tier_usage_gb()
+        assert usage[0] <= 10.0 + 1e-6
+        # Greedy (ignoring capacity) would overfill the hot tier.
+        greedy = solve_greedy(problem, enforce_unbounded=False)
+        assert greedy.tier_usage_gb()[0] > 10.0
+
+    def test_ilp_objective_never_better_than_greedy_lower_bound(self, sample_partitions):
+        catalog = azure_tier_catalog(capacities=[100.0, math.inf, math.inf, math.inf])
+        model = CostModel(catalog, duration_months=2.0)
+        problem = OptAssignProblem(sample_partitions, model, profiles_for(sample_partitions))
+        constrained = solve_ilp(problem)
+        unconstrained = solve_greedy(problem, enforce_unbounded=False)
+        assert constrained.objective >= unconstrained.objective - 1e-9
+
+    def test_infeasible_capacity_raises(self):
+        catalog = TierCatalog(
+            [
+                StorageTier("hot", storage_cost=2.0, read_cost=0.01, write_cost=0.01,
+                            latency_s=0.01, capacity_gb=1.0),
+                StorageTier("archive", storage_cost=0.1, read_cost=1.0, write_cost=0.01,
+                            latency_s=3600.0, capacity_gb=1.0),
+            ]
+        )
+        model = CostModel(catalog, duration_months=1.0)
+        partitions = [
+            DataPartition("big", size_gb=100.0, predicted_accesses=1.0, latency_threshold_s=1.0)
+        ]
+        with pytest.raises(IlpInfeasibleError):
+            solve_ilp(OptAssignProblem(partitions, model))
+
+    def test_no_feasible_latency_raises(self, full_cost_model):
+        partition = DataPartition("p", size_gb=1.0, predicted_accesses=1.0, latency_threshold_s=1e-9)
+        with pytest.raises(IlpInfeasibleError):
+            solve_ilp(OptAssignProblem([partition], full_cost_model))
+
+
+class TestMatching:
+    def equal_partitions(self, count=6, size=10.0, accesses=None):
+        accesses = accesses or [100.0, 50.0, 10.0, 5.0, 1.0, 0.0]
+        return [
+            DataPartition(
+                f"p{i}", size_gb=size, predicted_accesses=accesses[i % len(accesses)],
+                latency_threshold_s=300.0,
+            )
+            for i in range(count)
+        ]
+
+    def capacity_model(self):
+        catalog = azure_tier_catalog(include_archive=False, capacities=[20.0, 30.0, math.inf])
+        return CostModel(catalog, duration_months=3.0)
+
+    def test_matching_matches_ilp(self):
+        partitions = self.equal_partitions()
+        model = self.capacity_model()
+        problem = OptAssignProblem(partitions, model)
+        matching = solve_matching(problem)
+        ilp = solve_ilp(problem)
+        assert matching.objective == pytest.approx(ilp.objective, rel=1e-9)
+        assert matching.is_capacity_feasible()
+
+    def test_hottest_partitions_get_fastest_slots(self):
+        partitions = self.equal_partitions()
+        model = self.capacity_model()
+        assignment = solve_matching(OptAssignProblem(partitions, model))
+        # The premium tier only fits two 10 GB partitions; they are the hottest.
+        premium_members = [
+            name for name, option in assignment.choices.items() if option.tier_index == 0
+        ]
+        assert set(premium_members) <= {"p0", "p1"}
+
+    def test_rejects_unequal_sizes(self, full_cost_model):
+        partitions = [
+            DataPartition("a", size_gb=1.0, predicted_accesses=1.0),
+            DataPartition("b", size_gb=2.0, predicted_accesses=1.0),
+        ]
+        with pytest.raises(MatchingNotApplicableError):
+            solve_matching(OptAssignProblem(partitions, full_cost_model))
+
+    def test_rejects_compression_schemes(self, full_cost_model):
+        partitions = [DataPartition("a", size_gb=1.0, predicted_accesses=1.0)]
+        problem = OptAssignProblem(partitions, full_cost_model, profiles_for(partitions))
+        with pytest.raises(MatchingNotApplicableError):
+            solve_matching(problem)
+
+    def test_insufficient_capacity_raises(self):
+        catalog = TierCatalog(
+            [
+                StorageTier("hot", storage_cost=2.0, read_cost=0.01, write_cost=0.01,
+                            latency_s=0.01, capacity_gb=10.0),
+            ]
+        )
+        model = CostModel(catalog, duration_months=1.0)
+        partitions = self.equal_partitions(count=3, size=10.0)
+        with pytest.raises(ValueError):
+            solve_matching(OptAssignProblem(partitions, model))
+
+
+class TestFacade:
+    def test_auto_picks_greedy_without_capacity(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(sample_partitions, full_cost_model)
+        report = solve_optassign(problem)
+        assert report.solver == "greedy"
+        assert not report.relaxed
+
+    def test_auto_picks_ilp_with_capacity(self, sample_partitions):
+        catalog = azure_tier_catalog(capacities=[600.0, math.inf, math.inf, math.inf])
+        model = CostModel(catalog, duration_months=1.0)
+        problem = OptAssignProblem(sample_partitions, model)
+        report = solve_optassign(problem)
+        assert report.solver == "ilp"
+        assert report.assignment.is_capacity_feasible()
+
+    def test_latency_relaxation_applied_when_needed(self, full_cost_model):
+        impossible = DataPartition(
+            "p", size_gb=1.0, predicted_accesses=1.0, latency_threshold_s=1e-4
+        )
+        problem = OptAssignProblem([impossible], full_cost_model)
+        report = solve_optassign(problem)
+        assert report.relaxed
+        assert report.latency_relaxation > 1.0
+
+    def test_unknown_solver_rejected(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(sample_partitions, full_cost_model)
+        with pytest.raises(ValueError):
+            solve_optassign(problem, prefer="simulated-annealing")
+
+    def test_invalid_relaxation_step(self, sample_partitions, full_cost_model):
+        problem = OptAssignProblem(sample_partitions, full_cost_model)
+        with pytest.raises(ValueError):
+            solve_optassign(problem, relaxation_step=1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=500.0), min_size=1, max_size=8),
+    accesses=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=8, max_size=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_greedy_equals_ilp_property(sizes, accesses, seed):
+    """Property (Theorem 3): greedy is optimal whenever capacities are unbounded."""
+    rng = np.random.default_rng(seed)
+    partitions = [
+        DataPartition(
+            f"p{i}",
+            size_gb=size,
+            predicted_accesses=accesses[i],
+            latency_threshold_s=float(rng.choice([1.0, 100.0, 7200.0])),
+        )
+        for i, size in enumerate(sizes)
+    ]
+    model = CostModel(azure_tier_catalog(), duration_months=3.0)
+    problem = OptAssignProblem(partitions, model, profiles_for(partitions))
+    greedy = solve_greedy(problem)
+    ilp = solve_ilp(problem)
+    assert greedy.objective == pytest.approx(ilp.objective, rel=1e-7, abs=1e-7)

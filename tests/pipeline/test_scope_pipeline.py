@@ -1,0 +1,206 @@
+"""Tests for the SCOPe unified pipeline, its variants and the report formatting."""
+
+import pytest
+
+from repro.cloud import CostWeights
+from repro.core.pipeline import (
+    PipelineRow,
+    ScopeConfig,
+    ScopePipeline,
+    ScopeVariant,
+    format_matrix,
+    format_pipeline_table,
+    paper_variant_suite,
+)
+from repro.workloads import generate_enterprise_tables, generate_tpch_queries
+
+
+@pytest.fixture(scope="module")
+def pipeline(tpch_db_module, tpch_workload_module):
+    config = ScopeConfig(rows_per_file=150, target_total_gb=50.0, duration_months=5.5)
+    return ScopePipeline(tpch_db_module.tables, tpch_workload_module, config).prepare()
+
+
+@pytest.fixture(scope="module")
+def tpch_db_module():
+    from repro.workloads import TpchConfig, generate_tpch
+
+    return generate_tpch(TpchConfig(scale=0.05, seed=7))
+
+
+@pytest.fixture(scope="module")
+def tpch_workload_module(tpch_db_module):
+    return generate_tpch_queries(
+        tpch_db_module, queries_per_template=2, total_accesses=800.0,
+        skew_exponent=1.1, seed=8,
+    )
+
+
+class TestConfigAndVariants:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScopeConfig(rows_per_file=0)
+        with pytest.raises(ValueError):
+            ScopeConfig(duration_months=0.0)
+        with pytest.raises(ValueError):
+            ScopeConfig(target_total_gb=-1.0)
+        with pytest.raises(ValueError):
+            ScopeConfig(latency_threshold_s=0.0)
+
+    def test_paper_suite_has_eleven_rows(self):
+        suite = paper_variant_suite()
+        assert len(suite) == 11
+        assert suite[0].name.startswith("Default")
+        assert suite[-1].name == "SCOPe (Total cost focused)"
+        full = [v for v in suite if v.use_partitioning and v.use_tiering and v.use_compression]
+        assert len(full) == 4
+
+
+class TestPipelinePreparation:
+    def test_prepare_builds_families_and_merges(self, pipeline):
+        assert len(pipeline.families) > 0
+        assert pipeline.gpart_result.num_final <= len(pipeline.families)
+        assert pipeline.size_scale > 0
+
+    def test_target_volume_respected(self, pipeline):
+        total = sum(split.total_size_gb for split in pipeline.table_files.values())
+        assert total == pytest.approx(50.0, rel=1e-6)
+
+    def test_run_before_prepare_raises(self, tpch_db_module, tpch_workload_module):
+        raw = ScopePipeline(tpch_db_module.tables, tpch_workload_module)
+        with pytest.raises(RuntimeError):
+            raw.run_variant(paper_variant_suite()[0])
+
+    def test_empty_tables_rejected(self, tpch_workload_module):
+        with pytest.raises(ValueError):
+            ScopePipeline({}, tpch_workload_module)
+
+
+class TestVariantBehaviour:
+    def test_default_variant_uses_single_tier_no_compression(self, pipeline):
+        row = pipeline.run_variant(paper_variant_suite()[0])
+        assert row.tier_counts and len(row.tier_counts) == 1
+        assert row.decompression_cost == 0.0
+        assert row.expected_decompression_latency_ms == 0.0
+
+    def test_compression_only_variant_reduces_storage(self, pipeline):
+        suite = paper_variant_suite()
+        default = pipeline.run_variant(suite[0])
+        compressed = pipeline.run_variant(suite[1])
+        assert compressed.storage_cost < default.storage_cost
+        assert compressed.decompression_cost > 0.0
+
+    def test_tiering_variant_reduces_storage_cost(self, pipeline):
+        suite = paper_variant_suite()
+        default = pipeline.run_variant(suite[0])
+        tiered = pipeline.run_variant(suite[2])
+        assert tiered.storage_cost < default.storage_cost
+        assert len(tiered.tier_counts) == 3
+
+    def test_partitioning_reduces_read_cost(self, pipeline):
+        suite = paper_variant_suite()
+        default = pipeline.run_variant(suite[0])
+        partitioned = pipeline.run_variant(suite[4])
+        assert partitioned.read_cost <= default.read_cost + 1e-9
+        assert partitioned.num_partitions >= default.num_partitions
+
+    def test_latency_focused_variant_keeps_fast_reads(self, pipeline):
+        suite = paper_variant_suite()
+        latency_row = pipeline.run_variant(suite[7])  # SCOPe latency-focused
+        total_row = pipeline.run_variant(suite[10])   # SCOPe total-cost focused
+        assert latency_row.read_latency_s <= total_row.read_latency_s + 1e-9
+
+    def test_scope_total_cost_is_lowest_of_suite(self, pipeline):
+        """The headline claim: full SCOPe minimises total cost across variants."""
+        rows = pipeline.run_suite()
+        by_name = {row.variant: row for row in rows}
+        best_scope = min(
+            by_name["SCOPe (No capacity constraint)"].total_cost,
+            by_name["SCOPe (Total cost focused)"].total_cost,
+        )
+        default_cost = by_name["Default (store on premium)"].total_cost
+        assert best_scope < default_cost
+        non_scope = [row for row in rows if not row.variant.startswith("SCOPe")]
+        assert best_scope <= min(row.total_cost for row in non_scope) + 1e-9
+
+    def test_gpart_improves_the_tiering_baseline(self, pipeline):
+        """Applying G-PART before a baseline improves it (Section VII claim)."""
+        rows = {row.variant: row for row in pipeline.run_suite()}
+        assert (
+            rows["Partitioning + Tiering"].total_cost
+            <= rows["Multi-Tiering"].total_cost + 1e-9
+        )
+
+    def test_capacity_constrained_variant_respects_fractions(self, pipeline):
+        row = pipeline.run_variant(
+            ScopeVariant(
+                name="capacity-test", use_partitioning=True, use_tiering=True,
+                use_compression=False, apply_capacity=True,
+            )
+        )
+        assert sum(row.tier_counts) == row.num_partitions
+
+    def test_custom_weights_shift_the_placement(self, pipeline):
+        storage_heavy = pipeline.run_variant(
+            ScopeVariant(name="alpha-heavy", weights=CostWeights(alpha=10.0, beta=0.01, gamma=0.01))
+        )
+        read_heavy = pipeline.run_variant(
+            ScopeVariant(name="beta-heavy", weights=CostWeights(alpha=0.01, beta=10.0, gamma=0.01))
+        )
+        assert storage_heavy.storage_cost <= read_heavy.storage_cost + 1e-9
+        assert read_heavy.read_cost <= storage_heavy.read_cost + 1e-9
+
+    def test_predicted_compression_mode_runs(self, tpch_db_module, tpch_workload_module):
+        config = ScopeConfig(
+            rows_per_file=150, target_total_gb=20.0, use_predicted_compression=True,
+            schemes=("gzip", "snappy"),
+        )
+        pipeline = ScopePipeline(tpch_db_module.tables, tpch_workload_module, config).prepare()
+        row = pipeline.run_variant(paper_variant_suite()[10])
+        assert row.total_cost > 0.0
+
+
+class TestEnterprisePipeline:
+    def test_runs_on_enterprise_tables(self):
+        tables = generate_enterprise_tables(seed=3, num_rows=(600, 400, 300))
+        from repro.workloads.queries import QueryWorkload
+        from repro.tabular import Predicate, Query
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        queries, frequencies = [], []
+        for index in range(30):
+            threshold = int(rng.integers(0, 9000))
+            queries.append(
+                Query("events", (Predicate("int_0", ">=", threshold),), name=f"q{index}")
+            )
+            frequencies.append(float(rng.uniform(1, 50)))
+        workload = QueryWorkload(queries=queries, frequencies=frequencies)
+        config = ScopeConfig(rows_per_file=100, target_total_gb=1.5)
+        pipeline = ScopePipeline(tables, workload, config).prepare()
+        rows = pipeline.run_suite(paper_variant_suite()[:3])
+        assert len(rows) == 3
+        assert all(row.total_cost > 0 for row in rows)
+
+
+class TestReportFormatting:
+    def test_format_pipeline_table_contains_all_rows(self, pipeline):
+        rows = pipeline.run_suite(paper_variant_suite()[:2])
+        text = format_pipeline_table(rows, title="demo")
+        assert "demo" in text
+        assert "Default (store on premium)" in text
+        assert "Ares" in text
+
+    def test_pipeline_row_as_dict(self):
+        row = PipelineRow(
+            variant="x", other_method="-", uses_partitioning=True, uses_tiering=False,
+            uses_compression=False, storage_cost=1.0, decompression_cost=0.0,
+            read_cost=2.0, total_cost=3.0, read_latency_s=0.1,
+            expected_decompression_latency_ms=0.0, tier_counts=[1], num_partitions=1,
+        )
+        data = row.as_dict()
+        assert data["total_cost"] == 3.0 and data["P"] is True
+
+    def test_format_matrix(self):
+        text = format_matrix([[5, 1], [0, 7]], ["hot", "cool"], ["hot", "cool"], title="confusion")
+        assert "confusion" in text and "hot" in text and "7" in text

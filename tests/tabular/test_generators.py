@@ -1,0 +1,94 @@
+"""Tests for the random table generators."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import (
+    DataType,
+    categorical_column,
+    float_column,
+    integer_column,
+    random_strings,
+    random_table,
+    string_column,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestColumnGenerators:
+    def test_random_strings_shape(self, rng):
+        strings = random_strings(rng, 10, length=8)
+        assert len(strings) == 10
+        assert all(len(s) == 8 for s in strings)
+
+    def test_random_strings_empty(self, rng):
+        assert random_strings(rng, 0) == []
+
+    def test_random_strings_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_strings(rng, -1)
+
+    def test_categorical_respects_cardinality(self, rng):
+        column = categorical_column(rng, "c", 500, cardinality=5)
+        assert column.distinct_count() <= 5
+        assert column.dtype == DataType.STRING
+
+    def test_categorical_zipf_skew_concentrates_values(self, rng):
+        skewed = categorical_column(rng, "c", 2000, cardinality=50, zipf_exponent=2.0)
+        counts = sorted(skewed.value_counts().values(), reverse=True)
+        assert counts[0] > 0.3 * sum(counts)
+
+    def test_categorical_invalid_cardinality(self, rng):
+        with pytest.raises(ValueError):
+            categorical_column(rng, "c", 10, cardinality=0)
+
+    def test_integer_column_range(self, rng):
+        column = integer_column(rng, "i", 200, low=5, high=10)
+        assert all(5 <= value < 10 for value in column.values)
+        assert column.dtype == DataType.INT
+
+    def test_integer_column_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            integer_column(rng, "i", 10, low=5, high=5)
+
+    def test_float_column_range_and_rounding(self, rng):
+        column = float_column(rng, "f", 200, low=0.0, high=1.0, decimals=1)
+        assert all(0.0 <= value <= 1.0 for value in column.values)
+        assert all(round(value, 1) == value for value in column.values)
+
+    def test_string_column_high_entropy(self, rng):
+        column = string_column(rng, "s", 300, length=20)
+        assert column.distinct_count() == 300
+
+
+class TestRandomTable:
+    def test_shape_matches_configuration(self, rng):
+        table = random_table(
+            rng, 100, num_categorical=2, num_int=3, num_float=1, num_text=2
+        )
+        assert table.num_rows == 100
+        assert table.num_columns == 8
+
+    def test_determinism_with_same_seed(self):
+        first = random_table(np.random.default_rng(7), 50)
+        second = random_table(np.random.default_rng(7), 50)
+        assert list(first.iter_rows()) == list(second.iter_rows())
+
+    def test_sort_by_orders_rows(self, rng):
+        table = random_table(rng, 100, sort_by="int_0")
+        values = table["int_0"].values
+        assert values == sorted(values)
+
+    def test_invalid_row_count(self, rng):
+        with pytest.raises(ValueError):
+            random_table(rng, 0)
+
+    def test_lower_cardinality_compresses_better(self, rng):
+        """Repetition knob sanity: low-cardinality tables have fewer distinct values."""
+        low = random_table(np.random.default_rng(1), 400, categorical_cardinality=4, num_text=0)
+        high = random_table(np.random.default_rng(1), 400, categorical_cardinality=400, num_text=0)
+        assert low["cat_0"].distinct_count() < high["cat_0"].distinct_count()

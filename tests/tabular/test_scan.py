@@ -1,0 +1,87 @@
+"""Tests for the predicate/scan engine."""
+
+import pytest
+
+from repro.tabular import Column, DataType, Predicate, Query, Table, run_query
+
+
+@pytest.fixture
+def table():
+    return Table(
+        [
+            Column("day", DataType.STRING, ["2023-01-01", "2023-02-01", "2023-03-01", "2023-04-01"]),
+            Column("qty", DataType.INT, [5, 15, 25, 35]),
+            Column("flag", DataType.STRING, ["A", "N", "A", "R"]),
+        ],
+        name="events",
+    )
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "op,value,probe,expected",
+        [
+            ("==", 5, 5, True),
+            ("==", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("<", 10, 5, True),
+            ("<=", 10, 10, True),
+            (">", 10, 11, True),
+            (">=", 10, 9, False),
+            ("in", (1, 2, 3), 2, True),
+            ("in", (1, 2, 3), 9, False),
+            ("between", (5, 10), 7, True),
+            ("between", (5, 10), 11, False),
+        ],
+    )
+    def test_matches(self, op, value, probe, expected):
+        assert Predicate("x", op, value).matches(probe) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("x", "~", 1)
+
+    def test_between_requires_pair(self):
+        with pytest.raises(ValueError):
+            Predicate("x", "between", 5)
+
+
+class TestRunQuery:
+    def test_equality_filter(self, table):
+        result = run_query(table, Query("events", (Predicate("flag", "==", "A"),)))
+        assert result.num_rows == 2
+        assert result["qty"].values == [5, 25]
+
+    def test_range_filter_on_dates(self, table):
+        query = Query(
+            "events", (Predicate("day", "between", ("2023-02-01", "2023-03-31")),)
+        )
+        result = run_query(table, query)
+        assert result["day"].values == ["2023-02-01", "2023-03-01"]
+
+    def test_conjunction(self, table):
+        query = Query(
+            "events",
+            (Predicate("qty", ">=", 10), Predicate("flag", "==", "A")),
+        )
+        result = run_query(table, query)
+        assert result["qty"].values == [25]
+
+    def test_projection(self, table):
+        query = Query("events", (Predicate("qty", ">", 0),), projection=("flag",))
+        result = run_query(table, query)
+        assert result.column_names == ["flag"]
+
+    def test_no_predicates_returns_all_rows(self, table):
+        assert run_query(table, Query("events")).num_rows == table.num_rows
+
+    def test_empty_result(self, table):
+        assert run_query(table, Query("events", (Predicate("qty", ">", 99),))).num_rows == 0
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            run_query(table, Query("events", (Predicate("missing", "==", 1),)))
+
+    def test_query_name_propagates_to_result(self, table):
+        result = run_query(table, Query("events", (), name="q1"))
+        assert result.name == "q1"

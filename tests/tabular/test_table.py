@@ -1,0 +1,131 @@
+"""Tests for the in-memory typed table."""
+
+import pytest
+
+from repro.tabular import Column, DataType, Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        [
+            Column("id", DataType.INT, [3, 1, 2, 4]),
+            Column("grp", DataType.STRING, ["a", "b", "a", "b"]),
+            Column("val", DataType.FLOAT, [1.5, 2.5, 3.5, 4.5]),
+        ],
+        name="demo",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, table):
+        assert table.num_rows == 4
+        assert table.num_columns == 3
+        assert table.column_names == ["id", "grp", "val"]
+        assert table.dtypes["grp"] == DataType.STRING
+        assert len(table) == 4
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", DataType.INT, [1]), Column("b", DataType.INT, [1, 2])])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Table([Column("a", DataType.INT, [1]), Column("a", DataType.INT, [2])])
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            Column("a", "decimal", [1])
+
+    def test_from_rows_infers_dtypes(self):
+        table = Table.from_rows([(1, "x", 0.5), (2, "y", 1.5)], ["i", "s", "f"])
+        assert table.dtypes == {"i": DataType.INT, "s": DataType.STRING, "f": DataType.FLOAT}
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            Table.from_rows([(1, 2), (3,)], ["a", "b"])
+
+    def test_from_dict(self):
+        table = Table.from_dict({"a": [1, 2], "b": ["x", "y"]})
+        assert table.num_rows == 2
+        assert table["b"].values == ["x", "y"]
+
+
+class TestAccess:
+    def test_row_and_iter_rows(self, table):
+        assert table.row(1) == (1, "b", 2.5)
+        assert list(table.iter_rows())[0] == (3, "a", 1.5)
+
+    def test_getitem_and_contains(self, table):
+        assert table["id"].values == [3, 1, 2, 4]
+        assert "val" in table and "missing" not in table
+
+    def test_column_value_counts(self, table):
+        counts = table["grp"].value_counts()
+        assert counts["a"] == 2 and counts["b"] == 2
+        assert table["grp"].distinct_count() == 2
+
+
+class TestTransformations:
+    def test_select_rows_preserves_order(self, table):
+        subset = table.select_rows([2, 0])
+        assert subset["id"].values == [2, 3]
+
+    def test_select_rows_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.select_rows([10])
+
+    def test_filter(self, table):
+        filtered = table.filter(lambda row: row[0] > 2)
+        assert filtered["id"].values == [3, 4]
+
+    def test_project(self, table):
+        projected = table.project(["val", "id"])
+        assert projected.column_names == ["val", "id"]
+
+    def test_project_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.project(["nope"])
+
+    def test_head_and_slice(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(100).num_rows == 4
+        assert table.slice(1, 3)["id"].values == [1, 2]
+        assert table.slice(3, 2).num_rows == 0
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by("id")
+        assert ordered["id"].values == [1, 2, 3, 4]
+        reverse = table.sort_by("id", descending=True)
+        assert reverse["id"].values == [4, 3, 2, 1]
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.num_rows == 8
+        assert doubled["id"].values[:4] == table["id"].values
+
+    def test_concat_schema_mismatch(self, table):
+        other = Table([Column("x", DataType.INT, [1])])
+        with pytest.raises(ValueError):
+            table.concat(other)
+
+
+class TestStatistics:
+    def test_columns_by_dtype(self, table):
+        groups = table.columns_by_dtype()
+        assert {dtype: len(columns) for dtype, columns in groups.items()} == {
+            DataType.INT: 1,
+            DataType.STRING: 1,
+            DataType.FLOAT: 1,
+        }
+
+    def test_approx_row_bytes_positive(self, table):
+        assert table.approx_row_bytes() > 0
+
+    def test_approx_row_bytes_empty(self):
+        empty = Table([Column("a", DataType.INT, [])])
+        assert empty.approx_row_bytes() == 0.0

@@ -1,0 +1,135 @@
+"""Tests for access-log pattern generators and the enterprise catalog generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    AccessPattern,
+    CUSTOMER_ACCOUNT_PRESETS,
+    EnterpriseCatalogConfig,
+    PATTERN_NAMES,
+    generate_enterprise_catalog,
+    generate_enterprise_tables,
+    generate_monthly_reads,
+    generate_monthly_writes,
+    zipf_dataset_weights,
+)
+
+
+@pytest.fixture
+def generator():
+    return np.random.default_rng(77)
+
+
+class TestAccessPatterns:
+    def test_all_patterns_produce_nonnegative_series(self, generator):
+        for pattern in PATTERN_NAMES:
+            series = generate_monthly_reads(generator, pattern, months=24)
+            assert len(series) == 24
+            assert all(value >= 0 for value in series)
+
+    def test_decaying_pattern_decreases(self, generator):
+        series = generate_monthly_reads(
+            generator, AccessPattern.DECAYING, months=24, noise=0.0
+        )
+        assert series[0] > series[-1]
+        assert sum(series[:6]) > sum(series[-6:])
+
+    def test_constant_pattern_is_flat(self, generator):
+        series = generate_monthly_reads(
+            generator, AccessPattern.CONSTANT, months=12, base_level=50.0, noise=0.0
+        )
+        assert all(value == pytest.approx(50.0) for value in series)
+
+    def test_periodic_pattern_has_peaks_and_valleys(self, generator):
+        series = generate_monthly_reads(
+            generator, AccessPattern.PERIODIC, months=36, base_level=100.0, noise=0.0
+        )
+        assert max(series) > 5 * (min(series) + 1e-9)
+
+    def test_spike_pattern_has_single_dominant_month(self, generator):
+        series = generate_monthly_reads(
+            generator, AccessPattern.SPIKE, months=18, base_level=10.0, noise=0.0
+        )
+        assert max(series) > 0.5 * sum(series)
+
+    def test_inactive_pattern_is_mostly_zero(self, generator):
+        series = generate_monthly_reads(generator, AccessPattern.INACTIVE, months=12)
+        assert sum(1 for value in series if value == 0) >= 10
+
+    def test_unknown_pattern_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generate_monthly_reads(generator, "bursty", months=12)
+
+    def test_invalid_months_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generate_monthly_reads(generator, AccessPattern.CONSTANT, months=0)
+
+    def test_writes_concentrate_at_ingestion(self, generator):
+        series = generate_monthly_writes(generator, months=12, ingest_heavy=True)
+        assert series[0] == max(series)
+
+    def test_zipf_weights_sum_to_one_and_skew(self, generator):
+        weights = zipf_dataset_weights(generator, 100, exponent=1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights.max() > 10 * np.median(weights)
+
+
+class TestEnterpriseCatalog:
+    def test_catalog_matches_config(self, enterprise_catalog):
+        catalog, patterns = enterprise_catalog
+        assert len(catalog) == 80
+        assert catalog.total_size_gb == pytest.approx(50_000.0)
+        assert set(patterns.values()) <= set(PATTERN_NAMES)
+
+    def test_access_skew_across_datasets(self, enterprise_catalog):
+        """Fig. 1a: a few datasets account for most accesses."""
+        catalog, _ = enterprise_catalog
+        totals = sorted(
+            (sum(dataset.monthly_reads) for dataset in catalog), reverse=True
+        )
+        top_decile = sum(totals[: max(1, len(totals) // 10)])
+        assert top_decile > 0.4 * sum(totals)
+
+    def test_pattern_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            EnterpriseCatalogConfig(pattern_mix=((AccessPattern.CONSTANT, 0.5),))
+
+    def test_unknown_pattern_in_mix_rejected(self):
+        with pytest.raises(ValueError):
+            EnterpriseCatalogConfig(
+                pattern_mix=(("bursty", 0.5), (AccessPattern.CONSTANT, 0.5))
+            )
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            EnterpriseCatalogConfig(num_datasets=0)
+        with pytest.raises(ValueError):
+            EnterpriseCatalogConfig(total_size_gb=0.0)
+
+    def test_generation_is_deterministic(self):
+        config = EnterpriseCatalogConfig(num_datasets=20, total_size_gb=100.0, seed=5)
+        first, _ = generate_enterprise_catalog(config)
+        second, _ = generate_enterprise_catalog(config)
+        assert [d.size_gb for d in first] == [d.size_gb for d in second]
+        assert [d.monthly_reads for d in first] == [d.monthly_reads for d in second]
+
+    def test_customer_presets_cover_table2(self):
+        assert len(CUSTOMER_ACCOUNT_PRESETS) == 4
+        names = [name for name, _, _ in CUSTOMER_ACCOUNT_PRESETS]
+        assert names == ["customer_a", "customer_b", "customer_c", "customer_d"]
+
+
+class TestEnterpriseTables:
+    def test_three_tables_with_distinct_repetitiveness(self):
+        tables = generate_enterprise_tables(seed=3, num_rows=(500, 400, 300))
+        assert set(tables) == {"events", "profiles", "lookups"}
+        assert tables["events"].num_rows == 500
+        # The lookup table is built from low-cardinality columns only.
+        lookup_distinct = tables["lookups"]["cat_0"].distinct_count()
+        profile_distinct = tables["profiles"]["cat_0"].distinct_count()
+        assert lookup_distinct < profile_distinct
+
+    def test_row_count_validation(self):
+        with pytest.raises(ValueError):
+            generate_enterprise_tables(num_rows=(100, 100))

@@ -1,0 +1,131 @@
+"""Tests for file splitting, query generation, footprints and query families."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    QueryWorkload,
+    build_query_families,
+    generate_tpch_queries,
+    query_footprint,
+    split_table_into_files,
+    zipf_frequencies,
+)
+from repro.tabular import Predicate, Query
+
+
+class TestSplitTableIntoFiles:
+    def test_files_cover_all_rows(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        split = split_table_into_files(lineitem, rows_per_file=100)
+        assert sum(block.num_records for block in split.files) == lineitem.num_rows
+        starts = [start for start, _ in split.row_ranges]
+        assert starts == sorted(starts)
+
+    def test_file_ids_unique_and_prefixed(self, tpch_table_files):
+        split = tpch_table_files["orders"]
+        assert len(set(split.file_ids)) == len(split.file_ids)
+        assert all(file_id.startswith("orders.f") for file_id in split.file_ids)
+
+    def test_size_scale_inflates_gb(self, tpch_db):
+        base = split_table_into_files(tpch_db["orders"], rows_per_file=100)
+        scaled = split_table_into_files(tpch_db["orders"], rows_per_file=100, size_scale=10.0)
+        assert scaled.total_size_gb == pytest.approx(base.total_size_gb * 10.0)
+
+    def test_file_for_row_and_block_by_id(self, tpch_table_files):
+        split = tpch_table_files["customer"]
+        file_id = split.file_for_row(0)
+        assert split.block_by_id(file_id).num_records > 0
+        with pytest.raises(IndexError):
+            split.file_for_row(10 ** 9)
+        with pytest.raises(KeyError):
+            split.block_by_id("nope")
+
+    def test_invalid_arguments(self, tpch_db):
+        with pytest.raises(ValueError):
+            split_table_into_files(tpch_db["orders"], rows_per_file=0)
+        with pytest.raises(ValueError):
+            split_table_into_files(tpch_db["orders"], rows_per_file=10, size_scale=0.0)
+
+
+class TestQueryFootprint:
+    def test_date_range_touches_contiguous_subset(self, tpch_db, tpch_table_files):
+        split = tpch_table_files["lineitem"]
+        query = Query(
+            "lineitem",
+            (Predicate("l_shipdate", "between", ("1995-01-01", "1995-06-28")),),
+        )
+        footprint = query_footprint(split, query)
+        assert 0 < len(footprint) < len(split.files)
+
+    def test_no_predicates_touches_every_file(self, tpch_table_files):
+        split = tpch_table_files["orders"]
+        assert query_footprint(split, Query("orders")) == frozenset(split.file_ids)
+
+    def test_unselective_predicate_touches_every_file(self, tpch_table_files):
+        split = tpch_table_files["lineitem"]
+        query = Query("lineitem", (Predicate("l_quantity", ">=", 1),))
+        assert query_footprint(split, query) == frozenset(split.file_ids)
+
+    def test_empty_footprint_for_impossible_predicate(self, tpch_table_files):
+        split = tpch_table_files["lineitem"]
+        query = Query("lineitem", (Predicate("l_quantity", ">", 10 ** 9),))
+        assert query_footprint(split, query) == frozenset()
+
+
+class TestWorkloadGeneration:
+    def test_paper_protocol_counts(self, tpch_db):
+        workload = generate_tpch_queries(tpch_db, queries_per_template=2, seed=1)
+        assert len(workload) == 44  # 22 templates x 2 instances
+        assert workload.total_accesses == pytest.approx(1000.0)
+
+    def test_uniform_vs_skewed_frequencies(self, tpch_db):
+        uniform = generate_tpch_queries(tpch_db, queries_per_template=2, skew_exponent=0.0, seed=2)
+        skewed = generate_tpch_queries(tpch_db, queries_per_template=2, skew_exponent=1.5, seed=2)
+        assert max(uniform.frequencies) == pytest.approx(min(uniform.frequencies))
+        assert max(skewed.frequencies) > 10 * min(skewed.frequencies)
+
+    def test_skew_favours_date_range_queries(self, tpch_db):
+        """Recency weighting: the heaviest query carries a date predicate."""
+        workload = generate_tpch_queries(tpch_db, queries_per_template=2, skew_exponent=1.5, seed=3)
+        top_query = workload.queries[int(np.argmax(workload.frequencies))]
+        values = []
+        for predicate in top_query.predicates:
+            value = predicate.value
+            values.extend(value if isinstance(value, (tuple, list)) else [value])
+        assert any(isinstance(v, str) and len(v) == 10 and v[4] == "-" for v in values)
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=[Query("t")], frequencies=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=[Query("t")], frequencies=[-1.0])
+
+    def test_zipf_frequencies_sum_and_validation(self, rng):
+        frequencies = zipf_frequencies(rng, 20, total_accesses=500.0, exponent=1.2)
+        assert sum(frequencies) == pytest.approx(500.0)
+        with pytest.raises(ValueError):
+            zipf_frequencies(rng, 0, 10.0)
+
+
+class TestQueryFamilies:
+    def test_families_group_identical_footprints(self, tpch_db, tpch_table_files, tpch_workload):
+        families = build_query_families(tpch_table_files, tpch_workload)
+        assert families, "expected at least one non-empty query family"
+        footprints = [family.file_ids for family in families]
+        assert len(set(footprints)) == len(footprints)
+        total_frequency = sum(family.frequency for family in families)
+        assert total_frequency <= tpch_workload.total_accesses + 1e-6
+
+    def test_family_metadata_consistent(self, tpch_table_files, tpch_workload):
+        families = build_query_families(tpch_table_files, tpch_workload)
+        for family in families:
+            assert family.num_records > 0
+            assert family.size_gb > 0
+            assert family.queries
+            table_name = next(iter(family.file_ids)).split(".f")[0]
+            assert all(file_id.startswith(table_name) for file_id in family.file_ids)
+
+    def test_missing_table_split_raises(self, tpch_workload):
+        with pytest.raises(KeyError):
+            build_query_families({}, tpch_workload)

@@ -1,0 +1,70 @@
+"""Tests for the synthetic TPC-H-like generator."""
+
+import pytest
+
+from repro.workloads import TPCH_TABLE_NAMES, TpchConfig, generate_tpch
+
+
+class TestConfig:
+    def test_scale_controls_row_counts(self):
+        small = TpchConfig(scale=0.1)
+        large = TpchConfig(scale=1.0)
+        assert small.rows_for("lineitem") < large.rows_for("lineitem")
+        assert small.rows_for("lineitem") >= 1
+
+    def test_invalid_scale_and_skew(self):
+        with pytest.raises(ValueError):
+            TpchConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            TpchConfig(skew=-1.0)
+
+
+class TestGeneration:
+    def test_all_eight_tables_present(self, tpch_db):
+        assert set(tpch_db.table_names) == set(TPCH_TABLE_NAMES)
+        assert "lineitem" in tpch_db
+        assert tpch_db.total_rows > 0
+
+    def test_relative_table_sizes(self, tpch_db):
+        assert tpch_db["lineitem"].num_rows > tpch_db["orders"].num_rows
+        assert tpch_db["orders"].num_rows > tpch_db["customer"].num_rows
+        assert tpch_db["region"].num_rows <= tpch_db["nation"].num_rows
+
+    def test_schema_of_lineitem(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        for column in ("l_orderkey", "l_shipdate", "l_quantity", "l_returnflag", "l_shipmode"):
+            assert column in lineitem
+
+    def test_fact_tables_are_date_sorted(self, tpch_db):
+        ship_dates = tpch_db["lineitem"]["l_shipdate"].values
+        order_dates = tpch_db["orders"]["o_orderdate"].values
+        assert ship_dates == sorted(ship_dates)
+        assert order_dates == sorted(order_dates)
+
+    def test_deterministic_generation(self):
+        config = TpchConfig(scale=0.02, seed=5)
+        first = generate_tpch(config)
+        second = generate_tpch(config)
+        assert list(first["orders"].iter_rows()) == list(second["orders"].iter_rows())
+
+    def test_foreign_keys_within_range(self, tpch_db):
+        n_orders = tpch_db["orders"].num_rows
+        assert all(1 <= key <= n_orders for key in tpch_db["lineitem"]["l_orderkey"].values)
+        n_nation = tpch_db["nation"].num_rows
+        assert all(0 <= key < n_nation for key in tpch_db["customer"]["c_nationkey"].values)
+
+    def test_skew_concentrates_foreign_keys(self):
+        uniform = generate_tpch(TpchConfig(scale=0.05, skew=0.0, seed=9))
+        skewed = generate_tpch(TpchConfig(scale=0.05, skew=3.0, seed=9))
+
+        def top_share(table):
+            counts = table["l_partkey"].value_counts()
+            total = sum(counts.values())
+            return max(counts.values()) / total
+
+        assert top_share(skewed["lineitem"]) > top_share(uniform["lineitem"])
+
+    def test_dates_in_tpch_range(self, tpch_db):
+        for date in tpch_db["orders"]["o_orderdate"].values[:200]:
+            year = int(date[:4])
+            assert 1992 <= year <= 1999
