@@ -1,0 +1,168 @@
+"""Online tiering engine benchmark: end-to-end bills and per-epoch wall-clock.
+
+Replays a 36-month drifting workload (hot sets rotating at months 12 and 24)
+under the three re-optimization policies and records, per policy, the total
+simulated bill and the wall-clock cost of every epoch of the control loop.
+Also measures the :class:`repro.engine.FeatureStore` ingest path over growing
+stream lengths with a fixed per-epoch event rate: the mean per-epoch ingest
+time must stay roughly flat as the horizon grows (O(new events), not
+O(trace)), which is the scaling property the engine's hot path is built
+around.
+
+Writes ``BENCH_engine_online.json`` (machine-readable, schema below) so the
+perf trajectory can be tracked across commits.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_engine_online.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cloud import DataPartition, azure_tier_catalog  # noqa: E402
+from repro.engine import (  # noqa: E402
+    DriftTriggered,
+    EngineConfig,
+    FeatureStore,
+    OnlineTieringEngine,
+    PeriodicReoptimize,
+    SeriesStream,
+    StaticOnce,
+)
+from repro.workloads import DriftSegment, generate_drifting_reads  # noqa: E402
+
+MONTHS = 36
+NUM_DATASETS = 120
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine_online.json"
+
+
+def build_workload(seed: int = 29):
+    rng = np.random.default_rng(seed)
+    series: dict[str, list[float]] = {}
+    partitions: list[DataPartition] = []
+    segment_menu = [
+        ([DriftSegment("constant", 12), DriftSegment("inactive", 24)], 80.0),
+        (
+            [
+                DriftSegment("inactive", 12),
+                DriftSegment("constant", 12),
+                DriftSegment("decaying", 12),
+            ],
+            0.0,
+        ),
+        ([DriftSegment("inactive", 24), DriftSegment("spike", 12)], 0.0),
+        ([DriftSegment("decaying", MONTHS)], 40.0),
+        ([DriftSegment("periodic", MONTHS)], 30.0),
+    ]
+    for index in range(NUM_DATASETS):
+        segments, prior = segment_menu[index % len(segment_menu)]
+        name = f"dataset_{index:04d}"
+        series[name] = generate_drifting_reads(rng, segments, base_level=80.0)
+        partitions.append(
+            DataPartition(
+                name=name,
+                size_gb=float(rng.uniform(50.0, 600.0)),
+                predicted_accesses=prior,
+                latency_threshold_s=7200.0,
+                current_tier=0,
+            )
+        )
+    return series, partitions
+
+
+def run_policies(series, partitions):
+    tiers = azure_tier_catalog(include_premium=False, include_archive=True)
+    config = EngineConfig(horizon_months=6.0, window_months=6)
+    policies = [
+        StaticOnce(),
+        PeriodicReoptimize(period_months=3),
+        DriftTriggered(threshold=0.4, min_gap_months=2),
+    ]
+    results = {}
+    for policy in policies:
+        engine = OnlineTieringEngine(partitions, tiers, policy, config)
+        started = time.perf_counter()
+        report = engine.run(SeriesStream(series))
+        elapsed = time.perf_counter() - started
+        results[policy.name] = {
+            **report.summary(),
+            "wall_clock_total_s": elapsed,
+            "epoch_wall_clock_s": [record.wall_clock_s for record in report.records],
+            "epoch_bill_cents": [record.bill_total for record in report.records],
+        }
+        print(
+            f"{policy.name:18s} bill={report.total_bill / 100.0:12.2f} $  "
+            f"reopts={report.num_reoptimizations:3d}  "
+            f"epochs/s={report.num_epochs / elapsed:8.1f}"
+        )
+    return results
+
+
+def feature_store_scaling(events_per_epoch: int = 200, horizons=(60, 240, 960)):
+    """Mean per-epoch ingest time for growing horizons at a fixed event rate.
+
+    Flat means the ingest path is O(events this epoch); an O(trace) recompute
+    would grow linearly with the horizon.
+    """
+    rng = np.random.default_rng(7)
+    names = [f"p{i:04d}" for i in range(500)]
+    rows = []
+    for horizon in horizons:
+        store = FeatureStore(window_months=6)
+        started = time.perf_counter()
+        for epoch in range(horizon):
+            chosen = rng.choice(len(names), size=events_per_epoch, replace=True)
+            counts: dict[str, float] = {}
+            for index in chosen:
+                name = names[index]
+                counts[name] = counts.get(name, 0.0) + 1.0
+            store.observe_counts(epoch, counts)
+        per_epoch = (time.perf_counter() - started) / horizon
+        rows.append({"epochs": horizon, "mean_ingest_s_per_epoch": per_epoch})
+        print(
+            f"feature store: {horizon:5d} epochs -> "
+            f"{per_epoch * 1e6:9.1f} us/epoch ingest"
+        )
+    flatness = rows[-1]["mean_ingest_s_per_epoch"] / rows[0]["mean_ingest_s_per_epoch"]
+    print(
+        f"feature store flatness ratio (longest/shortest horizon): {flatness:.2f}x "
+        f"({horizons[-1] // horizons[0]}x more epochs)"
+    )
+    return {"events_per_epoch": events_per_epoch, "rows": rows, "flatness_ratio": flatness}
+
+
+def main() -> None:
+    series, partitions = build_workload()
+    total_gb = sum(partition.size_gb for partition in partitions)
+    print(
+        f"workload: {NUM_DATASETS} datasets, {total_gb / 1024.0:.1f} TB, "
+        f"{MONTHS}-month drifting stream"
+    )
+    policies = run_policies(series, partitions)
+    scaling = feature_store_scaling()
+
+    payload = {
+        "benchmark": "engine_online",
+        "workload": {
+            "datasets": NUM_DATASETS,
+            "months": MONTHS,
+            "total_gb": total_gb,
+        },
+        "policies": policies,
+        "feature_store_scaling": scaling,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

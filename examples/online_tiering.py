@@ -1,0 +1,140 @@
+"""Online tiering scenario: continuous SCOPe over a drifting access stream.
+
+The batch pipeline optimizes placements once from a historical trace.  This
+example runs the :mod:`repro.engine` control loop on a 36-month synthetic
+workload whose access patterns *drift* — hot datasets go silent, cold archives
+suddenly reactivate (the marketing-campaign case from the paper's
+introduction), others decay or cycle seasonally — and compares three
+re-optimization policies on the true end-to-end bill (storage + reads +
+decompression + migrations + early-deletion penalties):
+
+* ``StaticOnce``          — the paper's batch flow: optimize at month 0, never revisit;
+* ``PeriodicReoptimize``  — re-run forecasting + OPTASSIGN every 3 months;
+* ``DriftTriggered``      — re-optimize only when the observed access
+                            distribution diverges from the forecast.
+
+Expected outcome: both adaptive policies beat the static baseline by a wide
+margin, and the drift-triggered policy matches the periodic one's bill while
+paying for far fewer re-optimization + migration rounds.
+
+Run with:  python examples/online_tiering.py
+"""
+
+import numpy as np
+
+from repro.cloud import DataPartition, azure_tier_catalog
+from repro.engine import (
+    DriftTriggered,
+    EngineConfig,
+    OnlineTieringEngine,
+    PeriodicReoptimize,
+    SeriesStream,
+    StaticOnce,
+)
+from repro.workloads import DriftSegment, generate_drifting_reads
+
+MONTHS = 36
+NUM_DATASETS = 30
+
+
+def build_drifting_account(seed: int = 11):
+    """A synthetic account whose hot set rotates at months 12 and 24."""
+    rng = np.random.default_rng(seed)
+    series: dict[str, list[float]] = {}
+    partitions: list[DataPartition] = []
+    for index in range(NUM_DATASETS):
+        name = f"dataset_{index:03d}"
+        role = index % 5
+        if role == 0:  # hot year one, then retired
+            segments = [DriftSegment("constant", 12), DriftSegment("inactive", 24)]
+            prior = 80.0
+        elif role == 1:  # dormant archive reactivated in year two
+            segments = [
+                DriftSegment("inactive", 12),
+                DriftSegment("constant", 12),
+                DriftSegment("decaying", 12),
+            ]
+            prior = 0.0
+        elif role == 2:  # spikes in year three (campaign launch)
+            segments = [DriftSegment("inactive", 24), DriftSegment("spike", 12)]
+            prior = 0.0
+        elif role == 3:  # steady decay over the whole horizon
+            segments = [DriftSegment("decaying", MONTHS)]
+            prior = 40.0
+        else:  # year-on-year seasonality
+            segments = [DriftSegment("periodic", MONTHS)]
+            prior = 30.0
+        series[name] = generate_drifting_reads(rng, segments, base_level=80.0)
+        partitions.append(
+            DataPartition(
+                name=name,
+                size_gb=float(rng.uniform(50.0, 600.0)),
+                predicted_accesses=prior,  # the engine's t=0 monthly prior
+                latency_threshold_s=7200.0,
+                current_tier=0,  # everything starts on the hot tier
+            )
+        )
+    return series, partitions
+
+
+def main() -> None:
+    series, partitions = build_drifting_account()
+    tiers = azure_tier_catalog(include_premium=False, include_archive=True)
+    total_gb = sum(partition.size_gb for partition in partitions)
+    print(
+        f"account: {NUM_DATASETS} datasets, {total_gb / 1024.0:.1f} TB, "
+        f"{MONTHS}-month drifting stream, tiers: {', '.join(tiers.names)}"
+    )
+
+    config = EngineConfig(horizon_months=6.0, window_months=6)
+    policies = [
+        StaticOnce(),
+        PeriodicReoptimize(period_months=3),
+        DriftTriggered(threshold=0.4, min_gap_months=2),
+    ]
+    reports = {}
+    for policy in policies:
+        engine = OnlineTieringEngine(partitions, tiers, policy, config)
+        reports[policy.name] = engine.run(SeriesStream(series))
+
+    print()
+    header = (
+        f"{'policy':18s} {'total bill':>14s} {'reopts':>7s} "
+        f"{'migrations':>11s} {'moved GB':>9s} {'s/epoch':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, report in reports.items():
+        print(
+            f"{name:18s} {report.total_bill / 100.0:12.2f} $ "
+            f"{report.num_reoptimizations:7d} "
+            f"{report.total_migration_cost / 100.0:9.2f} $ "
+            f"{report.total_moved_gb:9.1f} {report.mean_epoch_seconds:8.4f}"
+        )
+
+    static = reports["static_once"]
+    periodic = reports["periodic"]
+    drift = reports["drift_triggered"]
+    saving = 100.0 * (static.total_bill - drift.total_bill) / static.total_bill
+    print()
+    print(
+        f"drift-triggered saves {saving:.1f}% of the static-once bill with "
+        f"{drift.num_reoptimizations} re-optimizations "
+        f"(periodic needed {periodic.num_reoptimizations})"
+    )
+
+    assert drift.total_bill < static.total_bill, (
+        "drift-triggered re-optimization should beat the batch baseline on a "
+        "drifting workload"
+    )
+    assert periodic.total_bill < static.total_bill, (
+        "periodic re-optimization should beat the batch baseline on a "
+        "drifting workload"
+    )
+    assert drift.num_reoptimizations < periodic.num_reoptimizations, (
+        "drift-triggered should re-optimize less often than the periodic policy"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,19 +10,22 @@ guarantees) and every substrate it needs to run on a laptop:
 * :mod:`repro.workloads` — synthetic TPC-H-like data, query workloads and
   enterprise access logs;
 * :mod:`repro.core` — the paper's contribution: OPTASSIGN, COMPREDICT,
-  DATAPART/G-PART, the tier predictor and the SCOPe pipeline.
+  DATAPART/G-PART, the tier predictor and the SCOPe pipeline;
+* :mod:`repro.engine` — the online tiering engine: continuous SCOPe over
+  streaming access logs with pluggable re-optimization policies.
 
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-from . import cloud, compression, core, ml, tabular, workloads
+from . import cloud, compression, core, engine, ml, tabular, workloads
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "cloud",
     "compression",
     "core",
+    "engine",
     "ml",
     "tabular",
     "workloads",

@@ -152,16 +152,108 @@ class CloudStorageSimulator:
             )
 
         # Access charges and latency bookkeeping, from the trace.
+        latency_violations, total_latency, access_count = self._charge_accesses(
+            by_name, placement, access_trace, per_partition, horizon=duration_months
+        )
+
+        for breakdown in per_partition.values():
+            bill += breakdown
+
+        mean_latency = total_latency / access_count if access_count else 0.0
+        return SimulationResult(
+            bill=bill,
+            early_deletion_penalty=early_penalty,
+            latency_violations=latency_violations,
+            access_count=access_count,
+            mean_latency_s=mean_latency,
+            per_partition=per_partition,
+        )
+
+    def step_month(
+        self,
+        partitions: Sequence[DataPartition],
+        placement: Mapping[str, PlacementDecision],
+        access_events: Iterable[AccessEvent],
+        storage_months: float = 1.0,
+    ) -> SimulationResult:
+        """Simulate a single billing epoch incrementally.
+
+        Charges one epoch (``storage_months``) of storage for every partition
+        plus the read/decompression cost and latency of ``access_events``.
+        Unlike :meth:`simulate` it charges **no** tier-change writes and no
+        early-deletion penalties: in the online setting those are one-off
+        charges owned by whoever moves the data (see
+        :class:`repro.engine.MigrationExecutor`), while this method accounts
+        the recurring part of the bill.  The storage, read and decompression
+        components summed over a horizon equal :meth:`simulate`'s exactly;
+        movement charges are the mover's accounting (which may price a move in
+        more detail than :meth:`simulate`'s single write term — e.g. reading
+        the source at its *current* stored size rather than the destination's).
+
+        ``access_events`` may carry any ``month`` value; they are interpreted
+        as "the accesses that happened during this epoch".
+        """
+        if storage_months <= 0:
+            raise ValueError("storage_months must be positive")
+        by_name = {partition.name: partition for partition in partitions}
+        missing = [name for name in by_name if name not in placement]
+        if missing:
+            raise KeyError(f"placement missing partitions: {missing}")
+
+        per_partition: dict[str, CostBreakdown] = {}
+        for partition in partitions:
+            decision = placement[partition.name]
+            tier = self.tiers[decision.tier_index]
+            stored_gb = decision.profile.compressed_gb(partition.size_gb)
+            per_partition[partition.name] = CostBreakdown(
+                storage=tier.storage_cost_for(stored_gb, storage_months)
+            )
+
+        latency_violations, total_latency, access_count = self._charge_accesses(
+            by_name, placement, access_events, per_partition, horizon=None
+        )
+
+        bill = CostBreakdown()
+        for breakdown in per_partition.values():
+            bill += breakdown
+        mean_latency = total_latency / access_count if access_count else 0.0
+        return SimulationResult(
+            bill=bill,
+            early_deletion_penalty=0.0,
+            latency_violations=latency_violations,
+            access_count=access_count,
+            mean_latency_s=mean_latency,
+            per_partition=per_partition,
+        )
+
+    def _charge_accesses(
+        self,
+        by_name: Mapping[str, DataPartition],
+        placement: Mapping[str, PlacementDecision],
+        access_events: Iterable[AccessEvent],
+        per_partition: dict[str, CostBreakdown],
+        horizon: float | None,
+    ) -> tuple[int, float, int]:
+        """Accumulate read/decompression charges into ``per_partition``.
+
+        Returns ``(latency_violations, total_latency, access_count)``.  When
+        ``horizon`` is given, events beyond it raise (the batch contract);
+        ``None`` skips the check (the incremental contract).
+        """
         latency_violations = 0
         total_latency = 0.0
         access_count = 0
-        for event in access_trace:
-            if event.month >= duration_months:
+        for event in access_events:
+            if horizon is not None and event.month >= horizon:
                 raise ValueError(
                     f"access event at month {event.month} is outside the "
-                    f"{duration_months}-month horizon"
+                    f"{horizon}-month horizon"
                 )
-            partition = by_name[event.partition]
+            partition = by_name.get(event.partition)
+            if partition is None:
+                raise KeyError(
+                    f"access event references unknown partition {event.partition!r}"
+                )
             decision = placement[event.partition]
             tier = self.tiers[decision.tier_index]
             read_gb = decision.profile.compressed_gb(partition.read_gb_per_access)
@@ -179,19 +271,7 @@ class CloudStorageSimulator:
             access_count += int(round(event.reads))
             if latency > partition.latency_threshold_s:
                 latency_violations += int(round(event.reads))
-
-        for breakdown in per_partition.values():
-            bill += breakdown
-
-        mean_latency = total_latency / access_count if access_count else 0.0
-        return SimulationResult(
-            bill=bill,
-            early_deletion_penalty=early_penalty,
-            latency_violations=latency_violations,
-            access_count=access_count,
-            mean_latency_s=mean_latency,
-            per_partition=per_partition,
-        )
+        return latency_violations, total_latency, access_count
 
     def _early_deletion_penalty(
         self,

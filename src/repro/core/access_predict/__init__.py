@@ -1,6 +1,7 @@
 """Access-pattern prediction: the optimal-tier classifier and rule baselines (Tables III-IV)."""
 
 from .features import HistorySplit, TierFeatureBuilder, split_history
+from .forecast import WindowedAccessForecaster
 from .labeling import ideal_tier_labels, percent_benefit_vs_baseline, placement_cost
 from .tier_predictor import (
     TierPredictionReport,
@@ -14,6 +15,7 @@ __all__ = [
     "HistorySplit",
     "TierFeatureBuilder",
     "split_history",
+    "WindowedAccessForecaster",
     "ideal_tier_labels",
     "placement_cost",
     "percent_benefit_vs_baseline",

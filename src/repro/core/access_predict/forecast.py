@@ -1,0 +1,125 @@
+"""Warm-start access forecasting over sliding-window features.
+
+The batch experiments predict a dataset's future accesses once, from its full
+history (:mod:`repro.core.access_predict.features`).  The online tiering
+engine (:mod:`repro.engine`) needs the same projection *every epoch* without
+re-reading the trace, so :class:`WindowedAccessForecaster` keeps an
+exponentially-weighted running rate per partition that is updated in
+O(events observed this epoch) and blends it with the short dense window the
+engine's feature store maintains.
+
+The EWMA is stored sparsely: a partition that goes silent is not touched at
+all — the geometric decay of the skipped zero-months is applied lazily when
+the state is next read, so warm-starting across thousands of epochs costs
+nothing for cold data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["WindowedAccessForecaster"]
+
+
+class WindowedAccessForecaster:
+    """Per-partition monthly access-rate forecaster with incremental updates.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher reacts faster to drift.
+    blend:
+        Weight of the EWMA versus the plain window mean when a dense window
+        is supplied to :meth:`forecast_monthly` (1.0 = EWMA only).
+    """
+
+    def __init__(self, alpha: float = 0.4, blend: float = 0.6):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must be in [0, 1]")
+        self.alpha = alpha
+        self.blend = blend
+        # name -> (ewma value, epoch at which that value was current)
+        self._state: dict[str, tuple[float, int]] = {}
+        self._last_epoch: int | None = None
+
+    # -- warm-start updates ---------------------------------------------------
+    def update(self, epoch: int, observed: Mapping[str, float]) -> None:
+        """Fold one epoch of observed read counts into the running rates.
+
+        Only partitions that actually appear in ``observed`` are touched;
+        everything else decays implicitly (months without an update count as
+        zero-read months thanks to the lazy geometric decay).  Epochs must be
+        strictly increasing — one ``update`` call per epoch; folding the same
+        epoch twice would double-apply the EWMA, so aggregate an epoch's
+        observations before calling.
+        """
+        if self._last_epoch is not None and epoch <= self._last_epoch:
+            raise ValueError(
+                f"epochs must be strictly increasing (got {epoch} after "
+                f"{self._last_epoch}); aggregate an epoch's reads into one update"
+            )
+        self._last_epoch = epoch
+        for name, reads in observed.items():
+            if reads < 0:
+                raise ValueError(f"negative read count for {name!r}")
+            previous = self._decayed_rate(name, through_epoch=epoch - 1)
+            self._state[name] = (
+                self.alpha * float(reads) + (1.0 - self.alpha) * previous,
+                epoch,
+            )
+
+    def _decayed_rate(self, name: str, through_epoch: int) -> float:
+        """The EWMA as of ``through_epoch``, decaying lazily over silent months."""
+        state = self._state.get(name)
+        if state is None:
+            return 0.0
+        value, at_epoch = state
+        gap = through_epoch - at_epoch
+        if gap <= 0:
+            return value
+        return value * (1.0 - self.alpha) ** gap
+
+    # -- forecasting -----------------------------------------------------------
+    def rate(self, name: str, epoch: int | None = None) -> float:
+        """Current estimated monthly read rate of one partition."""
+        through = self._last_epoch if epoch is None else epoch
+        if through is None:
+            return 0.0
+        return self._decayed_rate(name, through_epoch=through)
+
+    def forecast_monthly(
+        self,
+        names: Iterable[str],
+        window_series: Mapping[str, Sequence[float]] | None = None,
+        epoch: int | None = None,
+    ) -> dict[str, float]:
+        """Projected reads **per month** for the upcoming horizon.
+
+        When ``window_series`` supplies a dense recent-months series per
+        partition (the engine's feature-store window), the forecast blends
+        the EWMA with the window mean; otherwise it is the EWMA alone.
+        Multiply by the horizon length to get ``predicted_accesses`` for
+        OPTASSIGN.
+        """
+        forecasts: dict[str, float] = {}
+        for name in names:
+            rate = self.rate(name, epoch)
+            series = window_series.get(name) if window_series is not None else None
+            if series:  # an empty window carries no signal — keep the EWMA/prior
+                mean = sum(series) / len(series)
+                rate = self.blend * rate + (1.0 - self.blend) * mean
+            forecasts[name] = max(rate, 0.0)
+        return forecasts
+
+    def __contains__(self, name: str) -> bool:
+        """True if ``name`` already has warm EWMA state."""
+        return name in self._state
+
+    def seed(self, priors: Mapping[str, float], epoch: int = 0) -> None:
+        """Warm-start the running rates from prior knowledge (e.g. batch history)."""
+        for name, rate in priors.items():
+            if rate < 0:
+                raise ValueError(f"negative prior rate for {name!r}")
+            self._state[name] = (float(rate), epoch)

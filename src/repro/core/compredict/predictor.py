@@ -14,6 +14,7 @@ The predictor's output plugs straight into OPTASSIGN as
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -63,16 +64,26 @@ class CompressionPredictor:
         Zero-argument callable returning a fresh regressor with ``fit``/
         ``predict``; called twice per (scheme, layout) — once for the ratio
         target, once for the decompression-speed target.
+    history_limit:
+        Maximum number of labelled samples retained per (scheme, layout) for
+        warm-start retraining via :meth:`partial_fit`.  Old samples fall off
+        the window, so a long-running online system retrains on recent data
+        in bounded time instead of on its whole past.
     """
 
     def __init__(
         self,
         feature_extractor: FeatureExtractor | None = None,
         model_factory: Callable[[], object] = default_model_factory,
+        history_limit: int = 512,
     ):
+        if history_limit <= 0:
+            raise ValueError("history_limit must be positive")
         self.feature_extractor = feature_extractor or FeatureExtractor()
         self.model_factory = model_factory
+        self.history_limit = history_limit
         self._predictors: dict[tuple[str, str], _SchemePredictor] = {}
+        self._sample_windows: dict[tuple[str, str], deque[LabeledSample]] = {}
 
     # -- training ------------------------------------------------------------------
     def fit_labeled(
@@ -91,6 +102,9 @@ class CompressionPredictor:
         ratio_model.fit(features, ratios)
         speed_model.fit(features, speeds)
         self._predictors[(scheme, layout)] = _SchemePredictor(ratio_model, speed_model)
+        self._sample_windows[(scheme, layout)] = deque(
+            labeled[-self.history_limit :], maxlen=self.history_limit
+        )
         return self
 
     def fit(
@@ -105,6 +119,41 @@ class CompressionPredictor:
                 labeled = label_samples(samples, codec, layout)
                 self.fit_labeled(labeled, scheme=codec.name, layout=layout)
         return self
+
+    def partial_fit(
+        self,
+        samples: list[Table],
+        codecs: Iterable[Codec],
+        layouts: Iterable[str] = (Layout.CSV,),
+    ) -> "CompressionPredictor":
+        """Warm-start retraining on newly observed samples.
+
+        Labels the new ``samples``, appends them to the bounded rolling window
+        kept per (scheme, layout) and refits on the window.  In the online
+        tiering setting this is called at re-optimization points with the
+        partitions materialised since the last retrain: the cost is
+        O(window), not O(everything ever measured), and the models track
+        drift in the data's compressibility.
+        """
+        if not samples:
+            raise ValueError("at least one sample is required")
+        for layout in layouts:
+            for codec in codecs:
+                key = (codec.name, layout)
+                labeled = label_samples(samples, codec, layout)
+                window = self._sample_windows.setdefault(
+                    key, deque(maxlen=self.history_limit)
+                )
+                window.extend(labeled)
+                # Refit on the window without clobbering it (fit_labeled
+                # re-seeds the window from its argument, which is the window
+                # itself here, so the deque round-trips unchanged).
+                self.fit_labeled(list(window), scheme=codec.name, layout=layout)
+        return self
+
+    def window_size(self, scheme: str, layout: str = Layout.CSV) -> int:
+        """Number of labelled samples currently retained for warm-start refits."""
+        return len(self._sample_windows.get((scheme, layout), ()))
 
     # -- inference --------------------------------------------------------------------
     @property

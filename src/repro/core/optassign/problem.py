@@ -10,7 +10,7 @@ candidate enumeration so they optimise exactly the same quantity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
 from ...cloud import (
@@ -20,6 +20,7 @@ from ...cloud import (
     DataPartition,
     NO_COMPRESSION_PROFILE,
 )
+from ...cloud.objects import NO_COMPRESSION
 
 __all__ = ["CandidateOption", "OptAssignProblem", "ProfileTable"]
 
@@ -160,6 +161,48 @@ class OptAssignProblem:
     def has_finite_capacity(self) -> bool:
         """True if any tier has a finite reserved capacity."""
         return any(tier.capacity_gb != float("inf") for tier in self.cost_model.tiers)
+
+    def with_current_placement(
+        self,
+        placement: Mapping[str, object],
+        pin_codecs: bool = False,
+    ) -> "OptAssignProblem":
+        """A copy of the problem that knows where the data lives *today*.
+
+        ``placement`` maps partition names to either a tier index (``int``) or
+        anything with a ``tier_index`` attribute (e.g. the simulator's
+        :class:`~repro.cloud.PlacementDecision` or a solver's
+        :class:`~repro.core.optassign.CandidateOption`).  Partitions listed
+        there get ``current_tier`` set accordingly, so the objective's
+        ``Delta_{u,v}`` term charges the true cost of *moving away* from the
+        existing layout — the warm start a rolling re-optimization loop needs
+        (staying put is free, migrating pays read + write).  Partitions not
+        listed keep their current tier.
+
+        With ``pin_codecs`` the current scheme (when the placement entry
+        carries a ``profile.scheme``) is pinned as ``current_codec``,
+        reproducing the paper's already-compressed constraint; by default
+        re-compression is allowed and simply billed.
+        """
+        partitions = []
+        for partition in self.partitions:
+            entry = placement.get(partition.name)
+            if entry is None:
+                partitions.append(partition)
+                continue
+            tier_index = entry if isinstance(entry, int) else int(entry.tier_index)
+            codec = partition.current_codec
+            if pin_codecs:
+                profile = getattr(entry, "profile", None)
+                scheme = getattr(profile, "scheme", None) or getattr(entry, "scheme", None)
+                if scheme is not None:
+                    # The "none" scheme means stored uncompressed, not pinned:
+                    # a later re-optimization may still choose to compress.
+                    codec = None if scheme == NO_COMPRESSION else scheme
+            partitions.append(
+                replace(partition, current_tier=tier_index, current_codec=codec)
+            )
+        return OptAssignProblem(partitions, self.cost_model, self._profiles)
 
     def relaxed(self, latency_factor: float) -> "OptAssignProblem":
         """A copy of the problem with every latency threshold multiplied by ``latency_factor``.

@@ -1,0 +1,134 @@
+"""Event streams: the clock of the online tiering engine.
+
+The batch pipeline consumes a complete historical trace in one shot; the
+online engine consumes the same :class:`repro.cloud.AccessEvent` objects
+*epoch by epoch* (an epoch is one billing month).  An event stream is simply
+an iterable of :class:`EpochBatch` objects with strictly increasing epochs —
+the engine never looks ahead, so any policy evaluated on a stream is causally
+honest.
+
+Three sources are provided:
+
+* :class:`ReplayStream` — replays a recorded flat trace (e.g. the one a batch
+  simulation used), grouping events by month;
+* :class:`SeriesStream` — synthesizes events from per-partition monthly read
+  series, the output format of :mod:`repro.workloads.access_logs` (including
+  the drifting series built with ``generate_drifting_reads``);
+* :func:`stream_from_catalog` — wraps a :class:`repro.cloud.DatasetCatalog`'s
+  recorded ``monthly_reads`` histories as a stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..cloud import AccessEvent, DatasetCatalog
+
+__all__ = ["EpochBatch", "ReplayStream", "SeriesStream", "stream_from_catalog"]
+
+
+@dataclass(frozen=True)
+class EpochBatch:
+    """All access events observed during one epoch (billing month)."""
+
+    epoch: int
+    events: tuple[AccessEvent, ...]
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError("epoch must be non-negative")
+
+    @property
+    def total_reads(self) -> float:
+        return float(sum(event.reads for event in self.events))
+
+    def reads_by_partition(self) -> dict[str, float]:
+        """Aggregated read counts per partition for this epoch."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.partition] = totals.get(event.partition, 0.0) + event.reads
+        return totals
+
+
+class ReplayStream:
+    """Replay a recorded flat access trace epoch by epoch.
+
+    Events are grouped by their ``month`` field; epochs with no events still
+    yield an (empty) batch so storage keeps accruing and periodic policies
+    keep ticking.  ``num_epochs`` extends (or truncates) the horizon; by
+    default it runs through the last recorded event's month.
+    """
+
+    def __init__(self, events: Iterable[AccessEvent], num_epochs: int | None = None):
+        by_epoch: dict[int, list[AccessEvent]] = {}
+        last = -1
+        for event in events:
+            by_epoch.setdefault(event.month, []).append(event)
+            last = max(last, event.month)
+        if num_epochs is None:
+            num_epochs = last + 1
+        if num_epochs <= 0:
+            raise ValueError("the stream needs at least one epoch")
+        self._by_epoch = by_epoch
+        self.num_epochs = num_epochs
+
+    def __iter__(self) -> Iterator[EpochBatch]:
+        for epoch in range(self.num_epochs):
+            yield EpochBatch(
+                epoch=epoch, events=tuple(self._by_epoch.get(epoch, ()))
+            )
+
+    def __len__(self) -> int:
+        return self.num_epochs
+
+
+class SeriesStream:
+    """Synthesize an event stream from per-partition monthly read series.
+
+    ``series`` maps partition names to monthly read counts (index 0 = epoch
+    0), the exact shape produced by
+    :func:`repro.workloads.generate_monthly_reads` and
+    :func:`repro.workloads.generate_drifting_reads`.  Zero-read months emit
+    no event for that partition.  The horizon is the longest series unless
+    ``num_epochs`` overrides it.
+    """
+
+    def __init__(
+        self,
+        series: Mapping[str, Sequence[float]],
+        num_epochs: int | None = None,
+    ):
+        if not series:
+            raise ValueError("at least one partition series is required")
+        if num_epochs is None:
+            num_epochs = max(len(values) for values in series.values())
+        if num_epochs <= 0:
+            raise ValueError("the stream needs at least one epoch")
+        for name, values in series.items():
+            if any(value < 0 for value in values):
+                raise ValueError(f"negative read count in series for {name!r}")
+        self._series = {name: list(values) for name, values in series.items()}
+        self.num_epochs = num_epochs
+
+    def __iter__(self) -> Iterator[EpochBatch]:
+        for epoch in range(self.num_epochs):
+            events = tuple(
+                AccessEvent(month=epoch, partition=name, reads=float(values[epoch]))
+                for name, values in self._series.items()
+                if epoch < len(values) and values[epoch] > 0
+            )
+            yield EpochBatch(epoch=epoch, events=events)
+
+    def __len__(self) -> int:
+        return self.num_epochs
+
+
+def stream_from_catalog(
+    catalog: DatasetCatalog, num_epochs: int | None = None
+) -> SeriesStream:
+    """A stream replaying every dataset's recorded ``monthly_reads`` history."""
+    return SeriesStream(
+        {dataset.name: dataset.monthly_reads for dataset in catalog},
+        num_epochs=num_epochs,
+    )

@@ -1,0 +1,193 @@
+"""Incremental sliding-window access features — the engine's hot path.
+
+A production tiering service observes millions of access events; recomputing
+every partition's windowed features from the full trace each epoch would make
+the control loop O(trace length).  :class:`FeatureStore` instead maintains,
+per partition, a *sparse* deque of (epoch, reads) entries restricted to the
+sliding window plus a handful of running aggregates, with **lazy eviction**:
+
+* :meth:`observe` does O(1) amortized work per event — entries are appended
+  (coalescing within an epoch) and each entry is evicted at most once over
+  its lifetime;
+* partitions that receive no events in an epoch are not touched at all —
+  their stale window totals are corrected on first read, so a million cold
+  partitions cost nothing per epoch;
+* :meth:`snapshot` (called only at re-optimization points) densifies the
+  window per partition in O(partitions x window).
+
+The invariant tested by ``tests/engine/test_feature_store.py`` is exact
+equivalence with a brute-force recompute over the full history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .events import EpochBatch
+
+__all__ = ["PartitionFeatures", "FeatureStore"]
+
+
+@dataclass(frozen=True)
+class PartitionFeatures:
+    """Windowed access features of one partition at one point in time.
+
+    ``window_series`` is dense (one entry per epoch in the window, oldest
+    first), so it can feed :class:`repro.core.access_predict`-style lag
+    features or a forecaster's window mean directly.
+    """
+
+    name: str
+    window_reads: float
+    window_series: tuple[float, ...]
+    lifetime_reads: float
+    epochs_since_access: float
+
+    @property
+    def window_mean(self) -> float:
+        if not self.window_series:
+            return 0.0
+        return self.window_reads / len(self.window_series)
+
+
+class _PartitionState:
+    """Sparse per-partition window state (internal)."""
+
+    __slots__ = ("entries", "window_total", "lifetime_total", "last_access_epoch")
+
+    def __init__(self) -> None:
+        self.entries: deque[list[float]] = deque()  # [epoch, reads] pairs
+        self.window_total = 0.0
+        self.lifetime_total = 0.0
+        self.last_access_epoch = -1
+
+
+class FeatureStore:
+    """Maintains sliding-window access features with O(new events) updates.
+
+    Parameters
+    ----------
+    window_months:
+        Width of the sliding window; the window at epoch ``e`` covers epochs
+        ``(e - window_months, e]``, i.e. the current epoch and the
+        ``window_months - 1`` before it.
+    """
+
+    def __init__(self, window_months: int = 6):
+        if window_months <= 0:
+            raise ValueError("window_months must be positive")
+        self.window_months = window_months
+        self._states: dict[str, _PartitionState] = {}
+        self._epoch = -1
+
+    @property
+    def current_epoch(self) -> int:
+        """The most recent epoch observed (-1 before any observation)."""
+        return self._epoch
+
+    # -- ingestion -------------------------------------------------------------
+    def observe(self, batch: EpochBatch) -> None:
+        """Fold one epoch's events in.  Epochs must be non-decreasing."""
+        if batch.epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {batch.epoch} after {self._epoch})"
+            )
+        self._epoch = batch.epoch
+        for event in batch.events:
+            self._add(event.partition, batch.epoch, event.reads)
+
+    def observe_counts(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
+        """Like :meth:`observe` but from pre-aggregated per-partition counts."""
+        if epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
+            )
+        self._epoch = epoch
+        for name, reads in reads_by_partition.items():
+            self._add(name, epoch, reads)
+
+    def _add(self, name: str, epoch: int, reads: float) -> None:
+        if reads < 0:
+            raise ValueError(f"negative read count for {name!r}")
+        if reads == 0:
+            return
+        state = self._states.get(name)
+        if state is None:
+            state = self._states[name] = _PartitionState()
+        self._evict(state)
+        if state.entries and state.entries[-1][0] == epoch:
+            state.entries[-1][1] += reads
+        else:
+            state.entries.append([epoch, reads])
+        state.window_total += reads
+        state.lifetime_total += reads
+        state.last_access_epoch = max(state.last_access_epoch, epoch)
+
+    def _evict(self, state: _PartitionState) -> None:
+        """Drop entries that have slid out of the window (lazy, amortized O(1))."""
+        boundary = self._epoch - self.window_months
+        entries = state.entries
+        while entries and entries[0][0] <= boundary:
+            _, reads = entries.popleft()
+            state.window_total -= reads
+        if not entries:
+            state.window_total = 0.0  # clamp float residue when empty
+
+    # -- queries ----------------------------------------------------------------
+    def window_reads(self, name: str) -> float:
+        """Total reads of ``name`` within the current window."""
+        state = self._states.get(name)
+        if state is None:
+            return 0.0
+        self._evict(state)
+        return state.window_total
+
+    def lifetime_reads(self, name: str) -> float:
+        state = self._states.get(name)
+        return state.lifetime_total if state is not None else 0.0
+
+    def epochs_since_access(self, name: str) -> float:
+        """Epochs since the last read (``inf`` if never accessed)."""
+        state = self._states.get(name)
+        if state is None or state.last_access_epoch < 0:
+            return float("inf")
+        return float(self._epoch - state.last_access_epoch)
+
+    def window_series(self, name: str) -> tuple[float, ...]:
+        """Dense per-epoch reads over the window, oldest epoch first.
+
+        Before ``window_months`` epochs have elapsed the series is shorter
+        (only the epochs that exist so far), so window means are not diluted
+        by non-existent history.
+        """
+        length = min(self.window_months, self._epoch + 1)
+        if length <= 0:
+            return ()
+        start = self._epoch - length + 1
+        series = [0.0] * length
+        state = self._states.get(name)
+        if state is not None:
+            self._evict(state)
+            for epoch, reads in state.entries:
+                if epoch >= start:
+                    series[epoch - start] = reads
+        return tuple(series)
+
+    def snapshot(self, names: Iterable[str]) -> dict[str, PartitionFeatures]:
+        """Windowed features for ``names`` (used at re-optimization points)."""
+        features: dict[str, PartitionFeatures] = {}
+        for name in names:
+            features[name] = PartitionFeatures(
+                name=name,
+                window_reads=self.window_reads(name),
+                window_series=self.window_series(name),
+                lifetime_reads=self.lifetime_reads(name),
+                epochs_since_access=self.epochs_since_access(name),
+            )
+        return features
+
+    def tracked_partitions(self) -> list[str]:
+        """Names of every partition that has ever been accessed."""
+        return sorted(self._states)

@@ -6,7 +6,9 @@ Experience Platform access logs (see DESIGN.md, substitution table).
 
 from .access_logs import (
     AccessPattern,
+    DriftSegment,
     PATTERN_NAMES,
+    generate_drifting_reads,
     generate_monthly_reads,
     generate_monthly_writes,
     zipf_dataset_weights,
@@ -31,7 +33,9 @@ from .tpch import TPCH_TABLE_NAMES, TpchConfig, TpchDatabase, generate_tpch
 
 __all__ = [
     "AccessPattern",
+    "DriftSegment",
     "PATTERN_NAMES",
+    "generate_drifting_reads",
     "generate_monthly_reads",
     "generate_monthly_writes",
     "zipf_dataset_weights",

@@ -26,7 +26,9 @@ import numpy as np
 
 __all__ = [
     "AccessPattern",
+    "DriftSegment",
     "generate_monthly_reads",
+    "generate_drifting_reads",
     "generate_monthly_writes",
     "zipf_dataset_weights",
     "PATTERN_NAMES",
@@ -102,6 +104,64 @@ def generate_monthly_reads(
     jitter = rng.normal(1.0, noise, size=months)
     series = np.maximum(series * np.clip(jitter, 0.0, None), 0.0)
     return [float(round(value, 3)) for value in series]
+
+
+@dataclass(frozen=True)
+class DriftSegment:
+    """One phase of a drifting access series: a pattern held for some months.
+
+    ``level_scale`` multiplies the series' base level during the segment, so a
+    dataset can go from a cold trickle to a hot burst (or back) at a drift
+    point without changing its qualitative shape parameters.
+    """
+
+    pattern: str
+    months: int
+    level_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.months <= 0:
+            raise ValueError("segment months must be positive")
+        if self.level_scale < 0:
+            raise ValueError("level_scale must be non-negative")
+        if self.pattern not in PATTERN_NAMES:
+            raise ValueError(
+                f"unknown access pattern {self.pattern!r}; expected one of {PATTERN_NAMES}"
+            )
+
+
+def generate_drifting_reads(
+    rng: np.random.Generator,
+    segments: "list[DriftSegment] | tuple[DriftSegment, ...]",
+    base_level: float = 100.0,
+    noise: float = 0.15,
+) -> list[float]:
+    """A monthly read series whose qualitative pattern *changes* over time.
+
+    Real access logs drift: a dataset ingested for a marketing campaign sits
+    inactive for a year and then spikes, a hot events table decays once its
+    product is retired.  Batch SCOPe sees a single aggregate history; the
+    online tiering engine (:mod:`repro.engine`) is driven by exactly these
+    piecewise series, so its policies can be compared on how fast they react
+    at the drift points.
+
+    Each :class:`DriftSegment` is generated independently with
+    :func:`generate_monthly_reads` and the phases are concatenated.
+    """
+    if not segments:
+        raise ValueError("at least one drift segment is required")
+    series: list[float] = []
+    for segment in segments:
+        series.extend(
+            generate_monthly_reads(
+                rng,
+                segment.pattern,
+                months=segment.months,
+                base_level=base_level * segment.level_scale,
+                noise=noise,
+            )
+        )
+    return series
 
 
 def generate_monthly_writes(

@@ -1,0 +1,87 @@
+"""WindowedAccessForecaster: warm-start EWMA rates over sliding windows."""
+
+import pytest
+
+from repro.core.access_predict import WindowedAccessForecaster
+
+
+class TestUpdateAndRate:
+    def test_converges_to_constant_rate(self):
+        forecaster = WindowedAccessForecaster(alpha=0.5, blend=1.0)
+        for epoch in range(20):
+            forecaster.update(epoch, {"a": 10.0})
+        assert forecaster.rate("a") == pytest.approx(10.0, rel=1e-3)
+
+    def test_silent_months_decay_the_rate(self):
+        forecaster = WindowedAccessForecaster(alpha=0.5, blend=1.0)
+        forecaster.update(0, {"a": 16.0})
+        # four silent months: rate halves each month at alpha=0.5
+        assert forecaster.rate("a", epoch=4) == pytest.approx(
+            forecaster.rate("a", epoch=0) * 0.5**4
+        )
+
+    def test_lazy_decay_equals_explicit_zero_updates(self):
+        lazy = WindowedAccessForecaster(alpha=0.3, blend=1.0)
+        explicit = WindowedAccessForecaster(alpha=0.3, blend=1.0)
+        lazy.update(0, {"a": 9.0})
+        explicit.update(0, {"a": 9.0})
+        for epoch in range(1, 6):
+            explicit.update(epoch, {"a": 0.0})
+        lazy.update(6, {"a": 4.0})
+        explicit.update(6, {"a": 4.0})
+        assert lazy.rate("a") == pytest.approx(explicit.rate("a"))
+
+    def test_unknown_partition_rates_zero(self):
+        assert WindowedAccessForecaster().rate("ghost") == 0.0
+
+    def test_rejects_time_travel_and_negatives(self):
+        forecaster = WindowedAccessForecaster()
+        forecaster.update(5, {"a": 1.0})
+        with pytest.raises(ValueError):
+            forecaster.update(4, {"a": 1.0})
+        with pytest.raises(ValueError):
+            forecaster.update(6, {"a": -1.0})
+
+    def test_rejects_repeated_epoch(self):
+        """Folding the same epoch twice would double-apply the EWMA; an
+        epoch's reads must be aggregated into a single update."""
+        forecaster = WindowedAccessForecaster()
+        forecaster.update(5, {"a": 60.0})
+        with pytest.raises(ValueError, match="strictly increasing"):
+            forecaster.update(5, {"a": 40.0})
+
+
+class TestForecast:
+    def test_blends_ewma_with_window_mean(self):
+        forecaster = WindowedAccessForecaster(alpha=1.0, blend=0.5)
+        forecaster.update(0, {"a": 10.0})
+        forecast = forecaster.forecast_monthly(["a"], {"a": (2.0, 4.0)}, epoch=0)
+        assert forecast["a"] == pytest.approx(0.5 * 10.0 + 0.5 * 3.0)
+
+    def test_empty_window_keeps_the_prior(self):
+        forecaster = WindowedAccessForecaster(alpha=1.0, blend=0.5)
+        forecaster.seed({"a": 8.0}, epoch=0)
+        forecast = forecaster.forecast_monthly(["a"], {"a": ()}, epoch=0)
+        assert forecast["a"] == pytest.approx(8.0)
+
+    def test_seed_provides_bootstrap_priors(self):
+        forecaster = WindowedAccessForecaster(alpha=0.4, blend=1.0)
+        forecaster.seed({"hot": 50.0, "cold": 0.0}, epoch=-1)
+        forecast = forecaster.forecast_monthly(["hot", "cold"], epoch=-1)
+        assert forecast["hot"] == pytest.approx(50.0)
+        assert forecast["cold"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedAccessForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            WindowedAccessForecaster(blend=1.5)
+        with pytest.raises(ValueError):
+            WindowedAccessForecaster().seed({"a": -2.0})
+
+    def test_contains_reports_tracked_partitions(self):
+        forecaster = WindowedAccessForecaster()
+        assert "a" not in forecaster
+        forecaster.seed({"a": 3.0})
+        assert "a" in forecaster
+        assert "b" not in forecaster

@@ -1,0 +1,111 @@
+"""Incremental stepping: step_month must compose back into simulate()."""
+
+import pytest
+
+from repro.cloud import (
+    AccessEvent,
+    CloudStorageSimulator,
+    CompressionProfile,
+    DataPartition,
+    PlacementDecision,
+    azure_tier_catalog,
+)
+
+
+@pytest.fixture
+def simulator():
+    return CloudStorageSimulator(
+        azure_tier_catalog(include_premium=False, include_archive=True)
+    )
+
+
+@pytest.fixture
+def partitions():
+    return [
+        DataPartition("hot", size_gb=40.0, predicted_accesses=10.0, current_tier=0),
+        DataPartition("cold", size_gb=400.0, predicted_accesses=0.1, current_tier=0),
+    ]
+
+
+@pytest.fixture
+def placement():
+    gzip = CompressionProfile(scheme="gzip", ratio=3.0, decompression_s_per_gb=2.0)
+    return {
+        "hot": PlacementDecision(tier_index=0),
+        "cold": PlacementDecision(tier_index=1, profile=gzip),
+    }
+
+
+@pytest.fixture
+def trace():
+    return [
+        AccessEvent(month=0, partition="hot", reads=5.0),
+        AccessEvent(month=1, partition="hot", reads=3.0),
+        AccessEvent(month=1, partition="cold", reads=1.0),
+        AccessEvent(month=3, partition="hot", reads=2.0),
+    ]
+
+
+class TestStepMonth:
+    def test_monthly_steps_compose_into_the_batch_bill(
+        self, simulator, partitions, placement, trace
+    ):
+        """storage+read+decompression summed over step_month calls equals the
+        batch simulate() bill minus its one-off tier-change writes."""
+        months = 4
+        batch = simulator.simulate(partitions, placement, trace, months)
+
+        stepped_storage = stepped_read = stepped_decompression = 0.0
+        for month in range(months):
+            events = [event for event in trace if event.month == month]
+            step = simulator.step_month(partitions, placement, events)
+            stepped_storage += step.bill.storage
+            stepped_read += step.bill.read
+            stepped_decompression += step.bill.decompression
+
+        assert stepped_storage == pytest.approx(batch.bill.storage)
+        assert stepped_read == pytest.approx(batch.bill.read)
+        assert stepped_decompression == pytest.approx(batch.bill.decompression)
+
+    def test_step_charges_no_writes_or_penalties(
+        self, simulator, partitions, placement
+    ):
+        step = simulator.step_month(partitions, placement, [])
+        assert step.bill.write == 0.0
+        assert step.early_deletion_penalty == 0.0
+
+    def test_fractional_storage_months(self, simulator, partitions, placement):
+        half = simulator.step_month(partitions, placement, [], storage_months=0.5)
+        full = simulator.step_month(partitions, placement, [], storage_months=1.0)
+        assert half.bill.storage == pytest.approx(full.bill.storage / 2.0)
+
+    def test_latency_accounting_matches_simulate(
+        self, simulator, partitions, placement, trace
+    ):
+        batch = simulator.simulate(partitions, placement, trace, 4)
+        stepped_accesses = 0
+        stepped_violations = 0
+        for month in range(4):
+            events = [event for event in trace if event.month == month]
+            step = simulator.step_month(partitions, placement, events)
+            stepped_accesses += step.access_count
+            stepped_violations += step.latency_violations
+        assert stepped_accesses == batch.access_count
+        assert stepped_violations == batch.latency_violations
+
+    def test_event_months_are_not_bounded(self, simulator, partitions, placement):
+        """step_month interprets events as 'this epoch' whatever their stamp."""
+        step = simulator.step_month(
+            partitions, placement, [AccessEvent(month=99, partition="hot", reads=1.0)]
+        )
+        assert step.access_count == 1
+
+    def test_missing_placement_raises(self, simulator, partitions):
+        with pytest.raises(KeyError):
+            simulator.step_month(partitions, {"hot": PlacementDecision(0)}, [])
+
+    def test_nonpositive_storage_months_rejected(
+        self, simulator, partitions, placement
+    ):
+        with pytest.raises(ValueError):
+            simulator.step_month(partitions, placement, [], storage_months=0.0)

@@ -1,0 +1,89 @@
+"""Event streams: grouping, synthesis and causal ordering."""
+
+import pytest
+
+from repro.cloud import AccessEvent, Dataset, DatasetCatalog
+from repro.engine import EpochBatch, ReplayStream, SeriesStream, stream_from_catalog
+
+
+class TestEpochBatch:
+    def test_aggregates_reads_by_partition(self):
+        batch = EpochBatch(
+            epoch=2,
+            events=(
+                AccessEvent(month=2, partition="a", reads=3.0),
+                AccessEvent(month=2, partition="b", reads=1.0),
+                AccessEvent(month=2, partition="a", reads=2.0),
+            ),
+        )
+        assert batch.reads_by_partition() == {"a": 5.0, "b": 1.0}
+        assert batch.total_reads == 6.0
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ValueError):
+            EpochBatch(epoch=-1, events=())
+
+
+class TestReplayStream:
+    def test_groups_events_by_month_with_empty_gaps(self):
+        events = [
+            AccessEvent(month=0, partition="a", reads=1.0),
+            AccessEvent(month=3, partition="b", reads=2.0),
+            AccessEvent(month=3, partition="a", reads=1.0),
+        ]
+        batches = list(ReplayStream(events))
+        assert [batch.epoch for batch in batches] == [0, 1, 2, 3]
+        assert batches[1].events == ()
+        assert batches[2].events == ()
+        assert batches[3].reads_by_partition() == {"b": 2.0, "a": 1.0}
+
+    def test_num_epochs_extends_and_truncates(self):
+        events = [AccessEvent(month=1, partition="a", reads=1.0)]
+        assert len(list(ReplayStream(events, num_epochs=5))) == 5
+        truncated = list(ReplayStream(events, num_epochs=1))
+        assert len(truncated) == 1
+        assert truncated[0].events == ()
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayStream([])
+
+
+class TestSeriesStream:
+    def test_synthesizes_events_from_monthly_series(self):
+        stream = SeriesStream({"a": [2.0, 0.0, 1.0], "b": [0.0, 4.0]})
+        batches = list(stream)
+        assert len(batches) == 3
+        assert batches[0].reads_by_partition() == {"a": 2.0}
+        assert batches[1].reads_by_partition() == {"b": 4.0}
+        assert batches[2].reads_by_partition() == {"a": 1.0}
+
+    def test_zero_months_emit_no_events(self):
+        stream = SeriesStream({"a": [0.0, 0.0]})
+        assert all(batch.events == () for batch in stream)
+
+    def test_negative_series_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesStream({"a": [1.0, -2.0]})
+
+    def test_stream_is_reiterable(self):
+        stream = SeriesStream({"a": [1.0, 2.0]})
+        assert [b.total_reads for b in stream] == [b.total_reads for b in stream]
+
+
+def test_stream_from_catalog_replays_recorded_history():
+    catalog = DatasetCatalog(
+        [
+            Dataset(
+                name="d0",
+                size_gb=10.0,
+                created_month=0,
+                monthly_reads=[5.0, 0.0, 2.0],
+                monthly_writes=[1.0, 0.0, 0.0],
+            )
+        ]
+    )
+    batches = list(stream_from_catalog(catalog))
+    assert len(batches) == 3
+    assert batches[0].reads_by_partition() == {"d0": 5.0}
+    assert batches[2].reads_by_partition() == {"d0": 2.0}

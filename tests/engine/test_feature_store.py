@@ -1,0 +1,128 @@
+"""FeatureStore: incremental window maintenance must equal a full recompute."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import AccessEvent
+from repro.engine import EpochBatch, FeatureStore, SeriesStream
+
+
+def brute_force_window(trace: dict[str, list[float]], epoch: int, window: int):
+    """Reference implementation: recompute window stats from the full history."""
+    start = max(epoch - window + 1, 0)
+    stats = {}
+    for name, series in trace.items():
+        upto = series[: epoch + 1]
+        in_window = upto[start : epoch + 1]
+        last_access = max(
+            (month for month, reads in enumerate(upto) if reads > 0), default=None
+        )
+        stats[name] = {
+            "window_reads": float(sum(in_window)),
+            "lifetime": float(sum(upto)),
+            "since": float("inf") if last_access is None else float(epoch - last_access),
+        }
+    return stats
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("window", [1, 3, 6])
+    def test_matches_recompute_on_random_trace(self, window):
+        rng = np.random.default_rng(17)
+        months = 30
+        trace = {
+            f"p{i}": [
+                float(rng.integers(0, 6)) if rng.uniform() < 0.4 else 0.0
+                for _ in range(months)
+            ]
+            for i in range(12)
+        }
+        store = FeatureStore(window_months=window)
+        for batch in SeriesStream(trace):
+            store.observe(batch)
+            expected = brute_force_window(trace, batch.epoch, window)
+            for name in trace:
+                assert store.window_reads(name) == pytest.approx(
+                    expected[name]["window_reads"]
+                ), (name, batch.epoch)
+                assert store.lifetime_reads(name) == pytest.approx(
+                    expected[name]["lifetime"]
+                )
+                assert store.epochs_since_access(name) == expected[name]["since"]
+
+    def test_window_series_is_dense_and_aligned(self):
+        store = FeatureStore(window_months=3)
+        store.observe(
+            EpochBatch(epoch=0, events=(AccessEvent(0, "a", 5.0),))
+        )
+        store.observe(EpochBatch(epoch=1, events=()))
+        store.observe(
+            EpochBatch(epoch=2, events=(AccessEvent(2, "a", 2.0),))
+        )
+        assert store.window_series("a") == (5.0, 0.0, 2.0)
+        store.observe(EpochBatch(epoch=3, events=()))
+        # epoch 0 slid out of the 3-month window
+        assert store.window_series("a") == (0.0, 2.0, 0.0)
+        assert store.window_reads("a") == 2.0
+
+    def test_short_history_yields_short_series(self):
+        store = FeatureStore(window_months=6)
+        store.observe(
+            EpochBatch(epoch=0, events=(AccessEvent(0, "a", 1.0),))
+        )
+        assert store.window_series("a") == (1.0,)
+
+    def test_untracked_partition_reads_as_cold(self):
+        store = FeatureStore(window_months=4)
+        store.observe(EpochBatch(epoch=0, events=()))
+        assert store.window_reads("ghost") == 0.0
+        assert store.lifetime_reads("ghost") == 0.0
+        assert store.epochs_since_access("ghost") == float("inf")
+
+    def test_epoch_gaps_are_allowed_and_expire_entries(self):
+        store = FeatureStore(window_months=2)
+        store.observe(
+            EpochBatch(epoch=0, events=(AccessEvent(0, "a", 7.0),))
+        )
+        store.observe(
+            EpochBatch(epoch=10, events=(AccessEvent(10, "a", 1.0),))
+        )
+        assert store.window_reads("a") == 1.0
+        assert store.lifetime_reads("a") == 8.0
+
+    def test_rejects_time_travel(self):
+        store = FeatureStore(window_months=2)
+        store.observe(EpochBatch(epoch=5, events=()))
+        with pytest.raises(ValueError):
+            store.observe(EpochBatch(epoch=4, events=()))
+
+    def test_rejects_negative_reads_via_counts(self):
+        store = FeatureStore(window_months=2)
+        with pytest.raises(ValueError):
+            store.observe_counts(0, {"a": -1.0})
+
+
+class TestSnapshot:
+    def test_snapshot_bundles_all_features(self):
+        store = FeatureStore(window_months=2)
+        store.observe_counts(0, {"a": 4.0})
+        store.observe_counts(1, {"a": 2.0, "b": 1.0})
+        snap = store.snapshot(["a", "b", "c"])
+        assert snap["a"].window_reads == 6.0
+        assert snap["a"].window_series == (4.0, 2.0)
+        assert snap["a"].window_mean == 3.0
+        assert snap["b"].epochs_since_access == 0.0
+        assert snap["c"].lifetime_reads == 0.0
+        assert store.tracked_partitions() == ["a", "b"]
+
+
+class TestHotPathIsIncremental:
+    def test_epoch_cost_does_not_grow_with_history(self):
+        """The per-epoch entry count touched stays bounded by the window, not
+        the trace length: after many epochs every partition deque holds at
+        most ``window`` entries regardless of lifetime."""
+        store = FeatureStore(window_months=4)
+        for epoch in range(500):
+            store.observe_counts(epoch, {"a": 1.0, "b": 2.0})
+        for state in store._states.values():
+            assert len(state.entries) <= 4

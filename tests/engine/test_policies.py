@@ -1,0 +1,81 @@
+"""Policy trigger logic: StaticOnce, PeriodicReoptimize, DriftTriggered."""
+
+import pytest
+
+from repro.engine import (
+    DriftTriggered,
+    PeriodicReoptimize,
+    StaticOnce,
+    drift_score,
+)
+
+
+class TestStaticOnce:
+    def test_fires_exactly_once(self):
+        policy = StaticOnce()
+        assert policy.should_reoptimize(0, None)
+        policy.notify_reoptimized(0, {"a": 1.0})
+        assert not policy.should_reoptimize(1, {"a": 100.0})
+        assert not policy.should_reoptimize(50, {"a": 0.0})
+
+
+class TestPeriodicReoptimize:
+    def test_fires_every_k_epochs(self):
+        policy = PeriodicReoptimize(period_months=3)
+        fired = []
+        for epoch in range(10):
+            if policy.should_reoptimize(epoch, {}):
+                policy.notify_reoptimized(epoch, {})
+                fired.append(epoch)
+        assert fired == [0, 3, 6, 9]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicReoptimize(0)
+
+
+class TestDriftScore:
+    def test_zero_when_observation_matches_prediction(self):
+        predicted = {"a": 10.0, "b": 5.0}
+        assert drift_score(predicted, {"a": 10.0, "b": 5.0}) == pytest.approx(0.0)
+
+    def test_scale_invariant_shape_but_volume_sensitive(self):
+        predicted = {"a": 10.0, "b": 10.0}
+        # Same shape, doubled volume: shape term 0, volume term 0.5.
+        assert drift_score(predicted, {"a": 20.0, "b": 20.0}) == pytest.approx(0.5)
+
+    def test_disjoint_support_scores_one(self):
+        assert drift_score({"a": 10.0}, {"b": 10.0}) == pytest.approx(1.0)
+
+    def test_silence_vs_activity_scores_one(self):
+        assert drift_score({"a": 10.0}, {}) == 1.0
+        assert drift_score({}, {"a": 10.0}) == 1.0
+        assert drift_score({}, {}) == 0.0
+
+
+class TestDriftTriggered:
+    def test_bootstrap_fires_then_quiet_under_matching_traffic(self):
+        policy = DriftTriggered(threshold=0.4)
+        assert policy.should_reoptimize(0, None)
+        policy.notify_reoptimized(0, {"a": 10.0, "b": 1.0})
+        for epoch in range(1, 6):
+            assert not policy.should_reoptimize(epoch, {"a": 10.0, "b": 1.0})
+
+    def test_fires_on_distribution_flip(self):
+        policy = DriftTriggered(threshold=0.4)
+        policy.notify_reoptimized(0, {"a": 10.0, "b": 0.5})
+        assert policy.should_reoptimize(3, {"a": 0.2, "b": 12.0})
+        assert policy.last_score > 0.4
+
+    def test_min_gap_suppresses_thrashing(self):
+        policy = DriftTriggered(threshold=0.2, min_gap_months=4)
+        policy.notify_reoptimized(0, {"a": 10.0})
+        drifted = {"a": 1.0, "b": 30.0}
+        assert not policy.should_reoptimize(2, drifted)  # within refractory gap
+        assert policy.should_reoptimize(4, drifted)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftTriggered(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftTriggered(threshold=0.4, min_gap_months=0)

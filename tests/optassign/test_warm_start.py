@@ -1,0 +1,110 @@
+"""with_current_placement: migration-aware re-solving from today's layout."""
+
+import pytest
+
+from repro.cloud import (
+    CompressionProfile,
+    CostModel,
+    DataPartition,
+    PlacementDecision,
+    azure_tier_catalog,
+)
+from repro.core.optassign import OptAssignProblem, solve_greedy
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(
+        azure_tier_catalog(include_premium=False, include_archive=True),
+        duration_months=6.0,
+    )
+
+
+def test_updates_current_tier_from_placement(cost_model):
+    partitions = [
+        DataPartition("a", size_gb=10.0, predicted_accesses=5.0),
+        DataPartition("b", size_gb=10.0, predicted_accesses=5.0),
+    ]
+    problem = OptAssignProblem(partitions, cost_model)
+    warm = problem.with_current_placement(
+        {"a": 1, "b": PlacementDecision(tier_index=0)}
+    )
+    by_name = {partition.name: partition for partition in warm.partitions}
+    assert by_name["a"].current_tier == 1
+    assert by_name["b"].current_tier == 0
+    # the original problem is untouched
+    assert all(partition.is_new for partition in problem.partitions)
+
+
+def test_unlisted_partitions_keep_their_tier(cost_model):
+    partitions = [DataPartition("a", size_gb=1.0, predicted_accesses=1.0, current_tier=1)]
+    warm = OptAssignProblem(partitions, cost_model).with_current_placement({})
+    assert warm.partitions[0].current_tier == 1
+
+
+def test_staying_put_becomes_cheaper_than_moving(cost_model):
+    """A cold partition already sitting in the cool tier should not be charged
+    the initial write again; warm-started costs make 'stay' free."""
+    partition = DataPartition("p", size_gb=100.0, predicted_accesses=0.0)
+    problem = OptAssignProblem([partition], cost_model)
+    warm = problem.with_current_placement({"p": 1})
+    cold_option = next(
+        option
+        for option in warm.options_for(warm.partitions[0])
+        if option.tier_index == 1 and option.scheme == "none"
+    )
+    assert cold_option.breakdown.write == 0.0
+
+
+def test_warm_start_biases_solver_toward_current_layout(cost_model):
+    """With negligible access traffic, a partition parked in the archive stays
+    there when the problem knows the current placement (moving costs real
+    money), while a cold-start solve of the same instance may move it."""
+    partition = DataPartition(
+        "p", size_gb=1000.0, predicted_accesses=0.0, latency_threshold_s=7200.0
+    )
+    problem = OptAssignProblem([partition], cost_model)
+    archive_tier = cost_model.tiers.index_of("archive")
+    warm = problem.with_current_placement({"p": archive_tier})
+    assignment = solve_greedy(warm)
+    assert assignment.choices["p"].tier_index == archive_tier
+
+
+def test_pin_codecs_pins_the_scheme(cost_model):
+    gzip = CompressionProfile(scheme="gzip", ratio=4.0, decompression_s_per_gb=0.5)
+    partition = DataPartition("p", size_gb=10.0, predicted_accesses=2.0)
+    problem = OptAssignProblem(
+        [partition], cost_model, profiles={"p": {"gzip": gzip}}
+    )
+    warm = problem.with_current_placement(
+        {"p": PlacementDecision(tier_index=0, profile=gzip)}, pin_codecs=True
+    )
+    pinned = warm.partitions[0]
+    assert pinned.current_codec == "gzip"
+    schemes = {option.scheme for option in warm.options_for(pinned)}
+    assert schemes == {"gzip"}
+
+
+def test_pin_codecs_leaves_uncompressed_partitions_unpinned(cost_model):
+    """An uncompressed placement means "not yet compressed", not "pinned to
+    no compression" — re-optimizing may still choose to compress it."""
+    gzip = CompressionProfile(scheme="gzip", ratio=4.0, decompression_s_per_gb=0.5)
+    partition = DataPartition("p", size_gb=10.0, predicted_accesses=2.0)
+    problem = OptAssignProblem([partition], cost_model, profiles={"p": {"gzip": gzip}})
+    warm = problem.with_current_placement(
+        {"p": PlacementDecision(tier_index=0)}, pin_codecs=True
+    )
+    assert warm.partitions[0].current_codec is None
+    schemes = {option.scheme for option in warm.options_for(warm.partitions[0])}
+    assert schemes == {"none", "gzip"}
+
+
+def test_without_pinning_recompression_stays_allowed(cost_model):
+    gzip = CompressionProfile(scheme="gzip", ratio=4.0, decompression_s_per_gb=0.5)
+    partition = DataPartition("p", size_gb=10.0, predicted_accesses=2.0)
+    problem = OptAssignProblem([partition], cost_model, profiles={"p": {"gzip": gzip}})
+    warm = problem.with_current_placement(
+        {"p": PlacementDecision(tier_index=0, profile=gzip)}
+    )
+    schemes = {option.scheme for option in warm.options_for(warm.partitions[0])}
+    assert "none" in schemes and "gzip" in schemes

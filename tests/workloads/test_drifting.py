@@ -1,0 +1,65 @@
+"""Drifting access series: piecewise pattern generation for the online engine."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import AccessPattern, DriftSegment, generate_drifting_reads
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestDriftSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftSegment("constant", months=0)
+        with pytest.raises(ValueError):
+            DriftSegment("constant", months=3, level_scale=-1.0)
+        with pytest.raises(ValueError):
+            DriftSegment("no_such_pattern", months=3)
+
+
+class TestGenerateDriftingReads:
+    def test_lengths_concatenate(self, rng):
+        series = generate_drifting_reads(
+            rng,
+            [DriftSegment("constant", 5), DriftSegment("inactive", 7)],
+        )
+        assert len(series) == 12
+
+    def test_hot_to_cold_flip_is_visible(self, rng):
+        series = generate_drifting_reads(
+            rng,
+            [DriftSegment("constant", 12), DriftSegment("inactive", 12)],
+            base_level=100.0,
+        )
+        hot_phase = sum(series[:12]) / 12.0
+        cold_phase = sum(series[12:]) / 12.0
+        assert hot_phase > 10.0 * max(cold_phase, 1e-9)
+
+    def test_level_scale_amplifies_a_segment(self):
+        quiet = generate_drifting_reads(
+            np.random.default_rng(7),
+            [DriftSegment(AccessPattern.CONSTANT, 10, level_scale=1.0)],
+            noise=0.0,
+        )
+        loud = generate_drifting_reads(
+            np.random.default_rng(7),
+            [DriftSegment(AccessPattern.CONSTANT, 10, level_scale=3.0)],
+            noise=0.0,
+        )
+        assert sum(loud) == pytest.approx(3.0 * sum(quiet))
+
+    def test_non_negative_series(self, rng):
+        series = generate_drifting_reads(
+            rng,
+            [DriftSegment("spike", 6), DriftSegment("decaying", 6),
+             DriftSegment("periodic", 12)],
+        )
+        assert all(value >= 0.0 for value in series)
+
+    def test_empty_segments_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_drifting_reads(rng, [])
