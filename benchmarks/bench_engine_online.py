@@ -12,11 +12,16 @@ around.
 Writes ``BENCH_engine_online.json`` (machine-readable, schema below) so the
 perf trajectory can be tracked across commits.
 
-Run with:  PYTHONPATH=src python benchmarks/bench_engine_online.py
+Run with:  PYTHONPATH=src python benchmarks/bench_engine_online.py [--quick]
+
+``--quick`` shrinks the workload (fewer datasets, shorter stream) and skips
+the JSON output — the CI smoke mode that exercises the engine's fast paths
+on every push without timing anything.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -45,7 +50,7 @@ NUM_DATASETS = 120
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine_online.json"
 
 
-def build_workload(seed: int = 29):
+def build_workload(seed: int = 29, num_datasets: int = NUM_DATASETS):
     rng = np.random.default_rng(seed)
     series: dict[str, list[float]] = {}
     partitions: list[DataPartition] = []
@@ -63,7 +68,7 @@ def build_workload(seed: int = 29):
         ([DriftSegment("decaying", MONTHS)], 40.0),
         ([DriftSegment("periodic", MONTHS)], 30.0),
     ]
-    for index in range(NUM_DATASETS):
+    for index in range(num_datasets):
         segments, prior = segment_menu[index % len(segment_menu)]
         name = f"dataset_{index:04d}"
         series[name] = generate_drifting_reads(rng, segments, base_level=80.0)
@@ -79,7 +84,7 @@ def build_workload(seed: int = 29):
     return series, partitions
 
 
-def run_policies(series, partitions):
+def run_policies(series, partitions, num_epochs: int | None = None):
     tiers = azure_tier_catalog(include_premium=False, include_archive=True)
     config = EngineConfig(horizon_months=6.0, window_months=6)
     policies = [
@@ -91,7 +96,7 @@ def run_policies(series, partitions):
     for policy in policies:
         engine = OnlineTieringEngine(partitions, tiers, policy, config)
         started = time.perf_counter()
-        report = engine.run(SeriesStream(series))
+        report = engine.run(SeriesStream(series, num_epochs=num_epochs))
         elapsed = time.perf_counter() - started
         results[policy.name] = {
             **report.summary(),
@@ -140,20 +145,37 @@ def feature_store_scaling(events_per_epoch: int = 200, horizons=(60, 240, 960)):
     return {"events_per_epoch": events_per_epoch, "rows": rows, "flatness_ratio": flatness}
 
 
-def main() -> None:
-    series, partitions = build_workload()
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, no JSON output (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    num_datasets = 30 if args.quick else NUM_DATASETS
+    num_epochs = 12 if args.quick else MONTHS
+
+    series, partitions = build_workload(num_datasets=num_datasets)
     total_gb = sum(partition.size_gb for partition in partitions)
     print(
-        f"workload: {NUM_DATASETS} datasets, {total_gb / 1024.0:.1f} TB, "
-        f"{MONTHS}-month drifting stream"
+        f"workload: {num_datasets} datasets, {total_gb / 1024.0:.1f} TB, "
+        f"{num_epochs}-month drifting stream"
     )
-    policies = run_policies(series, partitions)
-    scaling = feature_store_scaling()
+    policies = run_policies(series, partitions, num_epochs=num_epochs)
+    scaling = feature_store_scaling(
+        events_per_epoch=50 if args.quick else 200,
+        horizons=(20, 60) if args.quick else (60, 240, 960),
+    )
+
+    if args.quick:
+        print("quick mode: engine fast paths exercised, nothing written")
+        return
 
     payload = {
         "benchmark": "engine_online",
         "workload": {
-            "datasets": NUM_DATASETS,
+            "datasets": num_datasets,
             "months": MONTHS,
             "total_gb": total_gb,
         },

@@ -8,7 +8,9 @@ through :class:`repro.cloud.CostModel` and :class:`repro.cloud.CloudStorageSimul
 so predicted and billed costs can never disagree on the arithmetic.
 """
 
+from .arrays import PartitionArrays
 from .billing import (
+    BatchCostTensors,
     CompressionProfile,
     CostBreakdown,
     CostModel,
@@ -25,6 +27,7 @@ from .objects import (
 from .simulator import (
     AccessEvent,
     CloudStorageSimulator,
+    CompiledPlacement,
     PlacementDecision,
     SimulationResult,
     percent_cost_benefit,
@@ -39,6 +42,8 @@ from .tiers import (
 )
 
 __all__ = [
+    "PartitionArrays",
+    "BatchCostTensors",
     "CompressionProfile",
     "CostBreakdown",
     "CostModel",
@@ -51,6 +56,7 @@ __all__ = [
     "PartitionCatalog",
     "AccessEvent",
     "CloudStorageSimulator",
+    "CompiledPlacement",
     "PlacementDecision",
     "SimulationResult",
     "percent_cost_benefit",

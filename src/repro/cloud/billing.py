@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
+import numpy as np
+
+from .arrays import PartitionArrays
 from .objects import DataPartition
 from .tiers import NEW_DATA_TIER, TierCatalog
 
@@ -29,6 +32,7 @@ __all__ = [
     "CostBreakdown",
     "CostWeights",
     "CostModel",
+    "BatchCostTensors",
 ]
 
 
@@ -145,6 +149,61 @@ class CostWeights:
             raise ValueError("cost weights must be non-negative")
 
 
+@dataclass
+class BatchCostTensors:
+    """The full (partitions x tiers x schemes) cost/latency evaluation.
+
+    Produced by :meth:`CostModel.batch_tensors`; every entry agrees with the
+    scalar :meth:`CostModel.placement_breakdown` /
+    :meth:`CostModel.placement_objective` arithmetic bit for bit — the numpy
+    expressions mirror the scalar operation order exactly, so the vectorized
+    solvers can be validated against the scalar oracle with equality, not
+    tolerance.
+
+    Shapes: ``storage``, ``read``, ``write``, ``objective`` and ``latency_s``
+    are ``(N, T, K)``; ``stored_gb``, ``decompression`` and ``decompression_s``
+    are ``(N, K)`` because decompression does not depend on the tier;
+    ``feasible`` is the ``(N, T, K)`` conjunction of the latency SLA, codec
+    pinning and per-partition scheme availability.
+    """
+
+    schemes: tuple[str, ...]
+    stored_gb: np.ndarray
+    storage: np.ndarray
+    read: np.ndarray
+    write: np.ndarray
+    decompression_s: np.ndarray
+    decompression: np.ndarray
+    objective: np.ndarray
+    latency_s: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        return self.objective.shape[0]
+
+    @property
+    def num_tiers(self) -> int:
+        return self.objective.shape[1]
+
+    @property
+    def num_schemes(self) -> int:
+        return self.objective.shape[2]
+
+    def masked_objective(self) -> np.ndarray:
+        """Objective with infeasible cells set to ``+inf`` (argmin-ready)."""
+        return np.where(self.feasible, self.objective, np.inf)
+
+    def breakdown_at(self, n: int, t: int, k: int) -> CostBreakdown:
+        """The unweighted billed breakdown of one (partition, tier, scheme) cell."""
+        return CostBreakdown(
+            storage=float(self.storage[n, t, k]),
+            read=float(self.read[n, t, k]),
+            write=float(self.write[n, t, k]),
+            decompression=float(self.decompression[n, k]),
+        )
+
+
 class CostModel:
     """Evaluates placement costs and latency for a given tier catalog.
 
@@ -251,6 +310,120 @@ class CostModel:
             self.access_latency_s(partition, tier_index, profile)
             <= partition.latency_threshold_s
         )
+
+    # -- batch (vectorized) accounting ---------------------------------------
+    def batch_tensors(
+        self,
+        arrays: PartitionArrays,
+        schemes: Sequence[str],
+        ratio: np.ndarray,
+        decompression_s_per_gb: np.ndarray,
+        scheme_available: np.ndarray | None = None,
+    ) -> BatchCostTensors:
+        """Evaluate every (partition, tier, scheme) placement in one pass.
+
+        Parameters
+        ----------
+        arrays:
+            The partitions, columnar.
+        schemes:
+            Names of the ``K`` compression schemes spanning the last tensor
+            axis, in the order of the ``ratio`` columns.
+        ratio, decompression_s_per_gb:
+            ``(N, K)`` compression ratios ``R^k_n`` and decompression speeds
+            ``D^k_n`` (seconds per uncompressed GB).  Cells for unavailable
+            (partition, scheme) pairs may hold any positive placeholder — they
+            are masked out of ``feasible``.
+        scheme_available:
+            Optional ``(N, K)`` bool mask of which schemes have a profile for
+            which partition; ``None`` means all are available.
+
+        The arithmetic mirrors :meth:`placement_breakdown` /
+        :meth:`placement_objective` operation for operation, so each tensor
+        cell is bit-identical to the scalar result for the same placement.
+        """
+        ratio = np.asarray(ratio, dtype=np.float64)
+        decompression_s_per_gb = np.asarray(decompression_s_per_gb, dtype=np.float64)
+        if ratio.shape != (len(arrays), len(schemes)):
+            raise ValueError(
+                f"ratio must have shape ({len(arrays)}, {len(schemes)}), "
+                f"got {ratio.shape}"
+            )
+        if decompression_s_per_gb.shape != ratio.shape:
+            raise ValueError("decompression_s_per_gb must match ratio's shape")
+
+        costs = self.tiers.cost_arrays()
+        stored_gb = arrays.size_gb[:, None] / ratio
+        storage = (
+            costs["storage_cost"][None, :, None]
+            * stored_gb[:, None, :]
+            * self.duration_months
+        )
+
+        delta = self.tiers.change_cost_matrix()
+        source_rows = np.where(
+            arrays.current_tier < 0, len(self.tiers), arrays.current_tier
+        )
+        change_per_gb = delta[source_rows]
+        write = change_per_gb[:, :, None] * stored_gb[:, None, :]
+
+        read_gb_uncompressed = arrays.read_gb_per_access
+        read_gb = read_gb_uncompressed[:, None] / ratio
+        effective_accesses = arrays.effective_accesses
+        read = (
+            costs["read_cost"][None, :, None]
+            * read_gb[:, None, :]
+            * effective_accesses[:, None, None]
+        )
+
+        decompression_s = decompression_s_per_gb * read_gb_uncompressed[:, None]
+        decompression = (
+            self.compute_cost_per_s * decompression_s * effective_accesses[:, None]
+        )
+
+        weights = self.weights
+        objective = (
+            weights.alpha * storage
+            + weights.gamma * write
+            + weights.beta * (read + decompression[:, None, :])
+        )
+
+        latency = decompression_s[:, None, :] + costs["latency_s"][None, :, None]
+        feasible = latency <= arrays.latency_threshold_s[:, None, None]
+
+        allowed = self._batch_codec_allowed(arrays, schemes)
+        if scheme_available is not None:
+            allowed = allowed & scheme_available
+        feasible = feasible & allowed[:, None, :]
+
+        return BatchCostTensors(
+            schemes=tuple(schemes),
+            stored_gb=stored_gb,
+            storage=storage,
+            read=read,
+            write=write,
+            decompression_s=decompression_s,
+            decompression=decompression,
+            objective=objective,
+            latency_s=latency,
+            feasible=feasible,
+        )
+
+    @staticmethod
+    def _batch_codec_allowed(
+        arrays: PartitionArrays, schemes: Sequence[str]
+    ) -> np.ndarray:
+        """(N, K) mask of codec pinning: pinned partitions allow only their codec."""
+        allowed = np.ones((len(arrays), len(schemes)), dtype=bool)
+        scheme_index = {scheme: k for k, scheme in enumerate(schemes)}
+        for n, codec in enumerate(arrays.current_codec):
+            if codec is None:
+                continue
+            allowed[n] = False
+            pinned = scheme_index.get(codec)
+            if pinned is not None:
+                allowed[n, pinned] = True
+        return allowed
 
     # -- codec pinning -------------------------------------------------------
     def is_codec_allowed(self, partition: DataPartition, scheme: str) -> bool:

@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from .arrays import PartitionArrays
 from .billing import CompressionProfile, CostBreakdown, CostModel, NO_COMPRESSION_PROFILE
 from .objects import DataPartition
 from .tiers import NEW_DATA_TIER, TierCatalog
@@ -25,6 +28,7 @@ __all__ = [
     "PlacementDecision",
     "SimulationResult",
     "CloudStorageSimulator",
+    "CompiledPlacement",
     "percent_cost_benefit",
 ]
 
@@ -294,6 +298,26 @@ class CloudStorageSimulator:
         remaining = source.early_deletion_months - months_resident
         return source.storage_cost_for(partition.size_gb, remaining)
 
+    def compile_placement(
+        self,
+        partitions: Sequence[DataPartition] | PartitionArrays,
+        placement: Mapping[str, PlacementDecision],
+    ) -> "CompiledPlacement":
+        """Precompile ``(partitions, placement)`` for vectorized epoch stepping.
+
+        The returned :class:`CompiledPlacement` answers :meth:`step_month`-style
+        queries in O(events this epoch) numpy work instead of per-partition
+        Python loops.  Compile once, step many times; recompile whenever the
+        placement changes (the online engine does this at re-optimization
+        points only).
+        """
+        arrays = (
+            partitions
+            if isinstance(partitions, PartitionArrays)
+            else PartitionArrays.from_partitions(partitions)
+        )
+        return CompiledPlacement(self, arrays, placement)
+
     # -- convenience ----------------------------------------------------------
     def default_placement(
         self, partitions: Sequence[DataPartition], tier_index: int = 0
@@ -313,6 +337,139 @@ class CloudStorageSimulator:
             compute_cost_per_s=self.compute_cost_per_s,
             duration_months=duration_months,
             weights=weights,
+        )
+
+
+class CompiledPlacement:
+    """Vectorized per-epoch billing for one fixed (partitions, placement) pair.
+
+    Precomputes, per partition, the monthly storage charge, the per-read cost
+    components and the access latency as numpy vectors, so stepping an epoch
+    is a handful of gathers over the events that actually happened — the same
+    quantities :meth:`CloudStorageSimulator.step_month` computes with Python
+    loops, to within floating-point summation order (the per-element
+    arithmetic mirrors the scalar operation order exactly; only the totals
+    are accumulated in a different order).
+
+    Build via :meth:`CloudStorageSimulator.compile_placement`.
+    """
+
+    def __init__(
+        self,
+        simulator: CloudStorageSimulator,
+        arrays: PartitionArrays,
+        placement: Mapping[str, PlacementDecision],
+    ):
+        missing = [name for name in arrays.names if name not in placement]
+        if missing:
+            raise KeyError(f"placement missing partitions: {missing}")
+        self.simulator = simulator
+        self.arrays = arrays
+        tiers = simulator.tiers
+        costs = tiers.cost_arrays()
+        count = len(arrays)
+
+        tier_index = np.empty(count, dtype=np.int64)
+        ratio = np.empty(count, dtype=np.float64)
+        decompression_per_gb = np.empty(count, dtype=np.float64)
+        for i, name in enumerate(arrays.names):
+            decision = placement[name]
+            tier_index[i] = decision.tier_index
+            ratio[i] = decision.profile.ratio
+            decompression_per_gb[i] = decision.profile.decompression_s_per_gb
+        self.tier_index = tier_index
+
+        stored_gb = arrays.size_gb / ratio
+        self.storage_per_month = costs["storage_cost"][tier_index] * stored_gb
+        read_gb_uncompressed = arrays.read_gb_per_access
+        read_gb = read_gb_uncompressed / ratio
+        self.read_cost_per_read = costs["read_cost"][tier_index] * read_gb
+        decompression_s = decompression_per_gb * read_gb_uncompressed
+        self.decompression_cost_per_read = (
+            simulator.compute_cost_per_s * decompression_s
+        )
+        self.latency_s = decompression_s + costs["latency_s"][tier_index]
+        self.violates_sla = self.latency_s > arrays.latency_threshold_s
+
+    def step(
+        self,
+        access_events: Iterable[AccessEvent],
+        storage_months: float = 1.0,
+        include_per_partition: bool = False,
+    ) -> SimulationResult:
+        """One epoch of storage plus this epoch's accesses, vectorized.
+
+        Semantics match :meth:`CloudStorageSimulator.step_month`: one epoch of
+        storage for every partition, read + decompression charges and latency
+        bookkeeping for the events, no tier-change writes and no
+        early-deletion penalties.  ``include_per_partition`` populates
+        :attr:`SimulationResult.per_partition` (off by default — building one
+        Python object per partition per epoch is exactly what this fast path
+        exists to avoid).
+        """
+        if storage_months <= 0:
+            raise ValueError("storage_months must be positive")
+        indices: list[int] = []
+        reads: list[float] = []
+        rounded: list[int] = []
+        for event in access_events:
+            try:
+                index = self.arrays.index_of(event.partition)
+            except KeyError:
+                raise KeyError(
+                    f"access event references unknown partition {event.partition!r}"
+                ) from None
+            indices.append(index)
+            reads.append(event.reads)
+            rounded.append(int(round(event.reads)))
+
+        storage_total = float(np.sum(self.storage_per_month) * storage_months)
+        if indices:
+            index_array = np.asarray(indices, dtype=np.int64)
+            reads_array = np.asarray(reads, dtype=np.float64)
+            rounds_array = np.asarray(rounded, dtype=np.int64)
+            read_total = float(self.read_cost_per_read[index_array] @ reads_array)
+            decompression_total = float(
+                self.decompression_cost_per_read[index_array] @ reads_array
+            )
+            total_latency = float(self.latency_s[index_array] @ reads_array)
+            access_count = int(rounds_array.sum())
+            latency_violations = int(
+                rounds_array[self.violates_sla[index_array]].sum()
+            )
+        else:
+            read_total = decompression_total = total_latency = 0.0
+            access_count = latency_violations = 0
+
+        per_partition: dict[str, CostBreakdown] = {}
+        if include_per_partition:
+            reads_dense = np.zeros(len(self.arrays), dtype=np.float64)
+            if indices:
+                np.add.at(reads_dense, index_array, reads_array)
+            storage_each = (self.storage_per_month * storage_months).tolist()
+            read_each = (self.read_cost_per_read * reads_dense).tolist()
+            decompression_each = (
+                self.decompression_cost_per_read * reads_dense
+            ).tolist()
+            for i, name in enumerate(self.arrays.names):
+                per_partition[name] = CostBreakdown(
+                    storage=storage_each[i],
+                    read=read_each[i],
+                    decompression=decompression_each[i],
+                )
+
+        mean_latency = total_latency / access_count if access_count else 0.0
+        return SimulationResult(
+            bill=CostBreakdown(
+                storage=storage_total,
+                read=read_total,
+                decompression=decompression_total,
+            ),
+            early_deletion_penalty=0.0,
+            latency_violations=latency_violations,
+            access_count=access_count,
+            mean_latency_s=mean_latency,
+            per_partition=per_partition,
         )
 
 

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 __all__ = [
     "StorageTier",
     "TierCatalog",
@@ -124,6 +126,8 @@ class TierCatalog:
             )
         self._tiers: tuple[StorageTier, ...] = tuple(tiers)
         self._by_name = {tier.name: index for index, tier in enumerate(self._tiers)}
+        self._cost_arrays: dict[str, np.ndarray] | None = None
+        self._change_matrix: np.ndarray | None = None
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -183,6 +187,48 @@ class TierCatalog:
         source = self._tiers[from_tier]
         destination = self._tiers[to_tier]
         return source.read_cost + destination.write_cost
+
+    def cost_arrays(self) -> dict[str, np.ndarray]:
+        """Per-tier price columns as float64 vectors (cached; do not mutate).
+
+        Keys: ``storage_cost``, ``read_cost``, ``write_cost``, ``latency_s``,
+        ``capacity_gb`` — one entry per tier, in catalog order.  This is the
+        columnar counterpart of iterating the catalog, used by the vectorized
+        cost paths.
+        """
+        if self._cost_arrays is None:
+            self._cost_arrays = {
+                key: np.array(
+                    [getattr(tier, key) for tier in self._tiers], dtype=np.float64
+                )
+                for key in (
+                    "storage_cost",
+                    "read_cost",
+                    "write_cost",
+                    "latency_s",
+                    "capacity_gb",
+                )
+            }
+        return self._cost_arrays
+
+    def change_cost_matrix(self) -> np.ndarray:
+        """``Delta_{u,v}`` for every (source, destination) pair, vectorized.
+
+        Returns a ``(T + 1, T)`` matrix whose row ``u`` (for ``u < T``) is the
+        per-GB cost of moving data from tier ``u`` to each destination, and
+        whose *last* row is the :data:`NEW_DATA_TIER` case (only the
+        destination's write cost).  Index it with
+        ``matrix[np.where(current < 0, T, current)]`` to resolve per-partition
+        rows.  Entries agree exactly with :meth:`tier_change_cost`.
+        """
+        if self._change_matrix is None:
+            costs = self.cost_arrays()
+            matrix = costs["read_cost"][:, None] + costs["write_cost"][None, :]
+            np.fill_diagonal(matrix, 0.0)
+            self._change_matrix = np.concatenate(
+                [matrix, costs["write_cost"][None, :]]
+            )
+        return self._change_matrix
 
     def with_capacities(self, capacities: Sequence[float]) -> "TierCatalog":
         """Return a new catalog with per-tier reserved capacities (in GB)."""

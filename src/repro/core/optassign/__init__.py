@@ -10,7 +10,7 @@
   iterative latency relaxation.
 """
 
-from .capacity import SolveReport, solve_optassign
+from .capacity import SolveReport, repair_capacity, solve_optassign
 from .greedy import solve_greedy
 from .ilp import IlpInfeasibleError, solve_ilp
 from .matching import MatchingNotApplicableError, solve_matching
@@ -28,5 +28,6 @@ __all__ = [
     "solve_matching",
     "MatchingNotApplicableError",
     "solve_optassign",
+    "repair_capacity",
     "SolveReport",
 ]

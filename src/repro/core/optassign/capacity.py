@@ -6,18 +6,26 @@ finite capacity, and to the ILP otherwise; when the constraints are jointly
 infeasible it relaxes every latency threshold by a growing factor, as the
 paper prescribes ("the latency requirements need to be relaxed iteratively
 till a feasible solution is found").
+
+For capacity-bounded instances where the ILP is too slow (tens of thousands
+of partitions), ``prefer="greedy"`` now runs the vectorized greedy solver and
+then :func:`repair_capacity` — a regret-based eviction pass over the same
+batch cost tensors — so the facade's old promise that the greedy fallback
+"repairs" capacity violations is actually kept.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from .greedy import solve_greedy
 from .ilp import IlpInfeasibleError, solve_ilp
 from .problem import OptAssignProblem
 from .result import Assignment
 
-__all__ = ["solve_optassign", "SolveReport"]
+__all__ = ["solve_optassign", "repair_capacity", "SolveReport"]
 
 
 @dataclass
@@ -31,6 +39,118 @@ class SolveReport:
     @property
     def relaxed(self) -> bool:
         return self.latency_relaxation > 1.0
+
+
+def repair_capacity(
+    assignment: Assignment, tolerance: float = 1e-9
+) -> Assignment:
+    """Evict partitions from over-capacity tiers at minimum regret, vectorized.
+
+    Greedy assigns every partition its individually-cheapest option, which may
+    jointly exceed a tier's reserved capacity.  This pass restores capacity
+    feasibility: tiers are processed most-overfull first, and members of an
+    over-full tier are moved to their cheapest feasible option *elsewhere*,
+    cheapest regret per freed GB first, until the tier fits.  A repaired tier
+    is closed to further arrivals, so the loop terminates after at most T
+    rounds.  All candidate costs come from the problem's cached batch tensors
+    — no per-option Python re-evaluation.
+
+    Returns the assignment unchanged (same object) when it is already
+    capacity-feasible.  Raises ``ValueError`` when a tier cannot be repaired
+    (not enough movable partitions with feasible options outside the full
+    tiers); ``solve_optassign`` reacts by relaxing latency thresholds, which
+    widens the set of feasible destinations.
+    """
+    problem = assignment.problem
+    tensors = problem.batch_tensors()
+    arrays = problem.partition_arrays()
+    capacities = problem.cost_model.tiers.cost_arrays()["capacity_gb"]
+    num_tiers = tensors.num_tiers
+    num_partitions = tensors.num_partitions
+
+    scheme_index = {scheme: k for k, scheme in enumerate(tensors.schemes)}
+    current_tier = np.fromiter(
+        (assignment.choices[name].tier_index for name in arrays.names),
+        dtype=np.int64,
+        count=num_partitions,
+    )
+    current_scheme = np.fromiter(
+        (scheme_index[assignment.choices[name].scheme] for name in arrays.names),
+        dtype=np.int64,
+        count=num_partitions,
+    )
+    rows = np.arange(num_partitions)
+    stored = tensors.stored_gb[rows, current_scheme]
+    usage = np.bincount(current_tier, weights=stored, minlength=num_tiers)
+    if not (usage > capacities + tolerance).any():
+        return assignment
+
+    masked = tensors.masked_objective()
+    closed = np.zeros(num_tiers, dtype=bool)
+    moved: set[int] = set()
+    while True:
+        overflow = usage - capacities
+        overfull = np.flatnonzero(overflow > tolerance)
+        if overfull.size == 0:
+            break
+        # Invariant: an over-full tier here is never closed — evictions only
+        # target non-closed destinations, so a repaired tier's usage cannot
+        # grow again and each round closes one more tier (<= T rounds total).
+        target = int(overfull[np.argmax(overflow[overfull])])
+        closed[target] = True
+
+        members = np.flatnonzero(current_tier == target)
+        alternatives = masked[members].copy()
+        alternatives[:, closed, :] = np.inf
+        flat = alternatives.reshape(len(members), -1)
+        best = np.argmin(flat, axis=1)
+        best_objective = flat[np.arange(len(members)), best]
+        current_objective = masked[members, target, current_scheme[members]]
+        freed = stored[members]
+        regret = best_objective - current_objective
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = np.where(freed > 0, regret / freed, np.inf)
+
+        need = overflow[target]
+        for position in np.argsort(score, kind="stable"):
+            if need <= tolerance:
+                break
+            if not np.isfinite(best_objective[position]) or freed[position] <= 0:
+                continue
+            index = int(members[position])
+            new_tier = int(best[position] // tensors.num_schemes)
+            new_scheme = int(best[position] % tensors.num_schemes)
+            need -= freed[position]
+            usage[target] -= freed[position]
+            new_stored = float(tensors.stored_gb[index, new_scheme])
+            usage[new_tier] += new_stored
+            current_tier[index] = new_tier
+            current_scheme[index] = new_scheme
+            stored[index] = new_stored
+            moved.add(index)
+        if need > tolerance:
+            raise ValueError(
+                f"capacity repair failed: tier {target} remains "
+                f"{float(need):.3f} GB over its reserved capacity and no "
+                "movable partition has a feasible option elsewhere"
+            )
+
+    choices = dict(assignment.choices)
+    for index in moved:
+        name = arrays.names[index]
+        tier = int(current_tier[index])
+        scheme = int(current_scheme[index])
+        choices[name] = replace(
+            assignment.choices[name],
+            tier_index=tier,
+            scheme=tensors.schemes[scheme],
+            objective=float(tensors.objective[index, tier, scheme]),
+            breakdown=tensors.breakdown_at(index, tier, scheme),
+            latency_s=float(tensors.latency_s[index, tier, scheme]),
+        )
+    return Assignment(
+        problem=problem, choices=choices, solver=f"{assignment.solver}+repair"
+    )
 
 
 def solve_optassign(
@@ -76,6 +196,8 @@ def solve_optassign(
         try:
             if solver == "greedy":
                 assignment = solve_greedy(candidate, enforce_unbounded=False)
+                if candidate.has_finite_capacity():
+                    assignment = repair_capacity(assignment)
             else:
                 assignment = solve_ilp(candidate, time_limit_s=time_limit_s)
             return SolveReport(

@@ -6,17 +6,40 @@ cheapest latency-feasible (tier, scheme) option.  The paper's enterprise data
 lake is exactly this pay-per-use setting, and the greedy solver is what scales
 to hundreds of PB-sized datasets (their 463-dataset account optimises in a few
 seconds; ours is well under that).
+
+Two implementations are provided and kept in lock-step:
+
+* the **vectorized** default — a masked argmin over the problem's
+  :meth:`~repro.core.optassign.OptAssignProblem.batch_tensors` cost tensor,
+  one numpy pass for the whole instance;
+* the **scalar** reference (``vectorized=False``) — the original per-partition
+  ``min(options_for(...))`` loop, kept as the oracle the fast path is
+  validated against (same assignments bit for bit, see
+  ``tests/optassign/test_vectorized_equivalence.py``).
+
+Because the tensor's flattened (tier, scheme) axis enumerates candidates in
+exactly the scalar loop's order (tiers outer, sorted schemes inner) and each
+cell is computed with the same operation order as the scalar arithmetic, ties
+break identically and the two paths return the *same* assignment, not merely
+equally-good ones.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ...cloud import CostBreakdown
 from .problem import CandidateOption, OptAssignProblem
 from .result import Assignment
 
 __all__ = ["solve_greedy"]
 
 
-def solve_greedy(problem: OptAssignProblem, enforce_unbounded: bool = True) -> Assignment:
+def solve_greedy(
+    problem: OptAssignProblem,
+    enforce_unbounded: bool = True,
+    vectorized: bool = True,
+) -> Assignment:
     """Pick the minimum-objective feasible option for every partition.
 
     Parameters
@@ -28,6 +51,10 @@ def solve_greedy(problem: OptAssignProblem, enforce_unbounded: bool = True) -> A
         finite tier capacities, because greedy is only *optimal* without
         capacity coupling.  Pass False to use it as a heuristic anyway (the
         capacity-aware wrapper does this as a fallback and then repairs).
+    vectorized:
+        When True (default) solve via one masked argmin over the batch cost
+        tensor; when False run the scalar per-partition reference loop.  The
+        two produce identical assignments.
 
     Raises
     ------
@@ -41,6 +68,23 @@ def solve_greedy(problem: OptAssignProblem, enforce_unbounded: bool = True) -> A
             "greedy OPTASSIGN is only optimal without capacity constraints; "
             "use solve_optassign (ILP) for capacity-bounded instances"
         )
+    if vectorized:
+        choices, infeasible = _vectorized_choices(problem)
+    else:
+        choices, infeasible = _scalar_choices(problem)
+    if infeasible:
+        raise ValueError(
+            "no latency-feasible (tier, scheme) option exists for partitions: "
+            f"{infeasible[:5]}{'...' if len(infeasible) > 5 else ''}; "
+            "relax latency thresholds or add faster tiers"
+        )
+    return Assignment(problem=problem, choices=choices, solver="greedy")
+
+
+def _scalar_choices(
+    problem: OptAssignProblem,
+) -> tuple[dict[str, CandidateOption], list[str]]:
+    """The reference oracle: enumerate options per partition, take the min."""
     choices: dict[str, CandidateOption] = {}
     infeasible: list[str] = []
     for partition in problem.partitions:
@@ -49,10 +93,70 @@ def solve_greedy(problem: OptAssignProblem, enforce_unbounded: bool = True) -> A
             infeasible.append(partition.name)
             continue
         choices[partition.name] = min(options, key=lambda option: option.objective)
-    if infeasible:
-        raise ValueError(
-            "no latency-feasible (tier, scheme) option exists for partitions: "
-            f"{infeasible[:5]}{'...' if len(infeasible) > 5 else ''}; "
-            "relax latency thresholds or add faster tiers"
+    return choices, infeasible
+
+
+def _vectorized_choices(
+    problem: OptAssignProblem,
+) -> tuple[dict[str, CandidateOption], list[str]]:
+    """Masked argmin over the (N, T, K) objective tensor."""
+    tensors = problem.batch_tensors()
+    arrays = problem.partition_arrays()
+    num_partitions = tensors.num_partitions
+    num_schemes = tensors.num_schemes
+
+    # Flattening (T, K) in C order enumerates candidates tier-major with
+    # sorted schemes inside each tier — the scalar loop's order — so argmin's
+    # first-minimum rule reproduces min()'s tie-breaking exactly.
+    flat = tensors.masked_objective().reshape(num_partitions, -1)
+    best = np.argmin(flat, axis=1)
+    rows = np.arange(num_partitions)
+    best_objective = flat[rows, best]
+    if not np.isfinite(best_objective).all():
+        return {}, [arrays.names[i] for i in np.flatnonzero(~np.isfinite(best_objective))]
+
+    tier_index = best // num_schemes
+    scheme_index = best % num_schemes
+    storage = tensors.storage[rows, tier_index, scheme_index].tolist()
+    read = tensors.read[rows, tier_index, scheme_index].tolist()
+    write = tensors.write[rows, tier_index, scheme_index].tolist()
+    decompression = tensors.decompression[rows, scheme_index].tolist()
+    latency = tensors.latency_s[rows, tier_index, scheme_index].tolist()
+    objective = best_objective.tolist()
+    tiers = tier_index.tolist()
+    scheme_names = [tensors.schemes[k] for k in scheme_index.tolist()]
+
+    # Frozen-dataclass __init__ routes every field through object.__setattr__,
+    # which at tens of thousands of options costs more than the whole numpy
+    # pass; assembling the instance __dict__ directly builds identical objects
+    # (same fields, eq, hash) without that per-field overhead.  Neither class
+    # has a __post_init__ to skip.
+    new_breakdown = CostBreakdown.__new__
+    new_option = CandidateOption.__new__
+    set_dict = object.__setattr__
+    choices: dict[str, CandidateOption] = {}
+    for i, name in enumerate(arrays.names):
+        breakdown = new_breakdown(CostBreakdown)
+        breakdown.__dict__ = {
+            "storage": storage[i],
+            "read": read[i],
+            "write": write[i],
+            "decompression": decompression[i],
+        }
+        option = new_option(CandidateOption)
+        set_dict(
+            option,
+            "__dict__",
+            {
+                "partition": name,
+                "tier_index": tiers[i],
+                "scheme": scheme_names[i],
+                "objective": objective[i],
+                "breakdown": breakdown,
+                "latency_s": latency[i],
+                "latency_feasible": True,
+                "codec_allowed": True,
+            },
         )
-    return Assignment(problem=problem, choices=choices, solver="greedy")
+        choices[name] = option
+    return choices, []

@@ -13,12 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ...cloud import (
+    BatchCostTensors,
     CompressionProfile,
     CostBreakdown,
     CostModel,
     DataPartition,
     NO_COMPRESSION_PROFILE,
+    PartitionArrays,
 )
 from ...cloud.objects import NO_COMPRESSION
 
@@ -67,10 +71,14 @@ class OptAssignProblem:
 
     def __init__(
         self,
-        partitions: Sequence[DataPartition],
+        partitions: Sequence[DataPartition] | PartitionArrays,
         cost_model: CostModel,
         profiles: ProfileTable | None = None,
     ):
+        arrays: PartitionArrays | None = None
+        if isinstance(partitions, PartitionArrays):
+            arrays = partitions
+            partitions = arrays.to_partitions()
         names = [partition.name for partition in partitions]
         if len(set(names)) != len(names):
             raise ValueError("partition names must be unique")
@@ -97,6 +105,11 @@ class OptAssignProblem:
                     f"partition {partition.name!r} is pinned to codec {pinned!r} "
                     "but no profile for that codec was provided"
                 )
+        self._arrays: PartitionArrays | None = arrays
+        self._profile_columns_cache: (
+            tuple[tuple[str, ...], np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
+        self._tensors: BatchCostTensors | None = None
 
     # -- accessors -------------------------------------------------------------
     @property
@@ -152,6 +165,60 @@ class OptAssignProblem:
             partition.name: self.options_for(partition, include_infeasible)
             for partition in self.partitions
         }
+
+    # -- columnar fast path ----------------------------------------------------
+    def partition_arrays(self) -> PartitionArrays:
+        """The partitions as a struct-of-arrays view (cached, lossless)."""
+        if self._arrays is None:
+            self._arrays = PartitionArrays.from_partitions(self.partitions)
+        return self._arrays
+
+    def scheme_union(self) -> tuple[str, ...]:
+        """All schemes appearing in any partition's profile table, sorted.
+
+        Sorted order matters: restricted to one partition's available schemes
+        it reproduces :meth:`schemes_for`'s enumeration order, which is what
+        keeps the vectorized argmin's tie-breaking identical to the scalar
+        solver's.
+        """
+        return self._profile_columns()[0]
+
+    def _profile_columns(
+        self,
+    ) -> tuple[tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """(schemes, ratio (N,K), decompression_s_per_gb (N,K), available (N,K))."""
+        if self._profile_columns_cache is None:
+            schemes = tuple(
+                sorted({scheme for table in self._profiles.values() for scheme in table})
+            )
+            index = {scheme: k for k, scheme in enumerate(schemes)}
+            shape = (len(self.partitions), len(schemes))
+            ratio = np.ones(shape, dtype=np.float64)
+            decompression = np.zeros(shape, dtype=np.float64)
+            available = np.zeros(shape, dtype=bool)
+            for n, partition in enumerate(self.partitions):
+                for scheme, profile in self._profiles[partition.name].items():
+                    k = index[scheme]
+                    ratio[n, k] = profile.ratio
+                    decompression[n, k] = profile.decompression_s_per_gb
+                    available[n, k] = True
+            self._profile_columns_cache = (schemes, ratio, decompression, available)
+        return self._profile_columns_cache
+
+    def batch_tensors(self) -> BatchCostTensors:
+        """The full vectorized candidate evaluation (cached).
+
+        Every cell agrees bit for bit with the :class:`CandidateOption` the
+        scalar :meth:`options_for` would build for the same (partition, tier,
+        scheme) triple; the ``feasible`` mask matches
+        :attr:`CandidateOption.feasible` plus scheme availability.
+        """
+        if self._tensors is None:
+            schemes, ratio, decompression, available = self._profile_columns()
+            self._tensors = self.cost_model.batch_tensors(
+                self.partition_arrays(), schemes, ratio, decompression, available
+            )
+        return self._tensors
 
     def stored_gb(self, partition: DataPartition, scheme: str) -> float:
         """On-disk size of ``partition`` under ``scheme`` (used by capacity constraints)."""
@@ -231,4 +298,10 @@ class OptAssignProblem:
         problem.partitions = relaxed_partitions
         problem.cost_model = self.cost_model
         problem._profiles = self._profiles
+        problem._arrays = None
+        # The profile columns depend only on the (shared) profile table and
+        # the partition order, so the relaxed copy can reuse them; the cost
+        # tensors depend on the latency thresholds and must be recomputed.
+        problem._profile_columns_cache = self._profile_columns_cache
+        problem._tensors = None
         return problem

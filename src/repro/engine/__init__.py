@@ -24,7 +24,7 @@ end-to-end bill / wall-clock benchmark.
 from .engine import EngineConfig, EngineReport, EpochRecord, OnlineTieringEngine
 from .events import EpochBatch, ReplayStream, SeriesStream, stream_from_catalog
 from .executor import MigrationExecutor, MigrationRecord, MigrationReport
-from .features import FeatureStore, PartitionFeatures
+from .features import FeatureStore, PartitionFeatures, ScalarFeatureStore
 from .policies import (
     DriftTriggered,
     PeriodicReoptimize,
@@ -47,6 +47,7 @@ __all__ = [
     "MigrationReport",
     "FeatureStore",
     "PartitionFeatures",
+    "ScalarFeatureStore",
     "TieringPolicy",
     "StaticOnce",
     "PeriodicReoptimize",

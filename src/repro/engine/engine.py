@@ -31,8 +31,10 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..cloud import (
     CloudStorageSimulator,
+    CompiledPlacement,
     CostWeights,
     DataPartition,
+    PartitionArrays,
     PlacementDecision,
     TierCatalog,
 )
@@ -196,6 +198,8 @@ class OnlineTieringEngine:
         self.policy = policy
         self._partitions = [replace(partition) for partition in partitions]
         self._by_name = {partition.name: partition for partition in self._partitions}
+        self._arrays = PartitionArrays.from_partitions(self._partitions)
+        self._compiled: CompiledPlacement | None = None
         self._profiles = profiles
         self._profile_provider = profile_provider
         self.simulator = CloudStorageSimulator(
@@ -259,9 +263,13 @@ class OnlineTieringEngine:
                 migration = self._reoptimize(epoch)
                 reoptimized = True
 
-            step = self.simulator.step_month(
-                self._partitions, self.placement, batch.events
-            )
+            # The compiled placement answers step_month queries with vectorized
+            # gathers; it is invalidated whenever a re-optimization moves data.
+            if self._compiled is None:
+                self._compiled = self.simulator.compile_placement(
+                    self._arrays, self.placement
+                )
+            step = self._compiled.step(batch.events)
 
             observed = batch.reads_by_partition()
             self.feature_store.observe(batch)
@@ -299,7 +307,7 @@ class OnlineTieringEngine:
         with the priors at construction).
         """
         names = list(self._by_name)
-        windows = {name: self.feature_store.window_series(name) for name in names}
+        windows = self.feature_store.window_series_map(names)
         return self.forecaster.forecast_monthly(names, windows, epoch=epoch - 1)
 
     def _reoptimize(self, epoch: int) -> MigrationReport:
@@ -337,5 +345,6 @@ class OnlineTieringEngine:
             epoch=epoch,
         )
         self.placement = new_placement
+        self._compiled = None
         self.policy.notify_reoptimized(epoch, predicted_monthly)
         return migration

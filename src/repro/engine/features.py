@@ -2,32 +2,36 @@
 
 A production tiering service observes millions of access events; recomputing
 every partition's windowed features from the full trace each epoch would make
-the control loop O(trace length).  :class:`FeatureStore` instead maintains,
-per partition, a *sparse* deque of (epoch, reads) entries restricted to the
-sliding window plus a handful of running aggregates, with **lazy eviction**:
+the control loop O(trace length).  Two implementations maintain the same
+windowed features:
 
-* :meth:`observe` does O(1) amortized work per event — entries are appended
-  (coalescing within an epoch) and each entry is evicted at most once over
-  its lifetime;
-* partitions that receive no events in an epoch are not touched at all —
-  their stale window totals are corrected on first read, so a million cold
-  partitions cost nothing per epoch;
-* :meth:`snapshot` (called only at re-optimization points) densifies the
-  window per partition in O(partitions x window).
+* :class:`FeatureStore` (the default) keeps **preallocated numpy ring
+  buffers**: one ``(partitions, window)`` matrix whose column ``e % window``
+  holds epoch ``e``'s reads, plus lifetime/last-access vectors.  Epoch ingest
+  is O(new events) (a vectorized scatter-add after name-to-row resolution,
+  plus zeroing the ring columns that slide out), and window aggregation at
+  re-optimization points is a handful of vectorized reductions instead of
+  per-partition Python loops.
+* :class:`ScalarFeatureStore` is the original per-partition sparse-deque
+  implementation with lazy eviction, kept as the **reference oracle**: the
+  equivalence suite (``tests/engine/test_feature_store.py``) drives both on
+  the same streams and requires identical answers.
 
-The invariant tested by ``tests/engine/test_feature_store.py`` is exact
-equivalence with a brute-force recompute over the full history.
+The invariant tested against both is exact equivalence with a brute-force
+recompute over the full history.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from .events import EpochBatch
 
-__all__ = ["PartitionFeatures", "FeatureStore"]
+__all__ = ["PartitionFeatures", "FeatureStore", "ScalarFeatureStore"]
 
 
 @dataclass(frozen=True)
@@ -52,8 +56,207 @@ class PartitionFeatures:
         return self.window_reads / len(self.window_series)
 
 
+class FeatureStore:
+    """Sliding-window access features on preallocated numpy ring buffers.
+
+    Parameters
+    ----------
+    window_months:
+        Width of the sliding window; the window at epoch ``e`` covers epochs
+        ``(e - window_months, e]``, i.e. the current epoch and the
+        ``window_months - 1`` before it.
+    initial_capacity:
+        Rows preallocated for distinct partitions; the buffers double when
+        exceeded, so ingest stays amortized O(new events).
+    """
+
+    def __init__(self, window_months: int = 6, initial_capacity: int = 1024):
+        if window_months <= 0:
+            raise ValueError("window_months must be positive")
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        self.window_months = window_months
+        self._epoch = -1
+        self._index: dict[str, int] = {}
+        self._capacity = initial_capacity
+        self._window = np.zeros((initial_capacity, window_months), dtype=np.float64)
+        self._lifetime = np.zeros(initial_capacity, dtype=np.float64)
+        self._last_access = np.full(initial_capacity, -1, dtype=np.int64)
+
+    @property
+    def current_epoch(self) -> int:
+        """The most recent epoch observed (-1 before any observation)."""
+        return self._epoch
+
+    # -- ingestion -------------------------------------------------------------
+    def observe(self, batch: EpochBatch) -> None:
+        """Fold one epoch's events in.  Epochs must be non-decreasing."""
+        if batch.epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {batch.epoch} after {self._epoch})"
+            )
+        self._advance(batch.epoch)
+        self._add_many(
+            batch.epoch,
+            [event.partition for event in batch.events],
+            [event.reads for event in batch.events],
+        )
+
+    def observe_counts(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
+        """Like :meth:`observe` but from pre-aggregated per-partition counts."""
+        if epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
+            )
+        self._advance(epoch)
+        self._add_many(
+            epoch, list(reads_by_partition), list(reads_by_partition.values())
+        )
+
+    def _advance(self, epoch: int) -> None:
+        """Slide the ring forward: zero the columns whose epochs expired."""
+        if self._epoch < 0 or epoch == self._epoch:
+            self._epoch = epoch
+            return
+        gap = epoch - self._epoch
+        window = self.window_months
+        if gap >= window:
+            self._window[: len(self._index)] = 0.0
+        else:
+            columns = [(e % window) for e in range(self._epoch + 1, epoch + 1)]
+            self._window[: len(self._index), columns] = 0.0
+        self._epoch = epoch
+
+    def _add_many(
+        self, epoch: int, names: Sequence[str], reads: Sequence[float]
+    ) -> None:
+        if not names:
+            return
+        for name, count in zip(names, reads):
+            if count < 0:
+                raise ValueError(f"negative read count for {name!r}")
+        pairs = [(name, count) for name, count in zip(names, reads) if count > 0]
+        if not pairs:
+            return
+        indices = np.fromiter(
+            (self._ensure(name) for name, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        counts = np.fromiter(
+            (count for _, count in pairs), dtype=np.float64, count=len(pairs)
+        )
+        column = epoch % self.window_months
+        np.add.at(self._window[:, column], indices, counts)
+        np.add.at(self._lifetime, indices, counts)
+        self._last_access[indices] = epoch
+
+    def _ensure(self, name: str) -> int:
+        index = self._index.get(name)
+        if index is not None:
+            return index
+        index = len(self._index)
+        if index >= self._capacity:
+            self._grow()
+        self._index[name] = index
+        return index
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        window = np.zeros((new_capacity, self.window_months), dtype=np.float64)
+        window[: self._capacity] = self._window
+        lifetime = np.zeros(new_capacity, dtype=np.float64)
+        lifetime[: self._capacity] = self._lifetime
+        last_access = np.full(new_capacity, -1, dtype=np.int64)
+        last_access[: self._capacity] = self._last_access
+        self._window, self._lifetime, self._last_access = window, lifetime, last_access
+        self._capacity = new_capacity
+
+    # -- queries ----------------------------------------------------------------
+    def window_reads(self, name: str) -> float:
+        """Total reads of ``name`` within the current window."""
+        index = self._index.get(name)
+        if index is None:
+            return 0.0
+        return float(self._window[index].sum())
+
+    def lifetime_reads(self, name: str) -> float:
+        index = self._index.get(name)
+        return float(self._lifetime[index]) if index is not None else 0.0
+
+    def epochs_since_access(self, name: str) -> float:
+        """Epochs since the last read (``inf`` if never accessed)."""
+        index = self._index.get(name)
+        if index is None or self._last_access[index] < 0:
+            return float("inf")
+        return float(self._epoch - self._last_access[index])
+
+    def _window_columns(self) -> tuple[int, list[int]]:
+        """(series length, ring columns oldest-epoch-first) for the current window."""
+        length = min(self.window_months, self._epoch + 1)
+        if length <= 0:
+            return 0, []
+        window = self.window_months
+        columns = [e % window for e in range(self._epoch - length + 1, self._epoch + 1)]
+        return length, columns
+
+    def window_series(self, name: str) -> tuple[float, ...]:
+        """Dense per-epoch reads over the window, oldest epoch first.
+
+        Before ``window_months`` epochs have elapsed the series is shorter
+        (only the epochs that exist so far), so window means are not diluted
+        by non-existent history.
+        """
+        length, columns = self._window_columns()
+        if length == 0:
+            return ()
+        index = self._index.get(name)
+        if index is None:
+            return (0.0,) * length
+        return tuple(self._window[index, columns].tolist())
+
+    def window_series_map(
+        self, names: Iterable[str]
+    ) -> dict[str, tuple[float, ...]]:
+        """:meth:`window_series` for many partitions in one vectorized gather."""
+        names = list(names)
+        length, columns = self._window_columns()
+        if length == 0:
+            return {name: () for name in names}
+        matrix = np.zeros((len(names), length), dtype=np.float64)
+        positions = []
+        rows = []
+        for position, name in enumerate(names):
+            index = self._index.get(name)
+            if index is not None:
+                positions.append(position)
+                rows.append(index)
+        if rows:
+            matrix[positions] = self._window[np.ix_(rows, columns)]
+        series = matrix.tolist()
+        return {name: tuple(series[i]) for i, name in enumerate(names)}
+
+    def snapshot(self, names: Iterable[str]) -> dict[str, PartitionFeatures]:
+        """Windowed features for ``names`` (used at re-optimization points)."""
+        names = list(names)
+        series_map = self.window_series_map(names)
+        features: dict[str, PartitionFeatures] = {}
+        for name in names:
+            series = series_map[name]
+            features[name] = PartitionFeatures(
+                name=name,
+                window_reads=float(sum(series)),
+                window_series=series,
+                lifetime_reads=self.lifetime_reads(name),
+                epochs_since_access=self.epochs_since_access(name),
+            )
+        return features
+
+    def tracked_partitions(self) -> list[str]:
+        """Names of every partition that has ever been accessed."""
+        return sorted(self._index)
+
+
 class _PartitionState:
-    """Sparse per-partition window state (internal)."""
+    """Sparse per-partition window state (internal to the scalar oracle)."""
 
     __slots__ = ("entries", "window_total", "lifetime_total", "last_access_epoch")
 
@@ -64,15 +267,15 @@ class _PartitionState:
         self.last_access_epoch = -1
 
 
-class FeatureStore:
-    """Maintains sliding-window access features with O(new events) updates.
+class ScalarFeatureStore:
+    """The original per-partition sparse implementation (reference oracle).
 
-    Parameters
-    ----------
-    window_months:
-        Width of the sliding window; the window at epoch ``e`` covers epochs
-        ``(e - window_months, e]``, i.e. the current epoch and the
-        ``window_months - 1`` before it.
+    Maintains, per partition, a sparse deque of (epoch, reads) entries
+    restricted to the sliding window plus running aggregates, with lazy
+    eviction: each entry is evicted at most once over its lifetime and cold
+    partitions are never touched.  Kept so the vectorized
+    :class:`FeatureStore` has an independent implementation to be checked
+    against; the two expose the same API and must return identical answers.
     """
 
     def __init__(self, window_months: int = 6):
@@ -156,12 +359,7 @@ class FeatureStore:
         return float(self._epoch - state.last_access_epoch)
 
     def window_series(self, name: str) -> tuple[float, ...]:
-        """Dense per-epoch reads over the window, oldest epoch first.
-
-        Before ``window_months`` epochs have elapsed the series is shorter
-        (only the epochs that exist so far), so window means are not diluted
-        by non-existent history.
-        """
+        """Dense per-epoch reads over the window, oldest epoch first."""
         length = min(self.window_months, self._epoch + 1)
         if length <= 0:
             return ()
@@ -174,6 +372,12 @@ class FeatureStore:
                 if epoch >= start:
                     series[epoch - start] = reads
         return tuple(series)
+
+    def window_series_map(
+        self, names: Iterable[str]
+    ) -> dict[str, tuple[float, ...]]:
+        """:meth:`window_series` for many partitions (loop; oracle parity API)."""
+        return {name: self.window_series(name) for name in names}
 
     def snapshot(self, names: Iterable[str]) -> dict[str, PartitionFeatures]:
         """Windowed features for ``names`` (used at re-optimization points)."""

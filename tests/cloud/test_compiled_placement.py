@@ -1,0 +1,155 @@
+"""CompiledPlacement (vectorized step_month) must agree with the scalar path.
+
+``CloudStorageSimulator.step_month`` is the per-epoch reference; the compiled
+fast path precomputes per-partition vectors and answers the same query with
+numpy gathers.  Per-element arithmetic is order-identical, totals may differ
+only by floating-point summation order — hence exact counts and rel-1e-9
+costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AccessEvent,
+    CloudStorageSimulator,
+    CompressionProfile,
+    DataPartition,
+    PartitionArrays,
+    PlacementDecision,
+    azure_tier_catalog,
+)
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(23)
+    partitions = [
+        DataPartition(
+            name=f"p{i:03d}",
+            size_gb=float(rng.uniform(1.0, 500.0)),
+            predicted_accesses=float(rng.lognormal(1.0, 1.0)),
+            latency_threshold_s=float(rng.choice([0.05, 60.0, 7200.0])),
+            current_tier=int(rng.integers(0, 3)),
+            read_fraction=float(rng.uniform(0.1, 1.0)),
+        )
+        for i in range(60)
+    ]
+    tiers = azure_tier_catalog(include_premium=False)
+    simulator = CloudStorageSimulator(tiers, compute_cost_per_s=0.002)
+    placement = {}
+    for i, partition in enumerate(partitions):
+        profile = (
+            CompressionProfile("gzip", ratio=3.5, decompression_s_per_gb=1.1)
+            if i % 3 == 0
+            else CompressionProfile("snappy", ratio=1.8, decompression_s_per_gb=0.08)
+            if i % 3 == 1
+            else CompressionProfile("none", ratio=1.0, decompression_s_per_gb=0.0)
+        )
+        placement[partition.name] = PlacementDecision(
+            tier_index=int(rng.integers(0, len(tiers))), profile=profile
+        )
+    events = [
+        AccessEvent(
+            month=0,
+            partition=partitions[int(rng.integers(0, len(partitions)))].name,
+            reads=float(rng.integers(1, 9)),
+        )
+        for _ in range(300)
+    ]
+    return simulator, partitions, placement, events
+
+
+class TestCompiledStepEqualsScalarStep:
+    def test_bill_and_counters_match(self, setup):
+        simulator, partitions, placement, events = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        fast = compiled.step(events)
+        reference = simulator.step_month(partitions, placement, events)
+        assert fast.bill.storage == pytest.approx(reference.bill.storage, rel=1e-9)
+        assert fast.bill.read == pytest.approx(reference.bill.read, rel=1e-9)
+        assert fast.bill.decompression == pytest.approx(
+            reference.bill.decompression, rel=1e-9
+        )
+        assert fast.bill.write == reference.bill.write == 0.0
+        assert fast.access_count == reference.access_count
+        assert fast.latency_violations == reference.latency_violations
+        assert fast.mean_latency_s == pytest.approx(reference.mean_latency_s, rel=1e-9)
+        assert fast.early_deletion_penalty == 0.0
+
+    def test_fractional_storage_months(self, setup):
+        simulator, partitions, placement, events = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        fast = compiled.step(events, storage_months=0.25)
+        reference = simulator.step_month(
+            partitions, placement, events, storage_months=0.25
+        )
+        assert fast.bill.storage == pytest.approx(reference.bill.storage, rel=1e-9)
+
+    def test_empty_epoch_charges_storage_only(self, setup):
+        simulator, partitions, placement, _ = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        fast = compiled.step([])
+        reference = simulator.step_month(partitions, placement, [])
+        assert fast.bill.storage == pytest.approx(reference.bill.storage, rel=1e-9)
+        assert fast.bill.read == 0.0
+        assert fast.access_count == 0
+        assert fast.mean_latency_s == 0.0 == reference.mean_latency_s
+
+    def test_per_partition_detail_matches_when_requested(self, setup):
+        simulator, partitions, placement, events = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        fast = compiled.step(events, include_per_partition=True)
+        reference = simulator.step_month(partitions, placement, events)
+        assert set(fast.per_partition) == set(reference.per_partition)
+        for name, breakdown in reference.per_partition.items():
+            assert fast.per_partition[name].approx_equals(breakdown, tolerance=1e-9)
+
+    def test_detail_skipped_by_default(self, setup):
+        simulator, partitions, placement, events = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        assert compiled.step(events).per_partition == {}
+
+    def test_many_epochs_compose_like_scalar_steps(self, setup):
+        simulator, partitions, placement, _ = setup
+        rng = np.random.default_rng(5)
+        compiled = simulator.compile_placement(
+            PartitionArrays.from_partitions(partitions), placement
+        )
+        fast_total = 0.0
+        reference_total = 0.0
+        for epoch in range(12):
+            events = [
+                AccessEvent(
+                    month=epoch,
+                    partition=partitions[int(rng.integers(0, len(partitions)))].name,
+                    reads=float(rng.integers(1, 4)),
+                )
+                for _ in range(50)
+            ]
+            fast_total += compiled.step(events).bill.total
+            reference_total += simulator.step_month(
+                partitions, placement, events
+            ).bill.total
+        assert fast_total == pytest.approx(reference_total, rel=1e-9)
+
+
+class TestCompiledValidation:
+    def test_missing_placement_raises(self, setup):
+        simulator, partitions, placement, _ = setup
+        placement = dict(placement)
+        placement.pop(partitions[3].name)
+        with pytest.raises(KeyError):
+            simulator.compile_placement(partitions, placement)
+
+    def test_unknown_partition_in_events_raises(self, setup):
+        simulator, partitions, placement, _ = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        with pytest.raises(KeyError):
+            compiled.step([AccessEvent(month=0, partition="ghost", reads=1.0)])
+
+    def test_nonpositive_storage_months_rejected(self, setup):
+        simulator, partitions, placement, _ = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        with pytest.raises(ValueError):
+            compiled.step([], storage_months=0.0)

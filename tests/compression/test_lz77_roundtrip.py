@@ -1,0 +1,173 @@
+"""Property and fuzz tests for the LZ77 engine behind the snappy/lz4 stand-ins.
+
+Pins the token format's edge cases: varint boundaries at the 7-bit group
+edges, overlapping match copies (distance < length), empty and incompressible
+inputs, and the malformed-payload error paths of the decoder.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression._lz77 import (
+    lz_compress,
+    lz_decompress,
+    read_uvarint,
+    write_uvarint,
+)
+
+
+# Every value that sits on a 7-bit group boundary, plus its neighbours.
+VARINT_EDGES = sorted(
+    {0, 1}
+    | {
+        value + delta
+        for bits in (7, 14, 21, 28, 35, 42, 49, 56, 63)
+        for value in (1 << bits,)
+        for delta in (-1, 0, 1)
+    }
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", VARINT_EDGES)
+    def test_round_trip_at_7bit_edges(self, value):
+        out = bytearray()
+        write_uvarint(value, out)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+        # Encoding is minimal: ceil(bits/7) bytes, one byte for zero.
+        expected_length = max(1, -(-value.bit_length() // 7))
+        assert len(out) == expected_length
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(-1, bytearray())
+
+    def test_truncated_varint_raises(self):
+        out = bytearray()
+        write_uvarint(300, out)
+        with pytest.raises(ValueError, match="truncated"):
+            read_uvarint(bytes(out[:-1]), 0)
+        with pytest.raises(ValueError, match="truncated"):
+            read_uvarint(b"", 0)
+
+    def test_overlong_varint_raises(self):
+        # Ten continuation bytes push the shift past 63 bits.
+        with pytest.raises(ValueError, match="too long"):
+            read_uvarint(b"\x80" * 10 + b"\x01", 0)
+
+    def test_sequential_values_share_a_buffer(self):
+        out = bytearray()
+        values = [0, 127, 128, 16384, 5]
+        for value in values:
+            write_uvarint(value, out)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = read_uvarint(bytes(out), offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(out)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"a" * 10_000,  # run: overlapping match with distance 1
+            b"ab" * 5_000,  # distance-2 overlap
+            b"abcd" * 4_000,  # distance-4, exactly min_match period
+            bytes(range(256)) * 16,  # cycling alphabet
+            b"the quick brown fox jumps over the lazy dog " * 200,
+        ],
+    )
+    def test_structured_payloads(self, payload):
+        compressed = lz_compress(payload)
+        assert lz_decompress(compressed) == payload
+
+    def test_incompressible_random_bytes(self):
+        rng = np.random.default_rng(41)
+        payload = rng.integers(0, 256, size=65_536, dtype=np.uint8).tobytes()
+        compressed = lz_compress(payload)
+        assert lz_decompress(compressed) == payload
+        # Token framing overhead must stay small even when nothing matches.
+        assert len(compressed) < len(payload) * 1.05
+
+    def test_highly_compressible_shrinks(self):
+        payload = b"x" * 100_000
+        compressed = lz_compress(payload)
+        assert lz_decompress(compressed) == payload
+        assert len(compressed) < len(payload) // 100
+
+    def test_window_and_min_match_parameters(self):
+        payload = (b"0123456789abcdef" * 64) + bytes(1000) + (b"0123456789abcdef" * 64)
+        for window in (64, 1024, 1 << 16):
+            for min_match in (4, 8, 16):
+                compressed = lz_compress(payload, min_match=min_match, window=window)
+                assert lz_decompress(compressed) == payload
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=4096))
+    def test_fuzz_round_trip(self, payload):
+        assert lz_decompress(lz_compress(payload)) == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=24), st.integers(1, 40)),
+            max_size=20,
+        )
+    )
+    def test_fuzz_repetitive_round_trip(self, chunks):
+        payload = b"".join(chunk * repeats for chunk, repeats in chunks)
+        assert lz_decompress(lz_compress(payload)) == payload
+
+
+class TestMalformedPayloads:
+    def test_truncated_literal_run(self):
+        compressed = bytearray(lz_compress(b"hello world, hello!"))
+        with pytest.raises(ValueError):
+            lz_decompress(bytes(compressed[:-3]))
+
+    def test_unknown_token_tag(self):
+        out = bytearray()
+        write_uvarint(1, out)
+        out.append(0x7F)  # neither literal (0x00) nor match (0x01)
+        with pytest.raises(ValueError, match="unknown token tag"):
+            lz_decompress(bytes(out))
+
+    def test_invalid_match_distance(self):
+        out = bytearray()
+        write_uvarint(4, out)
+        out.append(0x01)  # match token before any output exists
+        write_uvarint(4, out)
+        write_uvarint(1, out)
+        with pytest.raises(ValueError, match="invalid match distance"):
+            lz_decompress(bytes(out))
+
+    def test_zero_distance_rejected(self):
+        out = bytearray()
+        write_uvarint(5, out)
+        out.append(0x00)
+        write_uvarint(1, out)
+        out.extend(b"a")
+        out.append(0x01)
+        write_uvarint(4, out)
+        write_uvarint(0, out)
+        with pytest.raises(ValueError, match="invalid match distance"):
+            lz_decompress(bytes(out))
+
+    def test_length_header_mismatch(self):
+        out = bytearray()
+        write_uvarint(10, out)  # promises 10 bytes
+        out.append(0x00)
+        write_uvarint(3, out)
+        out.extend(b"abc")  # delivers 3
+        with pytest.raises(ValueError, match="does not match header"):
+            lz_decompress(bytes(out))

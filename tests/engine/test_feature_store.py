@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cloud import AccessEvent
-from repro.engine import EpochBatch, FeatureStore, SeriesStream
+from repro.engine import EpochBatch, FeatureStore, ScalarFeatureStore, SeriesStream
 
 
 def brute_force_window(trace: dict[str, list[float]], epoch: int, window: int):
@@ -116,13 +116,95 @@ class TestSnapshot:
         assert store.tracked_partitions() == ["a", "b"]
 
 
+class TestRingBufferEqualsScalarOracle:
+    """The numpy ring-buffer store and the sparse-deque oracle must agree."""
+
+    @pytest.mark.parametrize("window", [1, 2, 5])
+    def test_identical_on_random_trace_with_gaps(self, window):
+        rng = np.random.default_rng(29)
+        names = [f"p{i}" for i in range(20)]
+        ring = FeatureStore(window_months=window, initial_capacity=4)  # forces growth
+        scalar = ScalarFeatureStore(window_months=window)
+        epoch = 0
+        for _ in range(40):
+            epoch += int(rng.integers(0, 4))  # repeats and gaps included
+            counts = {
+                name: float(rng.integers(0, 5))
+                for name in names
+                if rng.uniform() < 0.5
+            }
+            ring.observe_counts(epoch, counts)
+            scalar.observe_counts(epoch, counts)
+            assert ring.current_epoch == scalar.current_epoch
+            for name in names + ["never_seen"]:
+                assert ring.window_series(name) == scalar.window_series(name), (
+                    name,
+                    epoch,
+                )
+                assert ring.window_reads(name) == pytest.approx(
+                    scalar.window_reads(name)
+                )
+                assert ring.lifetime_reads(name) == scalar.lifetime_reads(name)
+                assert ring.epochs_since_access(name) == scalar.epochs_since_access(
+                    name
+                )
+            assert ring.tracked_partitions() == scalar.tracked_partitions()
+
+    def test_event_batches_agree_with_counts(self):
+        rng = np.random.default_rng(31)
+        names = [f"p{i}" for i in range(10)]
+        ring = FeatureStore(window_months=4)
+        scalar = ScalarFeatureStore(window_months=4)
+        for epoch in range(15):
+            events = tuple(
+                AccessEvent(month=epoch, partition=names[int(rng.integers(0, 10))],
+                            reads=float(rng.integers(1, 4)))
+                for _ in range(int(rng.integers(0, 8)))
+            )
+            batch = EpochBatch(epoch=epoch, events=events)
+            ring.observe(batch)
+            scalar.observe(batch)
+            snap_ring = ring.snapshot(names)
+            snap_scalar = scalar.snapshot(names)
+            for name in names:
+                assert snap_ring[name].window_series == snap_scalar[name].window_series
+                assert snap_ring[name].window_reads == pytest.approx(
+                    snap_scalar[name].window_reads
+                )
+
+    def test_window_series_map_matches_per_name_queries(self):
+        store = FeatureStore(window_months=3)
+        store.observe_counts(0, {"a": 5.0})
+        store.observe_counts(2, {"b": 2.0, "a": 1.0})
+        series_map = store.window_series_map(["a", "b", "ghost"])
+        assert series_map == {
+            "a": store.window_series("a"),
+            "b": store.window_series("b"),
+            "ghost": (0.0, 0.0, 0.0),
+        }
+
+    def test_same_epoch_observed_twice_coalesces(self):
+        ring = FeatureStore(window_months=3)
+        scalar = ScalarFeatureStore(window_months=3)
+        for store in (ring, scalar):
+            store.observe_counts(1, {"a": 2.0})
+            store.observe_counts(1, {"a": 3.0})
+        assert ring.window_series("a") == scalar.window_series("a") == (0.0, 5.0)
+        assert ring.window_reads("a") == scalar.window_reads("a") == 5.0
+
+
 class TestHotPathIsIncremental:
     def test_epoch_cost_does_not_grow_with_history(self):
-        """The per-epoch entry count touched stays bounded by the window, not
-        the trace length: after many epochs every partition deque holds at
-        most ``window`` entries regardless of lifetime."""
-        store = FeatureStore(window_months=4)
+        """Per-epoch state stays bounded by the window, not the trace length.
+
+        For the scalar oracle: after many epochs every partition deque holds
+        at most ``window`` entries regardless of lifetime.  For the ring
+        store: the buffer width is exactly ``window`` columns forever."""
+        scalar = ScalarFeatureStore(window_months=4)
+        ring = FeatureStore(window_months=4)
         for epoch in range(500):
-            store.observe_counts(epoch, {"a": 1.0, "b": 2.0})
-        for state in store._states.values():
+            scalar.observe_counts(epoch, {"a": 1.0, "b": 2.0})
+            ring.observe_counts(epoch, {"a": 1.0, "b": 2.0})
+        for state in scalar._states.values():
             assert len(state.entries) <= 4
+        assert ring._window.shape[1] == 4
