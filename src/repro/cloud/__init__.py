@@ -24,6 +24,16 @@ from .objects import (
     FileBlock,
     PartitionCatalog,
 )
+from .providers import (
+    CloudProvider,
+    MultiProviderCatalog,
+    PROVIDER_SEPARATOR,
+    ProviderBuilder,
+    aws_s3,
+    azure_blob,
+    gcp_gcs,
+    multi_cloud_catalog,
+)
 from .simulator import (
     AccessEvent,
     CloudStorageSimulator,
@@ -54,6 +64,14 @@ __all__ = [
     "DatasetCatalog",
     "FileBlock",
     "PartitionCatalog",
+    "CloudProvider",
+    "MultiProviderCatalog",
+    "PROVIDER_SEPARATOR",
+    "ProviderBuilder",
+    "aws_s3",
+    "azure_blob",
+    "gcp_gcs",
+    "multi_cloud_catalog",
     "AccessEvent",
     "CloudStorageSimulator",
     "CompiledPlacement",

@@ -319,6 +319,8 @@ class CostModel:
         ratio: np.ndarray,
         decompression_s_per_gb: np.ndarray,
         scheme_available: np.ndarray | None = None,
+        latency_slo_s: np.ndarray | None = None,
+        tier_allowed: np.ndarray | None = None,
     ) -> BatchCostTensors:
         """Evaluate every (partition, tier, scheme) placement in one pass.
 
@@ -337,6 +339,15 @@ class CostModel:
         scheme_available:
             Optional ``(N, K)`` bool mask of which schemes have a profile for
             which partition; ``None`` means all are available.
+        latency_slo_s:
+            Optional ``(N,)`` per-partition cap on the tier's *published*
+            read-latency SLO (``StorageTier.effective_slo_s``); ``inf``
+            entries are unconstrained.  Unlike the latency SLA (which bounds
+            expected access latency including decompression), this constrains
+            the tier's guarantee alone, so it masks whole tiers.
+        tier_allowed:
+            Optional ``(N, T)`` bool mask of which tiers each partition may
+            occupy — how provider-affinity constraints reach the tensor path.
 
         The arithmetic mirrors :meth:`placement_breakdown` /
         :meth:`placement_objective` operation for operation, so each tensor
@@ -395,6 +406,24 @@ class CostModel:
         if scheme_available is not None:
             allowed = allowed & scheme_available
         feasible = feasible & allowed[:, None, :]
+
+        if latency_slo_s is not None:
+            latency_slo_s = np.asarray(latency_slo_s, dtype=np.float64)
+            if latency_slo_s.shape != (len(arrays),):
+                raise ValueError(
+                    f"latency_slo_s must have shape ({len(arrays)},), "
+                    f"got {latency_slo_s.shape}"
+                )
+            slo_ok = costs["effective_slo_s"][None, :] <= latency_slo_s[:, None]
+            feasible = feasible & slo_ok[:, :, None]
+        if tier_allowed is not None:
+            tier_allowed = np.asarray(tier_allowed, dtype=bool)
+            if tier_allowed.shape != (len(arrays), len(self.tiers)):
+                raise ValueError(
+                    f"tier_allowed must have shape ({len(arrays)}, "
+                    f"{len(self.tiers)}), got {tier_allowed.shape}"
+                )
+            feasible = feasible & tier_allowed[:, :, None]
 
         return BatchCostTensors(
             schemes=tuple(schemes),

@@ -1,0 +1,426 @@
+"""Multi-cloud provider catalogs: named tier menus, egress fees, latency SLOs.
+
+The paper prices placements against a single fixed tier catalog (Azure ADLS
+Gen2).  Production tiering services choose among *several* cloud providers,
+each with its own tier menu, its own per-GB egress charge for data leaving the
+provider, and per-tier read-latency SLOs.  This module models that axis:
+
+* :class:`CloudProvider` — one provider's named tier menu plus its egress fee;
+* :func:`aws_s3` / :func:`azure_blob` / :func:`gcp_gcs` — preset catalogs with
+  realistic (published-price-shaped) parameters in the repo's cents/GB/month
+  conventions;
+* :class:`ProviderBuilder` — a small fluent builder for custom providers;
+* :class:`MultiProviderCatalog` — a combined :class:`~repro.cloud.TierCatalog`
+  over every provider's tiers, whose tier-change costs add the source
+  provider's egress fee on cross-provider moves.
+
+Because :class:`MultiProviderCatalog` *is a* ``TierCatalog`` (tiers globally
+ordered by latency, names prefixed ``provider/tier``), the whole existing
+stack — :class:`~repro.cloud.CostModel`, the OPTASSIGN solvers, the
+simulator, the online engine — prices cross-provider placement without
+modification: the objective's ``Delta_{u,v}`` term and the simulator's write
+charges flow through :meth:`tier_change_cost` / :meth:`change_cost_matrix`,
+which this subclass overrides to include egress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tiers import NEW_DATA_TIER, StorageTier, TierCatalog, azure_table12_tiers
+
+__all__ = [
+    "CloudProvider",
+    "ProviderBuilder",
+    "MultiProviderCatalog",
+    "aws_s3",
+    "azure_blob",
+    "gcp_gcs",
+    "multi_cloud_catalog",
+    "PROVIDER_SEPARATOR",
+]
+
+#: Separator between provider and tier names in a combined catalog
+#: (e.g. ``"aws_s3/standard"``).
+PROVIDER_SEPARATOR: str = "/"
+
+
+@dataclass(frozen=True)
+class CloudProvider:
+    """One cloud provider: a named tier menu plus its egress pricing.
+
+    Parameters
+    ----------
+    name:
+        Provider identifier (e.g. ``"aws_s3"``); must not contain the
+        :data:`PROVIDER_SEPARATOR`.
+    tiers:
+        The provider's tier menu, ordered by non-decreasing latency (the same
+        invariant :class:`~repro.cloud.TierCatalog` enforces).
+    egress_cost_per_gb:
+        Cents per GB charged when data *leaves* this provider for another
+        (cloud providers bill egress at the source; ingress is free).
+    """
+
+    name: str
+    tiers: tuple[StorageTier, ...]
+    egress_cost_per_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("provider name must be non-empty")
+        if PROVIDER_SEPARATOR in self.name:
+            raise ValueError(
+                f"provider name may not contain {PROVIDER_SEPARATOR!r}: {self.name!r}"
+            )
+        if self.egress_cost_per_gb < 0:
+            raise ValueError("egress_cost_per_gb must be non-negative")
+        if not isinstance(self.tiers, tuple):
+            object.__setattr__(self, "tiers", tuple(self.tiers))
+        # Reuse TierCatalog's validation (non-empty, unique names, latency order).
+        TierCatalog(self.tiers)
+
+    def catalog(self) -> TierCatalog:
+        """This provider's tiers alone, as a plain single-provider catalog."""
+        return TierCatalog(self.tiers)
+
+
+class ProviderBuilder:
+    """Fluent construction of a custom :class:`CloudProvider`.
+
+    >>> provider = (
+    ...     ProviderBuilder("onprem", egress_cost_per_gb=0.0)
+    ...     .tier("ssd", storage_cost=5.0, read_cost=0.001, write_cost=0.001,
+    ...           latency_s=0.001, slo_latency_s=0.005)
+    ...     .tier("hdd", storage_cost=1.0, read_cost=0.01, write_cost=0.01,
+    ...           latency_s=0.02)
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self, name: str, egress_cost_per_gb: float = 0.0):
+        self._name = name
+        self._egress = egress_cost_per_gb
+        self._tiers: list[StorageTier] = []
+
+    def tier(
+        self,
+        name: str,
+        storage_cost: float,
+        read_cost: float,
+        write_cost: float,
+        latency_s: float,
+        capacity_gb: float = math.inf,
+        early_deletion_months: float = 0.0,
+        slo_latency_s: float | None = None,
+    ) -> "ProviderBuilder":
+        """Append one tier to the menu (tiers must be added fastest first)."""
+        self._tiers.append(
+            StorageTier(
+                name=name,
+                storage_cost=storage_cost,
+                read_cost=read_cost,
+                write_cost=write_cost,
+                latency_s=latency_s,
+                capacity_gb=capacity_gb,
+                early_deletion_months=early_deletion_months,
+                slo_latency_s=slo_latency_s,
+            )
+        )
+        return self
+
+    def build(self) -> CloudProvider:
+        if not self._tiers:
+            raise ValueError(f"provider {self._name!r} needs at least one tier")
+        return CloudProvider(
+            name=self._name,
+            tiers=tuple(self._tiers),
+            egress_cost_per_gb=self._egress,
+        )
+
+
+class MultiProviderCatalog(TierCatalog):
+    """All providers' tiers in one catalog, with egress-aware change costs.
+
+    The combined tier list is globally sorted by latency (stable, so ties keep
+    provider-declaration order) and every tier is renamed
+    ``provider/tier``.  Tier-change costs ``Delta_{u,v}`` equal the base
+    ``read + write`` plus the *source* provider's per-GB egress fee whenever
+    the move crosses a provider boundary; new-data ingests and intra-provider
+    moves pay no egress.  :meth:`change_cost_matrix` mirrors the scalar
+    arithmetic operation for operation so the vectorized solvers stay
+    bit-identical to the scalar oracles.
+    """
+
+    def __init__(self, providers: Sequence[CloudProvider]):
+        providers = tuple(providers)
+        if not providers:
+            raise ValueError("a multi-provider catalog needs at least one provider")
+        names = [provider.name for provider in providers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate provider names: {names}")
+        entries: list[tuple[StorageTier, int]] = []
+        for provider_idx, provider in enumerate(providers):
+            for tier in provider.tiers:
+                entries.append(
+                    (
+                        replace(
+                            tier,
+                            name=f"{provider.name}{PROVIDER_SEPARATOR}{tier.name}",
+                        ),
+                        provider_idx,
+                    )
+                )
+        entries.sort(key=lambda entry: entry[0].latency_s)
+        super().__init__([tier for tier, _ in entries])
+        self._providers = providers
+        self._provider_index = np.array(
+            [provider_idx for _, provider_idx in entries], dtype=np.int64
+        )
+        self._egress_by_provider = np.array(
+            [provider.egress_cost_per_gb for provider in providers], dtype=np.float64
+        )
+
+    # -- provider identity -----------------------------------------------------
+    @property
+    def providers(self) -> tuple[CloudProvider, ...]:
+        return self._providers
+
+    @property
+    def provider_names(self) -> tuple[str, ...]:
+        return tuple(provider.name for provider in self._providers)
+
+    @property
+    def provider_index(self) -> np.ndarray:
+        """Provider position (into :attr:`providers`) per global tier (do not mutate)."""
+        return self._provider_index
+
+    def provider_of(self, tier_index: int) -> str:
+        """Name of the provider hosting the tier at ``tier_index``."""
+        self._check_tier_index(tier_index, "requested")
+        return self._providers[self._provider_index[tier_index]].name
+
+    def tier_indices_of(self, provider_name: str) -> list[int]:
+        """Global tier indices belonging to ``provider_name`` (catalog order)."""
+        position = self.provider_names.index(provider_name)  # raises ValueError
+        return [int(i) for i in np.flatnonzero(self._provider_index == position)]
+
+    def single_provider(self, provider_name: str) -> TierCatalog:
+        """One provider's own catalog (unprefixed tier names) — the baseline view."""
+        for provider in self._providers:
+            if provider.name == provider_name:
+                return provider.catalog()
+        raise KeyError(
+            f"unknown provider {provider_name!r}; have {list(self.provider_names)}"
+        )
+
+    def global_index(self, provider_name: str, tier_name: str) -> int:
+        """Combined-catalog index of ``provider/tier``."""
+        return self.index_of(f"{provider_name}{PROVIDER_SEPARATOR}{tier_name}")
+
+    # -- egress-aware change costs ---------------------------------------------
+    def egress_cost_per_gb(self, from_tier: int, to_tier: int) -> float:
+        """Source provider's egress fee if the move crosses providers, else 0."""
+        self._check_tier_index(to_tier, "destination")
+        if from_tier == NEW_DATA_TIER:
+            return 0.0
+        self._check_tier_index(from_tier, "source")
+        source = self._provider_index[from_tier]
+        if source == self._provider_index[to_tier]:
+            return 0.0
+        return float(self._egress_by_provider[source])
+
+    def tier_change_cost(self, from_tier: int, to_tier: int) -> float:
+        """``Delta_{u,v}`` plus the source provider's egress fee on cross-provider moves."""
+        if to_tier < 0 or to_tier >= len(self._tiers):
+            raise IndexError(f"destination tier {to_tier} out of range")
+        if from_tier == NEW_DATA_TIER:
+            return self._tiers[to_tier].write_cost
+        if from_tier < 0 or from_tier >= len(self._tiers):
+            raise IndexError(f"source tier {from_tier} out of range")
+        if from_tier == to_tier:
+            return 0.0
+        cost = self._tiers[from_tier].read_cost + self._tiers[to_tier].write_cost
+        if self._provider_index[from_tier] != self._provider_index[to_tier]:
+            cost = cost + float(
+                self._egress_by_provider[self._provider_index[from_tier]]
+            )
+        return cost
+
+    def change_cost_matrix(self) -> np.ndarray:
+        """Vectorized ``Delta_{u,v}`` including egress; agrees exactly with
+        :meth:`tier_change_cost` cell for cell (same operation order)."""
+        if self._change_matrix is None:
+            costs = self.cost_arrays()
+            matrix = costs["read_cost"][:, None] + costs["write_cost"][None, :]
+            np.fill_diagonal(matrix, 0.0)
+            cross = self._provider_index[:, None] != self._provider_index[None, :]
+            egress = self._egress_by_provider[self._provider_index]
+            matrix = np.where(cross, matrix + egress[:, None], matrix)
+            self._change_matrix = np.concatenate(
+                [matrix, costs["write_cost"][None, :]]
+            )
+        return self._change_matrix
+
+    # -- reconstruction --------------------------------------------------------
+    def with_capacities(self, capacities: Sequence[float]) -> "MultiProviderCatalog":
+        """A copy with per-(global) tier reserved capacities, provider info kept."""
+        if len(capacities) != len(self._tiers):
+            raise ValueError(
+                f"expected {len(self._tiers)} capacities, got {len(capacities)}"
+            )
+        # Map global capacities back onto each provider's local tier menu.
+        by_global_name = {
+            tier.name: capacity for tier, capacity in zip(self._tiers, capacities)
+        }
+        rebuilt = []
+        for provider in self._providers:
+            rebuilt.append(
+                replace(
+                    provider,
+                    tiers=tuple(
+                        tier.with_capacity(
+                            by_global_name[
+                                f"{provider.name}{PROVIDER_SEPARATOR}{tier.name}"
+                            ]
+                        )
+                        for tier in provider.tiers
+                    ),
+                )
+            )
+        return MultiProviderCatalog(rebuilt)
+
+    def subset(self, names: Iterable[str]) -> TierCatalog:
+        raise NotImplementedError(
+            "subsetting a multi-provider catalog by tier name would silently "
+            "drop egress semantics; use single_provider(name) for a "
+            "one-provider baseline view"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Preset provider catalogs
+# ---------------------------------------------------------------------------
+#
+# Prices follow the repo's conventions (cents per GB per month for storage,
+# cents per GB for reads/writes/egress, seconds for latency).  The numbers are
+# shaped after the providers' published price sheets at paper-writing time —
+# close enough that the *relative* structure (which provider wins which
+# workload class) is realistic, which is what the multi-cloud scenario tests.
+
+
+def aws_s3() -> CloudProvider:
+    """Amazon S3: cheap deep archive with hour-scale restores, 9 c/GB egress."""
+    return CloudProvider(
+        name="aws_s3",
+        egress_cost_per_gb=9.0,
+        tiers=(
+            StorageTier(
+                name="standard",
+                storage_cost=2.3,
+                read_cost=0.043,
+                write_cost=0.05,
+                latency_s=0.012,
+                slo_latency_s=0.05,
+            ),
+            StorageTier(
+                name="standard_ia",
+                storage_cost=1.25,
+                read_cost=1.0,
+                write_cost=0.1,
+                latency_s=0.015,
+                slo_latency_s=0.08,
+                early_deletion_months=1.0,
+            ),
+            StorageTier(
+                name="glacier_instant",
+                storage_cost=0.4,
+                read_cost=3.0,
+                write_cost=0.2,
+                latency_s=0.05,
+                slo_latency_s=0.2,
+                early_deletion_months=3.0,
+            ),
+            StorageTier(
+                name="deep_archive",
+                storage_cost=0.099,
+                read_cost=2.0,
+                write_cost=0.2,
+                latency_s=43200.0,
+                slo_latency_s=43200.0,
+                early_deletion_months=6.0,
+            ),
+        ),
+    )
+
+
+def azure_blob() -> CloudProvider:
+    """Azure Blob/ADLS: the paper's Table XII menu, annotated with SLOs, 8.7 c/GB egress."""
+    slos = {"premium": 0.01, "hot": 0.1, "cool": 0.1, "archive": 54000.0}
+    return CloudProvider(
+        name="azure_blob",
+        egress_cost_per_gb=8.7,
+        tiers=tuple(
+            replace(tier, slo_latency_s=slos[tier.name])
+            for tier in azure_table12_tiers()
+        ),
+    )
+
+
+def gcp_gcs() -> CloudProvider:
+    """Google Cloud Storage: millisecond first byte on *every* tier (including
+    archive — GCS's differentiator), pricier retrievals, 12 c/GB egress."""
+    return CloudProvider(
+        name="gcp_gcs",
+        egress_cost_per_gb=12.0,
+        tiers=(
+            StorageTier(
+                name="standard",
+                storage_cost=2.0,
+                read_cost=0.04,
+                write_cost=0.05,
+                latency_s=0.02,
+                slo_latency_s=0.1,
+            ),
+            StorageTier(
+                name="nearline",
+                storage_cost=1.0,
+                read_cost=1.0,
+                write_cost=0.1,
+                latency_s=0.02,
+                slo_latency_s=0.1,
+                early_deletion_months=1.0,
+            ),
+            StorageTier(
+                name="coldline",
+                storage_cost=0.4,
+                read_cost=2.0,
+                write_cost=0.1,
+                latency_s=0.02,
+                slo_latency_s=0.1,
+                early_deletion_months=3.0,
+            ),
+            StorageTier(
+                name="archive",
+                storage_cost=0.12,
+                read_cost=5.0,
+                write_cost=0.1,
+                latency_s=0.05,
+                slo_latency_s=0.2,
+                early_deletion_months=12.0,
+            ),
+        ),
+    )
+
+
+def multi_cloud_catalog(
+    providers: Sequence[CloudProvider] | None = None,
+) -> MultiProviderCatalog:
+    """The default three-provider catalog (AWS S3 + Azure Blob + GCP GCS)."""
+    if providers is None:
+        providers = (aws_s3(), azure_blob(), gcp_gcs())
+    return MultiProviderCatalog(providers)

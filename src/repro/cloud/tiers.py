@@ -57,6 +57,12 @@ class StorageTier:
     early_deletion_months:
         Minimum residency before data can leave the tier without penalty.
         Azure's archive tier uses 6 months; premium/hot/cool use 0.
+    slo_latency_s:
+        The provider's *published* read-latency SLO for the tier (the
+        guaranteed time to first byte), used by the SLO-constrained OPTASSIGN
+        variants.  ``None`` means the provider publishes no SLO; SLO
+        constraints then fall back to the expected latency ``latency_s`` (see
+        :attr:`effective_slo_s`).
     """
 
     name: str
@@ -66,6 +72,7 @@ class StorageTier:
     latency_s: float
     capacity_gb: float = math.inf
     early_deletion_months: float = 0.0
+    slo_latency_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -80,6 +87,15 @@ class StorageTier:
         ):
             if value < 0:
                 raise ValueError(f"{label} must be non-negative, got {value!r}")
+        if self.slo_latency_s is not None and self.slo_latency_s < 0:
+            raise ValueError(
+                f"slo_latency_s must be non-negative, got {self.slo_latency_s!r}"
+            )
+
+    @property
+    def effective_slo_s(self) -> float:
+        """The SLO latency bound: the published SLO, or ``latency_s`` if none."""
+        return self.latency_s if self.slo_latency_s is None else self.slo_latency_s
 
     def with_capacity(self, capacity_gb: float) -> "StorageTier":
         """Return a copy of this tier with a different reserved capacity."""
@@ -168,6 +184,41 @@ class TierCatalog:
         """Index of the highest-latency tier."""
         return len(self._tiers) - 1
 
+    # -- provider identity ----------------------------------------------------
+    #: Name every tier of a single-provider catalog belongs to.  Provider
+    #: affinity constraints validate against :attr:`provider_names`, so a
+    #: plain catalog accepts only affinities naming ``"default"`` — the
+    #: multi-provider subclass (:class:`repro.cloud.MultiProviderCatalog`)
+    #: overrides all three hooks below.
+    DEFAULT_PROVIDER: str = "default"
+
+    @property
+    def provider_names(self) -> tuple[str, ...]:
+        """Names of the cloud providers backing this catalog."""
+        return (self.DEFAULT_PROVIDER,)
+
+    def _check_tier_index(self, tier_index: int, role: str) -> None:
+        """Explicit bounds check — negative indices must not wrap around."""
+        if tier_index < 0 or tier_index >= len(self._tiers):
+            raise IndexError(f"{role} tier {tier_index} out of range")
+
+    def provider_of(self, tier_index: int) -> str:
+        """Name of the provider hosting the tier at ``tier_index``."""
+        self._check_tier_index(tier_index, "requested")
+        return self.DEFAULT_PROVIDER
+
+    def egress_cost_per_gb(self, from_tier: int, to_tier: int) -> float:
+        """Per-GB egress fee for moving data between the two tiers.
+
+        A single-provider catalog never pays egress; the multi-provider
+        catalog charges the *source* provider's egress fee whenever the move
+        crosses a provider boundary.  :data:`NEW_DATA_TIER` ingests pay none.
+        """
+        self._check_tier_index(to_tier, "destination")
+        if from_tier != NEW_DATA_TIER:
+            self._check_tier_index(from_tier, "source")
+        return 0.0
+
     # -- derived quantities ---------------------------------------------------
     def tier_change_cost(self, from_tier: int, to_tier: int) -> float:
         """Per-GB cost ``Delta_{u,v}`` of moving data from ``from_tier`` to ``to_tier``.
@@ -192,9 +243,9 @@ class TierCatalog:
         """Per-tier price columns as float64 vectors (cached; do not mutate).
 
         Keys: ``storage_cost``, ``read_cost``, ``write_cost``, ``latency_s``,
-        ``capacity_gb`` — one entry per tier, in catalog order.  This is the
-        columnar counterpart of iterating the catalog, used by the vectorized
-        cost paths.
+        ``capacity_gb``, ``effective_slo_s`` — one entry per tier, in catalog
+        order.  This is the columnar counterpart of iterating the catalog,
+        used by the vectorized cost paths.
         """
         if self._cost_arrays is None:
             self._cost_arrays = {
@@ -207,6 +258,7 @@ class TierCatalog:
                     "write_cost",
                     "latency_s",
                     "capacity_gb",
+                    "effective_slo_s",
                 )
             }
         return self._cost_arrays

@@ -11,6 +11,7 @@
 """
 
 from .capacity import SolveReport, repair_capacity, solve_optassign
+from .errors import InfeasibleError
 from .greedy import solve_greedy
 from .ilp import IlpInfeasibleError, solve_ilp
 from .matching import MatchingNotApplicableError, solve_matching
@@ -24,6 +25,7 @@ __all__ = [
     "Assignment",
     "solve_greedy",
     "solve_ilp",
+    "InfeasibleError",
     "IlpInfeasibleError",
     "solve_matching",
     "MatchingNotApplicableError",

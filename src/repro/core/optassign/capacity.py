@@ -20,8 +20,9 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .errors import InfeasibleError
 from .greedy import solve_greedy
-from .ilp import IlpInfeasibleError, solve_ilp
+from .ilp import solve_ilp
 from .problem import OptAssignProblem
 from .result import Assignment
 
@@ -56,10 +57,10 @@ def repair_capacity(
     — no per-option Python re-evaluation.
 
     Returns the assignment unchanged (same object) when it is already
-    capacity-feasible.  Raises ``ValueError`` when a tier cannot be repaired
-    (not enough movable partitions with feasible options outside the full
-    tiers); ``solve_optassign`` reacts by relaxing latency thresholds, which
-    widens the set of feasible destinations.
+    capacity-feasible.  Raises :class:`InfeasibleError` when a tier cannot be
+    repaired (not enough movable partitions with feasible options outside the
+    full tiers); ``solve_optassign`` reacts by relaxing latency thresholds,
+    which widens the set of feasible destinations.
     """
     problem = assignment.problem
     tensors = problem.batch_tensors()
@@ -129,7 +130,7 @@ def repair_capacity(
             stored[index] = new_stored
             moved.add(index)
         if need > tolerance:
-            raise ValueError(
+            raise InfeasibleError(
                 f"capacity repair failed: tier {target} remains "
                 f"{float(need):.3f} GB over its reserved capacity and no "
                 "movable partition has a feasible option elsewhere"
@@ -178,7 +179,12 @@ def solve_optassign(
     Raises
     ------
     ValueError
-        If ``prefer`` is unknown or no solution exists even after relaxation.
+        If ``prefer`` or ``relaxation_step`` is invalid.
+    InfeasibleError
+        If no solution exists even after every relaxation round — including
+        the capacity-driven case latency relaxation can never fix (total
+        minimum stored size exceeding total reserved capacity), which is
+        detected up front and raised without burning relaxation rounds.
     """
     if prefer not in ("auto", "greedy", "ilp"):
         raise ValueError(f"prefer must be 'auto', 'greedy' or 'ilp', got {prefer!r}")
@@ -188,6 +194,27 @@ def solve_optassign(
         solver = "ilp" if problem.has_finite_capacity() else "greedy"
     else:
         solver = prefer
+
+    # Fail fast on the two infeasibility classes latency relaxation can never
+    # fix, with pointed diagnostics instead of a misleading exhausted-rounds
+    # error: hard-mask-empty partitions (SLO/affinity/codec) and aggregate
+    # capacity shortfall.
+    masked_out = problem.hard_mask_empty_partitions()
+    if masked_out:
+        raise InfeasibleError(
+            "partitions have no (tier, scheme) candidate under their "
+            "never-relaxed constraints (tier SLO caps, provider affinity, "
+            f"codec pinning): {masked_out[:5]}"
+            f"{'...' if len(masked_out) > 5 else ''}; latency relaxation "
+            "cannot help — loosen those constraints or extend the catalog"
+        )
+    shortfall = _capacity_shortfall(problem)
+    if shortfall > 0.0:
+        raise InfeasibleError(
+            "OPTASSIGN instance is capacity-infeasible regardless of latency "
+            f"relaxation: the partitions' minimum stored size exceeds the "
+            f"total reserved capacity by {shortfall:.3f} GB"
+        )
 
     factor = 1.0
     last_error: Exception | None = None
@@ -203,10 +230,29 @@ def solve_optassign(
             return SolveReport(
                 assignment=assignment, solver=solver, latency_relaxation=factor
             )
-        except (ValueError, IlpInfeasibleError) as error:
+        except InfeasibleError as error:
             last_error = error
             factor *= relaxation_step
-    raise ValueError(
+    raise InfeasibleError(
         f"OPTASSIGN instance remained infeasible after relaxing latency "
         f"thresholds {max_relaxation_rounds} times (last error: {last_error})"
     )
+
+
+def _capacity_shortfall(problem: OptAssignProblem) -> float:
+    """GB by which the partitions' minimum footprint exceeds total capacity.
+
+    A positive value certifies infeasibility no matter how far latency
+    thresholds are relaxed: even packing every partition at its smallest
+    available stored size cannot fit the catalog.  Only meaningful when
+    *every* tier has finite capacity — one unbounded tier absorbs anything.
+    """
+    capacities = problem.cost_model.tiers.cost_arrays()["capacity_gb"]
+    if np.isinf(capacities).any():
+        return 0.0
+    min_stored = problem.min_stored_gb()
+    if np.isinf(min_stored).any():
+        # Some partition has no usable scheme at all; the hard-mask check
+        # (or the solvers) produce the more specific diagnostics.
+        return 0.0
+    return float(min_stored.sum() - capacities.sum())

@@ -1,0 +1,26 @@
+"""Typed infeasibility errors shared by every OPTASSIGN solver path.
+
+All three ways an instance can turn out unsolvable raise (a subclass of)
+:class:`InfeasibleError`:
+
+* a partition has no feasible (tier, scheme) candidate at all — latency SLA,
+  tier SLO, provider affinity and codec pinning jointly empty its option set
+  (greedy and the ILP both detect this);
+* the ILP proves the latency and capacity constraints jointly unsatisfiable;
+* greedy + :func:`~repro.core.optassign.repair_capacity` gives up because an
+  over-full tier has no movable partition with a feasible option elsewhere.
+
+``InfeasibleError`` subclasses ``ValueError`` so existing callers that caught
+``ValueError`` keep working; new code should catch the typed error.  The
+facade :func:`~repro.core.optassign.solve_optassign` retries with relaxed
+latency thresholds on any ``InfeasibleError`` and re-raises one when the
+instance stays infeasible after all rounds.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InfeasibleError"]
+
+
+class InfeasibleError(ValueError):
+    """No assignment satisfies the instance's hard constraints."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...cloud import CostBreakdown
+from .errors import InfeasibleError
 from .problem import CandidateOption, OptAssignProblem
 from .result import Assignment
 
@@ -58,10 +59,11 @@ def solve_greedy(
 
     Raises
     ------
-    ValueError
-        If some partition has no latency-feasible option at all — in that
-        case the instance's constraints are contradictory and the caller
-        should relax latency thresholds (see ``solve_optassign``).
+    InfeasibleError
+        If some partition has no feasible option at all — its latency SLA,
+        tier SLO, provider affinity and codec pinning jointly empty the
+        candidate set; the caller should relax latency thresholds (see
+        ``solve_optassign``) or loosen the hard constraints.
     """
     if enforce_unbounded and problem.has_finite_capacity():
         raise ValueError(
@@ -73,10 +75,11 @@ def solve_greedy(
     else:
         choices, infeasible = _scalar_choices(problem)
     if infeasible:
-        raise ValueError(
-            "no latency-feasible (tier, scheme) option exists for partitions: "
+        raise InfeasibleError(
+            "no feasible (tier, scheme) option exists for partitions: "
             f"{infeasible[:5]}{'...' if len(infeasible) > 5 else ''}; "
-            "relax latency thresholds or add faster tiers"
+            "relax latency thresholds, loosen SLO/affinity constraints or "
+            "add faster tiers"
         )
     return Assignment(problem=problem, choices=choices, solver="greedy")
 
@@ -156,6 +159,8 @@ def _vectorized_choices(
                 "latency_s": latency[i],
                 "latency_feasible": True,
                 "codec_allowed": True,
+                "slo_feasible": True,
+                "provider_allowed": True,
             },
         )
         choices[name] = option

@@ -15,14 +15,19 @@ import math
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from .errors import InfeasibleError
 from .problem import CandidateOption, OptAssignProblem
 from .result import Assignment
 
 __all__ = ["solve_ilp", "IlpInfeasibleError"]
 
 
-class IlpInfeasibleError(RuntimeError):
-    """Raised when the ILP has no feasible solution (capacity + latency conflict)."""
+class IlpInfeasibleError(InfeasibleError):
+    """Raised when the ILP has no feasible solution (capacity + latency conflict).
+
+    Subclasses the shared :class:`InfeasibleError` (hence ``ValueError``) so
+    the facade and callers handle every solver's give-up path uniformly.
+    """
 
 
 def solve_ilp(problem: OptAssignProblem, time_limit_s: float | None = None) -> Assignment:
@@ -39,7 +44,8 @@ def solve_ilp(problem: OptAssignProblem, time_limit_s: float | None = None) -> A
     empty = [name for name, options in options_by_partition.items() if not options]
     if empty:
         raise IlpInfeasibleError(
-            f"partitions with no latency-feasible option: {empty[:5]}"
+            "partitions with no feasible (tier, scheme) option (latency SLA, "
+            f"tier SLO, provider affinity, codec pinning): {empty[:5]}"
             f"{'...' if len(empty) > 5 else ''}"
         )
 

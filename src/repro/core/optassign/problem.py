@@ -45,11 +45,19 @@ class CandidateOption:
     latency_s: float
     latency_feasible: bool
     codec_allowed: bool
+    slo_feasible: bool = True
+    provider_allowed: bool = True
 
     @property
     def feasible(self) -> bool:
-        """Feasible with respect to latency SLA and codec pinning (not capacity)."""
-        return self.latency_feasible and self.codec_allowed
+        """Feasible w.r.t. latency SLA, codec pinning, tier SLO and provider
+        affinity (not capacity)."""
+        return (
+            self.latency_feasible
+            and self.codec_allowed
+            and self.slo_feasible
+            and self.provider_allowed
+        )
 
 
 class OptAssignProblem:
@@ -67,6 +75,19 @@ class OptAssignProblem:
         The ``"none"`` scheme is always available and is added automatically
         if missing.  When ``profiles`` is ``None`` the problem degenerates to
         tier assignment only (the paper's ``K = 0`` configuration).
+    latency_slo_s:
+        Optional per-partition cap (seconds) on the *tier's* published
+        read-latency SLO (:attr:`repro.cloud.StorageTier.effective_slo_s`).
+        Partitions without an entry are unconstrained.  This is a hard tier
+        eligibility constraint, distinct from the latency SLA
+        ``latency_threshold_s`` (which bounds expected access latency
+        including decompression and is relaxed by :meth:`relaxed`); SLO caps
+        are never relaxed.
+    provider_affinity:
+        Optional per-partition restriction to a provider name or collection
+        of provider names (data-residency pinning).  Names must exist in the
+        cost model's catalog (``tiers.provider_names``); a plain
+        single-provider catalog only knows ``"default"``.
     """
 
     def __init__(
@@ -74,6 +95,8 @@ class OptAssignProblem:
         partitions: Sequence[DataPartition] | PartitionArrays,
         cost_model: CostModel,
         profiles: ProfileTable | None = None,
+        latency_slo_s: Mapping[str, float] | None = None,
+        provider_affinity: Mapping[str, str | Iterable[str]] | None = None,
     ):
         arrays: PartitionArrays | None = None
         if isinstance(partitions, PartitionArrays):
@@ -105,6 +128,30 @@ class OptAssignProblem:
                     f"partition {partition.name!r} is pinned to codec {pinned!r} "
                     "but no profile for that codec was provided"
                 )
+        known = set(names)
+        self._latency_slo: dict[str, float] = {}
+        for name, cap in (latency_slo_s or {}).items():
+            if name not in known:
+                raise ValueError(f"latency_slo_s names unknown partition {name!r}")
+            if cap < 0:
+                raise ValueError(f"SLO cap for {name!r} must be non-negative")
+            self._latency_slo[name] = float(cap)
+        catalog_providers = set(cost_model.tiers.provider_names)
+        self._provider_affinity: dict[str, frozenset[str]] = {}
+        for name, wanted in (provider_affinity or {}).items():
+            if name not in known:
+                raise ValueError(f"provider_affinity names unknown partition {name!r}")
+            allowed = frozenset([wanted] if isinstance(wanted, str) else wanted)
+            if not allowed:
+                raise ValueError(f"provider_affinity for {name!r} is empty")
+            unknown_providers = allowed - catalog_providers
+            if unknown_providers:
+                raise ValueError(
+                    f"provider_affinity for {name!r} names providers not in the "
+                    f"catalog: {sorted(unknown_providers)} "
+                    f"(catalog has {sorted(catalog_providers)})"
+                )
+            self._provider_affinity[name] = allowed
         self._arrays: PartitionArrays | None = arrays
         self._profile_columns_cache: (
             tuple[tuple[str, ...], np.ndarray, np.ndarray, np.ndarray] | None
@@ -127,6 +174,14 @@ class OptAssignProblem:
     def profile_for(self, partition_name: str, scheme: str) -> CompressionProfile:
         return self._profiles[partition_name][scheme]
 
+    def slo_cap_for(self, partition_name: str) -> float | None:
+        """The partition's tier-SLO cap in seconds, or ``None`` if unconstrained."""
+        return self._latency_slo.get(partition_name)
+
+    def providers_allowed_for(self, partition_name: str) -> frozenset[str] | None:
+        """Provider names the partition may occupy, or ``None`` if unconstrained."""
+        return self._provider_affinity.get(partition_name)
+
     # -- candidate enumeration ----------------------------------------------------
     def options_for(
         self, partition: DataPartition, include_infeasible: bool = False
@@ -138,8 +193,18 @@ class OptAssignProblem:
         the latency-relaxation loop).
         """
         model = self.cost_model
+        tiers = model.tiers
+        slo_cap = self._latency_slo.get(partition.name)
+        allowed_providers = self._provider_affinity.get(partition.name)
         options: list[CandidateOption] = []
         for tier_index in range(self.tier_count):
+            slo_feasible = (
+                slo_cap is None or tiers[tier_index].effective_slo_s <= slo_cap
+            )
+            provider_allowed = (
+                allowed_providers is None
+                or tiers.provider_of(tier_index) in allowed_providers
+            )
             for scheme in self.schemes_for(partition):
                 profile = self._profiles[partition.name][scheme]
                 latency = model.access_latency_s(partition, tier_index, profile)
@@ -152,6 +217,8 @@ class OptAssignProblem:
                     latency_s=latency,
                     latency_feasible=latency <= partition.latency_threshold_s,
                     codec_allowed=model.is_codec_allowed(partition, scheme),
+                    slo_feasible=slo_feasible,
+                    provider_allowed=provider_allowed,
                 )
                 if include_infeasible or option.feasible:
                     options.append(option)
@@ -205,18 +272,92 @@ class OptAssignProblem:
             self._profile_columns_cache = (schemes, ratio, decompression, available)
         return self._profile_columns_cache
 
+    def _slo_vector(self) -> np.ndarray | None:
+        """(N,) per-partition SLO caps (``inf`` = unconstrained), or ``None``."""
+        if not self._latency_slo:
+            return None
+        caps = np.full(len(self.partitions), np.inf, dtype=np.float64)
+        for n, partition in enumerate(self.partitions):
+            cap = self._latency_slo.get(partition.name)
+            if cap is not None:
+                caps[n] = cap
+        return caps
+
+    def _tier_allowed_mask(self) -> np.ndarray | None:
+        """(N, T) provider-affinity mask, or ``None`` when unconstrained."""
+        if not self._provider_affinity:
+            return None
+        tiers = self.cost_model.tiers
+        tier_provider = [tiers.provider_of(t) for t in range(self.tier_count)]
+        mask = np.ones((len(self.partitions), self.tier_count), dtype=bool)
+        for n, partition in enumerate(self.partitions):
+            allowed = self._provider_affinity.get(partition.name)
+            if allowed is None:
+                continue
+            mask[n] = [provider in allowed for provider in tier_provider]
+        return mask
+
+    def min_stored_gb(self) -> np.ndarray:
+        """(N,) smallest on-disk footprint each partition can reach.
+
+        Minimum of ``size_gb / ratio`` over the partition's available,
+        codec-allowed schemes (``inf`` when no scheme is usable at all).
+        Deliberately latency-independent — the capacity infeasibility
+        certificate in ``solve_optassign`` relies on that, because latency
+        relaxation can unlock any available scheme.
+        """
+        schemes, ratio, _, available = self._profile_columns()
+        usable = available & CostModel._batch_codec_allowed(
+            self.partition_arrays(), schemes
+        )
+        stored = np.where(
+            usable, self.partition_arrays().size_gb[:, None] / ratio, np.inf
+        )
+        return stored.min(axis=1)
+
+    def hard_mask_empty_partitions(self) -> list[str]:
+        """Partitions with no candidate under the *never-relaxed* constraints.
+
+        Checks tier eligibility (SLO caps, provider affinity) and scheme
+        eligibility (availability, codec pinning) while ignoring latency
+        thresholds entirely: a partition listed here stays infeasible no
+        matter how far ``relaxed`` widens the latency SLAs, so the facade
+        fails fast with a pointed error instead of burning relaxation rounds.
+        """
+        tier_ok = np.ones((len(self.partitions), self.tier_count), dtype=bool)
+        slo = self._slo_vector()
+        if slo is not None:
+            effective = self.cost_model.tiers.cost_arrays()["effective_slo_s"]
+            tier_ok &= effective[None, :] <= slo[:, None]
+        allowed = self._tier_allowed_mask()
+        if allowed is not None:
+            tier_ok &= allowed
+        schemes, _, _, available = self._profile_columns()
+        scheme_ok = available & CostModel._batch_codec_allowed(
+            self.partition_arrays(), schemes
+        )
+        empty = ~tier_ok.any(axis=1) | ~scheme_ok.any(axis=1)
+        return [self.partitions[i].name for i in np.flatnonzero(empty)]
+
     def batch_tensors(self) -> BatchCostTensors:
         """The full vectorized candidate evaluation (cached).
 
         Every cell agrees bit for bit with the :class:`CandidateOption` the
         scalar :meth:`options_for` would build for the same (partition, tier,
         scheme) triple; the ``feasible`` mask matches
-        :attr:`CandidateOption.feasible` plus scheme availability.
+        :attr:`CandidateOption.feasible` plus scheme availability, including
+        the SLO and provider-affinity constraints.
         """
         if self._tensors is None:
             schemes, ratio, decompression, available = self._profile_columns()
             self._tensors = self.cost_model.batch_tensors(
-                self.partition_arrays(), schemes, ratio, decompression, available
+                self.partition_arrays(),
+                schemes,
+                ratio,
+                decompression,
+                available,
+                latency_slo_s=self._slo_vector(),
+                tier_allowed=self._tier_allowed_mask(),
             )
         return self._tensors
 
@@ -269,7 +410,13 @@ class OptAssignProblem:
             partitions.append(
                 replace(partition, current_tier=tier_index, current_codec=codec)
             )
-        return OptAssignProblem(partitions, self.cost_model, self._profiles)
+        return OptAssignProblem(
+            partitions,
+            self.cost_model,
+            self._profiles,
+            latency_slo_s=self._latency_slo,
+            provider_affinity=self._provider_affinity,
+        )
 
     def relaxed(self, latency_factor: float) -> "OptAssignProblem":
         """A copy of the problem with every latency threshold multiplied by ``latency_factor``.
@@ -298,6 +445,11 @@ class OptAssignProblem:
         problem.partitions = relaxed_partitions
         problem.cost_model = self.cost_model
         problem._profiles = self._profiles
+        # SLO caps and provider affinity are *hard* constraints: latency
+        # relaxation widens the SLA thresholds but never the tier-eligibility
+        # masks, so both carry over unchanged.
+        problem._latency_slo = self._latency_slo
+        problem._provider_affinity = self._provider_affinity
         problem._arrays = None
         # The profile columns depend only on the (shared) profile table and
         # the partition order, so the relaxed copy can reuse them; the cost

@@ -65,6 +65,12 @@ class ScopeConfig:
     ``target_total_gb`` rescales the synthetic tables' byte sizes so the cost
     model sees paper-scale volumes (e.g. 100 GB or 1 TB) while row counts stay
     laptop-sized; ``None`` keeps the actual serialised sizes.
+
+    ``fixed_decompression_s_per_gb`` pins each scheme's decompression speed to
+    a constant instead of the measured wall-clock time.  Compression *ratios*
+    stay measured (they are deterministic); only the timing — the one
+    machine- and run-dependent input to the pipeline — is replaced, which is
+    what lets golden regression tests pin end-to-end costs exactly.
     """
 
     rows_per_file: int = 250
@@ -82,6 +88,7 @@ class ScopeConfig:
     )
     use_predicted_compression: bool = False
     seed: int = 97
+    fixed_decompression_s_per_gb: Mapping[str, float] | None = None
 
     def __post_init__(self) -> None:
         if self.rows_per_file <= 0:
@@ -320,16 +327,27 @@ class ScopePipeline:
         return profiles
 
     def _measure_or_predict(self, content: Table, scheme: str) -> CompressionProfile:
+        fixed = self.config.fixed_decompression_s_per_gb
         if self.config.use_predicted_compression:
             predictor = self._ensure_predictor()
-            return predictor.predict_profile(content, scheme, self.config.layout)
+            profile = predictor.predict_profile(content, scheme, self.config.layout)
+            if fixed is not None and scheme in fixed:
+                profile = CompressionProfile(
+                    scheme=scheme,
+                    ratio=profile.ratio,
+                    decompression_s_per_gb=fixed[scheme],
+                )
+            return profile
         measurement = measure_table(
             self.registry.create(scheme), content, self.config.layout
         )
+        decompression = measurement.decompression_s_per_gb
+        if fixed is not None and scheme in fixed:
+            decompression = fixed[scheme]
         return CompressionProfile(
             scheme=scheme,
             ratio=max(measurement.ratio, 1.0),
-            decompression_s_per_gb=measurement.decompression_s_per_gb,
+            decompression_s_per_gb=decompression,
         )
 
     def _ensure_predictor(self) -> CompressionPredictor:

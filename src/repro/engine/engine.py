@@ -179,6 +179,14 @@ class OnlineTieringEngine:
         (:meth:`repro.core.compredict.CompressionPredictor.partial_fit`)
         refresh profiles as data evolves.  Takes precedence over
         ``profiles``.
+    latency_slo_s, provider_affinity:
+        Optional per-partition tier-SLO caps and provider-affinity sets (see
+        :class:`~repro.core.optassign.OptAssignProblem`), enforced at every
+        re-optimization.  With a multi-provider ``tiers`` catalog
+        (:class:`repro.cloud.MultiProviderCatalog`) this makes the engine a
+        continuous *multi-cloud* tiering loop: drift-triggered
+        re-optimizations may move partitions between providers, with the
+        executor billing cross-provider egress on every such move.
     """
 
     def __init__(
@@ -190,6 +198,8 @@ class OnlineTieringEngine:
         profiles: ProfileTable | None = None,
         profile_provider: Callable[[int], ProfileTable] | None = None,
         forecaster: WindowedAccessForecaster | None = None,
+        latency_slo_s: Mapping[str, float] | None = None,
+        provider_affinity: Mapping[str, object] | None = None,
     ):
         if not partitions:
             raise ValueError("at least one partition is required")
@@ -202,6 +212,10 @@ class OnlineTieringEngine:
         self._compiled: CompiledPlacement | None = None
         self._profiles = profiles
         self._profile_provider = profile_provider
+        self._latency_slo = dict(latency_slo_s) if latency_slo_s else None
+        self._provider_affinity = (
+            dict(provider_affinity) if provider_affinity else None
+        )
         self.simulator = CloudStorageSimulator(
             tiers, compute_cost_per_s=self.config.compute_cost_per_s
         )
@@ -329,7 +343,13 @@ class OnlineTieringEngine:
             if self._profile_provider is not None
             else self._profiles
         )
-        problem = OptAssignProblem(horizon_partitions, cost_model, profiles)
+        problem = OptAssignProblem(
+            horizon_partitions,
+            cost_model,
+            profiles,
+            latency_slo_s=self._latency_slo,
+            provider_affinity=self._provider_affinity,
+        )
         if self.placement is not None:
             # Warm start: price the objective's tier-change term from where
             # the data actually lives today, so staying put is free and every

@@ -35,7 +35,13 @@ __all__ = ["MigrationRecord", "MigrationReport", "MigrationExecutor"]
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """One partition's move during a placement change."""
+    """One partition's move during a placement change.
+
+    ``cost`` is the read-at-source plus write-at-destination charge;
+    ``egress_cost`` is the source provider's per-GB network egress fee when
+    the move crosses a provider boundary in a multi-provider catalog (zero
+    for intra-provider moves and for single-provider catalogs).
+    """
 
     partition: str
     from_tier: int
@@ -43,6 +49,7 @@ class MigrationRecord:
     moved_gb: float
     cost: float
     early_deletion_penalty: float
+    egress_cost: float = 0.0
 
 
 @dataclass
@@ -62,8 +69,14 @@ class MigrationReport:
 
     @property
     def migration_cost(self) -> float:
-        """Read-at-source plus write-at-destination charges, in cents."""
-        return float(sum(move.cost for move in self.moves))
+        """Read-at-source, write-at-destination and cross-provider egress
+        charges, in cents."""
+        return float(sum(move.cost + move.egress_cost for move in self.moves))
+
+    @property
+    def egress_cost(self) -> float:
+        """Cross-provider egress charges alone, in cents."""
+        return float(sum(move.egress_cost for move in self.moves))
 
     @property
     def early_deletion_penalty(self) -> float:
@@ -150,6 +163,11 @@ class MigrationExecutor:
                 cost = source.read_cost_for(read_gb) + destination.write_cost_for(
                     write_gb
                 )
+                # Cross-provider moves additionally pay the source provider's
+                # network egress on the bytes read out (stored size at source).
+                egress = (
+                    self.tiers.egress_cost_per_gb(from_tier, new.tier_index) * read_gb
+                )
                 penalty = 0.0
                 if from_tier != new.tier_index:
                     resident = months_in_tier.get(name, float("inf"))
@@ -165,6 +183,7 @@ class MigrationExecutor:
                         moved_gb=read_gb,
                         cost=cost,
                         early_deletion_penalty=penalty,
+                        egress_cost=egress,
                     )
                 )
             else:

@@ -29,6 +29,12 @@ from .queries import (
     split_table_into_files,
     zipf_frequencies,
 )
+from .slo import (
+    DEFAULT_SLO_CLASSES,
+    SloClass,
+    SloWorkload,
+    generate_slo_workload,
+)
 from .tpch import TPCH_TABLE_NAMES, TpchConfig, TpchDatabase, generate_tpch
 
 __all__ = [
@@ -51,6 +57,10 @@ __all__ = [
     "query_footprint",
     "split_table_into_files",
     "zipf_frequencies",
+    "DEFAULT_SLO_CLASSES",
+    "SloClass",
+    "SloWorkload",
+    "generate_slo_workload",
     "TPCH_TABLE_NAMES",
     "TpchConfig",
     "TpchDatabase",

@@ -1,0 +1,193 @@
+"""Golden end-to-end regression tests: pinned headline numbers for SCOPe.
+
+Every layer of the system (workload generation, file splitting, G-PART,
+compression measurement, OPTASSIGN, the online engine) feeds these numbers;
+a change anywhere that shifts a headline value past the tolerance fails here
+even if every unit test still passes.  The golden values were produced by the
+code at the time this test was committed — if a change *intentionally* moves
+them (e.g. a pricing fix), re-derive and update the constants in the same
+commit and say why.
+
+Costs are pinned to a relative tolerance (floating-point summation order may
+legitimately differ across numpy versions); integer histograms and counts
+are pinned exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CompressionProfile, multi_cloud_catalog
+from repro.core.pipeline import ScopeConfig, ScopePipeline, paper_variant_suite
+from repro.engine import DriftTriggered, EngineConfig, OnlineTieringEngine, SeriesStream
+from repro.workloads import (
+    DriftSegment,
+    TpchConfig,
+    generate_drifting_reads,
+    generate_slo_workload,
+    generate_tpch,
+    generate_tpch_queries,
+)
+
+#: Relative tolerance for pinned costs.  Tight enough to catch any real
+#: arithmetic or pricing change (those shift results by >> 0.1%), loose
+#: enough to absorb cross-platform float summation differences.
+COST_RTOL = 1e-6
+
+# -- golden values: SCOPe batch pipeline -------------------------------------
+# TPC-H scale 0.05 (seed 7), 2 queries/template (seed 8), 150 rows/file,
+# 50 GB target volume, 5.5-month horizon — the same fixture the behavioural
+# pipeline tests use, with the two machine-dependent inputs pinned:
+# decompression *timing* via fixed_decompression_s_per_gb, and compression
+# *ratios* by restricting the schemes to the repo's pure-Python snappy/lz4
+# codecs (gzip rides on zlib, whose compressed sizes vary across library
+# builds, e.g. zlib-ng; the pure-Python codecs are bit-stable everywhere).
+GOLDEN_SCHEMES = ("snappy", "lz4")
+FIXED_DECOMPRESSION = {"snappy": 0.15, "lz4": 0.1}
+PIPELINE_GOLDEN = {
+    "Default (store on premium)": {
+        "total_cost": 4194.8131687477435,
+        "storage_cost": 4125.0,
+        "read_cost": 69.8131687477435,
+        "tier_counts": [8],
+        "num_partitions": 8,
+    },
+    "Multi-Tiering": {
+        "total_cost": 746.4653896565825,
+        "storage_cost": 498.21469793222354,
+        "read_cost": 248.25069172435906,
+        "tier_counts": [0, 1, 7],
+        "num_partitions": 8,
+    },
+    "SCOPe (No capacity constraint)": {
+        "total_cost": 614.9438266067201,
+        "storage_cost": 411.0655451145212,
+        "read_cost": 202.3956110538189,
+        "tier_counts": [2, 1, 5],
+        "num_partitions": 8,
+    },
+    "SCOPe (Total cost focused)": {
+        "total_cost": 755.7032345441428,
+        "storage_cost": 386.2048854105135,
+        "read_cost": 368.0156786952493,
+        "tier_counts": [0, 2, 6],
+        "num_partitions": 8,
+    },
+}
+
+# -- golden values: online multi-cloud engine --------------------------------
+ENGINE_GOLDEN = {
+    "total_bill": 99011.68847629767,
+    "reoptimizations": 4,
+    "epochs": 18,
+    "migration_cost": 791.5343696192299,
+    "moved_gb": 4727.173594232899,
+}
+
+
+@pytest.fixture(scope="module")
+def golden_pipeline():
+    db = generate_tpch(TpchConfig(scale=0.05, seed=7))
+    workload = generate_tpch_queries(
+        db, queries_per_template=2, total_accesses=800.0, skew_exponent=1.1, seed=8
+    )
+    config = ScopeConfig(
+        rows_per_file=150,
+        target_total_gb=50.0,
+        duration_months=5.5,
+        schemes=GOLDEN_SCHEMES,
+        fixed_decompression_s_per_gb=FIXED_DECOMPRESSION,
+    )
+    return ScopePipeline(db.tables, workload, config).prepare()
+
+
+class TestPipelineGolden:
+    @pytest.mark.parametrize("variant_name", sorted(PIPELINE_GOLDEN))
+    def test_headline_numbers_pinned(self, golden_pipeline, variant_name):
+        variant = next(
+            v for v in paper_variant_suite() if v.name == variant_name
+        )
+        row = golden_pipeline.run_variant(variant)
+        golden = PIPELINE_GOLDEN[variant_name]
+        assert row.total_cost == pytest.approx(golden["total_cost"], rel=COST_RTOL)
+        assert row.storage_cost == pytest.approx(golden["storage_cost"], rel=COST_RTOL)
+        assert row.read_cost == pytest.approx(golden["read_cost"], rel=COST_RTOL)
+        assert row.tier_counts == golden["tier_counts"]
+        assert row.num_partitions == golden["num_partitions"]
+
+    def test_cost_ordering_of_the_golden_rows(self, golden_pipeline):
+        """The paper's qualitative claim, independent of exact numbers.
+
+        The unconstrained SCOPe variant optimizes over a strict superset of
+        Multi-Tiering's options, so its cost must be lower; the capacity-
+        constrained variant may legitimately sit above it (and does, with the
+        pure-Python scheme subset), so it is pinned but not ordered.
+        """
+        rows = {
+            name: golden_pipeline.run_variant(
+                next(v for v in paper_variant_suite() if v.name == name)
+            )
+            for name in PIPELINE_GOLDEN
+        }
+        assert (
+            rows["SCOPe (No capacity constraint)"].total_cost
+            < rows["Multi-Tiering"].total_cost
+            < rows["Default (store on premium)"].total_cost
+        )
+
+
+def build_golden_engine() -> tuple[OnlineTieringEngine, SeriesStream]:
+    """The fixed-seed 18-month multi-cloud engine scenario behind ENGINE_GOLDEN."""
+    months = 18
+    workload = generate_slo_workload(12, seed=5)
+    rng = np.random.default_rng(6)
+    profiles = {
+        partition.name: {
+            "gzip": CompressionProfile(
+                "gzip",
+                ratio=float(rng.uniform(2.5, 5.0)),
+                decompression_s_per_gb=float(rng.uniform(0.8, 1.5)),
+            ),
+            "snappy": CompressionProfile(
+                "snappy",
+                ratio=float(rng.uniform(1.5, 2.5)),
+                decompression_s_per_gb=float(rng.uniform(0.05, 0.2)),
+            ),
+        }
+        for partition in workload.partitions
+    }
+    series = {}
+    for index, partition in enumerate(workload.partitions):
+        if index % 3 == 0:  # a third of the account goes cold after month 6
+            segments = [DriftSegment("constant", 6), DriftSegment("inactive", months - 6)]
+        else:
+            segments = [DriftSegment("constant", months)]
+        series[partition.name] = generate_drifting_reads(
+            rng, segments, base_level=max(partition.predicted_accesses, 1.0)
+        )
+    engine = OnlineTieringEngine(
+        workload.partitions,
+        multi_cloud_catalog(),
+        DriftTriggered(threshold=0.1, min_gap_months=2),
+        EngineConfig(horizon_months=6.0, window_months=6),
+        profiles=profiles,
+        latency_slo_s=workload.latency_slo_s,
+        provider_affinity=workload.provider_affinity or None,
+    )
+    return engine, SeriesStream(series)
+
+
+class TestEngineGolden:
+    def test_online_multi_cloud_run_pinned(self):
+        engine, stream = build_golden_engine()
+        report = engine.run(stream)
+        assert report.num_epochs == ENGINE_GOLDEN["epochs"]
+        assert report.num_reoptimizations == ENGINE_GOLDEN["reoptimizations"]
+        assert report.total_bill == pytest.approx(
+            ENGINE_GOLDEN["total_bill"], rel=COST_RTOL
+        )
+        assert report.total_migration_cost == pytest.approx(
+            ENGINE_GOLDEN["migration_cost"], rel=COST_RTOL
+        )
+        assert report.total_moved_gb == pytest.approx(
+            ENGINE_GOLDEN["moved_gb"], rel=COST_RTOL
+        )

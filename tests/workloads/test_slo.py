@@ -1,0 +1,84 @@
+"""Tests for the SLO-annotated workload generator."""
+
+import pytest
+
+from repro.cloud import CostModel, multi_cloud_catalog
+from repro.core.optassign import OptAssignProblem, solve_greedy
+from repro.workloads import (
+    DEFAULT_SLO_CLASSES,
+    SloClass,
+    generate_slo_workload,
+)
+
+
+class TestGenerateSloWorkload:
+    def test_deterministic_for_a_seed(self):
+        a = generate_slo_workload(40, seed=3)
+        b = generate_slo_workload(40, seed=3)
+        assert [p.name for p in a.partitions] == [p.name for p in b.partitions]
+        assert a.latency_slo_s == b.latency_slo_s
+        assert [p.size_gb for p in a.partitions] == [p.size_gb for p in b.partitions]
+
+    def test_class_mix_and_annotations_are_consistent(self):
+        workload = generate_slo_workload(200, seed=11)
+        classes = {cls.name: cls for cls in DEFAULT_SLO_CLASSES}
+        assert len(workload.partitions) == 200
+        for partition in workload.partitions:
+            cls = classes[workload.class_of[partition.name]]
+            low, high = cls.size_gb_range
+            assert low <= partition.size_gb <= high
+            assert partition.latency_threshold_s == cls.latency_threshold_s
+            if cls.slo_cap_s is None:
+                assert partition.name not in workload.latency_slo_s
+            else:
+                assert workload.latency_slo_s[partition.name] == cls.slo_cap_s
+        # All four classes appear in a 200-partition sample.
+        assert set(workload.class_counts()) == set(classes)
+
+    def test_residency_pinning(self):
+        workload = generate_slo_workload(
+            100,
+            seed=7,
+            residency_providers=("azure_blob", "gcp_gcs"),
+            residency_fraction=0.5,
+        )
+        assert workload.provider_affinity
+        for pinned in workload.provider_affinity.values():
+            assert len(pinned) == 1
+            assert pinned <= {"azure_blob", "gcp_gcs"}
+        # Roughly half the account is pinned.
+        assert 25 <= len(workload.provider_affinity) <= 75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_slo_workload(0)
+        with pytest.raises(ValueError):
+            generate_slo_workload(10, classes=())
+        with pytest.raises(ValueError):
+            generate_slo_workload(10, residency_fraction=0.5)
+        with pytest.raises(ValueError):
+            generate_slo_workload(10, residency_fraction=1.5,
+                                  residency_providers=("aws_s3",))
+        with pytest.raises(ValueError):
+            SloClass("x", weight=0.0, latency_threshold_s=1.0, slo_cap_s=None,
+                     size_gb_range=(1.0, 2.0), monthly_reads_range=(0.0, 1.0))
+
+    def test_feeds_the_multi_cloud_solver_directly(self):
+        """The generator's output is solver-ready, pins included."""
+        workload = generate_slo_workload(
+            30, seed=2, residency_providers=("aws_s3",), residency_fraction=0.3
+        )
+        model = CostModel(multi_cloud_catalog(), duration_months=6.0)
+        problem = OptAssignProblem(
+            workload.partitions,
+            model,
+            latency_slo_s=workload.latency_slo_s,
+            provider_affinity=workload.provider_affinity,
+        )
+        assignment = solve_greedy(problem)
+        tiers = model.tiers
+        for name, pinned in workload.provider_affinity.items():
+            assert tiers.provider_of(assignment.choices[name].tier_index) in pinned
+        for name, cap in workload.latency_slo_s.items():
+            tier = tiers[assignment.choices[name].tier_index]
+            assert tier.effective_slo_s <= cap
