@@ -11,3 +11,11 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running property/scenario suites; deselect with "
+        '-m "not slow" for a fast inner loop',
+    )

@@ -12,20 +12,23 @@ guarantees) and every substrate it needs to run on a laptop:
 * :mod:`repro.core` — the paper's contribution: OPTASSIGN, COMPREDICT,
   DATAPART/G-PART, the tier predictor and the SCOPe pipeline;
 * :mod:`repro.engine` — the online tiering engine: continuous SCOPe over
-  streaming access logs with pluggable re-optimization policies.
+  streaming access logs with pluggable re-optimization policies;
+* :mod:`repro.fleet` — fleet-scale multi-tenant tiering: many engines
+  epoch-locked over shared capacity pools with stacked, arbitrated solves.
 
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-from . import cloud, compression, core, engine, ml, tabular, workloads
+from . import cloud, compression, core, engine, fleet, ml, tabular, workloads
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "cloud",
     "compression",
     "core",
     "engine",
+    "fleet",
     "ml",
     "tabular",
     "workloads",

@@ -24,6 +24,7 @@ from .objects import (
     FileBlock,
     PartitionCatalog,
 )
+from .pools import CapacityPool, PoolSet
 from .providers import (
     CloudProvider,
     MultiProviderCatalog,
@@ -64,6 +65,8 @@ __all__ = [
     "DatasetCatalog",
     "FileBlock",
     "PartitionCatalog",
+    "CapacityPool",
+    "PoolSet",
     "CloudProvider",
     "MultiProviderCatalog",
     "PROVIDER_SEPARATOR",

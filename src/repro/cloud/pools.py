@@ -1,0 +1,217 @@
+"""Shared capacity pools: tier GB budgets that span *tenants*.
+
+A :class:`~repro.cloud.StorageTier`'s ``capacity_gb`` bounds what one
+OPTASSIGN instance may place in that tier.  A fleet operator's reality is one
+level up: thousands of tenant accounts draw from the *same* reserved capacity
+— "all premium SSD in region X", "the aws_s3 contract's committed GBs" — so
+the budget must be enforced across tenants, not per account.
+
+:class:`CapacityPool` names one such budget over a group of tiers of a shared
+catalog; :class:`PoolSet` resolves a collection of pools against the catalog,
+validates that no tier is claimed twice, and provides the vectorized
+tier-to-pool aggregation the fleet arbitration
+(:func:`repro.core.optassign.repair_pools`) and the pool-utilization
+accounting run on.  Tiers not covered by any pool stay pay-per-use
+(unbounded), which is the common case for the cheap cold tiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .tiers import TierCatalog
+
+__all__ = ["CapacityPool", "PoolSet"]
+
+#: Index marking a tier that belongs to no pool (unconstrained).
+UNPOOLED: int = -1
+
+
+@dataclass(frozen=True)
+class CapacityPool:
+    """One shared GB budget over a group of tiers of the fleet's catalog.
+
+    Parameters
+    ----------
+    name:
+        Pool identifier (e.g. ``"premium_region_x"`` or ``"aws_s3"``).
+    tier_names:
+        Names of the catalog tiers the budget covers.  A multi-provider
+        catalog uses its combined ``provider/tier`` names here.
+    capacity_gb:
+        The shared budget in GB, summed over every tenant's stored bytes in
+        the pool's tiers.
+    """
+
+    name: str
+    tier_names: tuple[str, ...]
+    capacity_gb: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("pool name must be non-empty")
+        if not self.tier_names:
+            raise ValueError(f"pool {self.name!r} must cover at least one tier")
+        if not isinstance(self.tier_names, tuple):
+            object.__setattr__(self, "tier_names", tuple(self.tier_names))
+        if len(set(self.tier_names)) != len(self.tier_names):
+            raise ValueError(f"pool {self.name!r} lists duplicate tiers")
+        if not self.capacity_gb > 0:
+            raise ValueError(f"pool {self.name!r} needs a positive capacity_gb")
+        if math.isinf(self.capacity_gb):
+            raise ValueError(
+                f"pool {self.name!r} has infinite capacity; leave the tiers "
+                "unpooled instead"
+            )
+
+
+class PoolSet:
+    """A collection of :class:`CapacityPool` resolved against one catalog.
+
+    Validates that every pool's tiers exist in the catalog and that no tier is
+    claimed by two pools, and precomputes the ``tier index -> pool index`` map
+    used to aggregate per-tier GB usage into per-pool usage in one
+    ``np.bincount``-style pass.
+    """
+
+    def __init__(self, catalog: TierCatalog, pools: Sequence[CapacityPool]):
+        if not pools:
+            raise ValueError("a pool set needs at least one pool")
+        names = [pool.name for pool in pools]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pool names: {names}")
+        self.catalog = catalog
+        self.pools: tuple[CapacityPool, ...] = tuple(pools)
+        pool_of_tier = np.full(len(catalog), UNPOOLED, dtype=np.int64)
+        for pool_index, pool in enumerate(self.pools):
+            for tier_name in pool.tier_names:
+                tier_index = catalog.index_of(tier_name)  # KeyError if unknown
+                if pool_of_tier[tier_index] != UNPOOLED:
+                    other = self.pools[int(pool_of_tier[tier_index])].name
+                    raise ValueError(
+                        f"tier {tier_name!r} is claimed by both pool "
+                        f"{other!r} and pool {pool.name!r}"
+                    )
+                pool_of_tier[tier_index] = pool_index
+        self.pool_of_tier: np.ndarray = pool_of_tier
+        self.capacities: np.ndarray = np.array(
+            [pool.capacity_gb for pool in self.pools], dtype=np.float64
+        )
+
+    # -- container protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pools)
+
+    def __iter__(self) -> Iterator[CapacityPool]:
+        return iter(self.pools)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{pool.name}={pool.capacity_gb:g}GB" for pool in self.pools
+        )
+        return f"PoolSet([{parts}])"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(pool.name for pool in self.pools)
+
+    def tiers_of(self, pool_index: int) -> np.ndarray:
+        """Catalog tier indices belonging to the pool at ``pool_index``."""
+        return np.flatnonzero(self.pool_of_tier == pool_index)
+
+    # -- aggregation ----------------------------------------------------------
+    def usage(self, tier_usage_gb: np.ndarray) -> np.ndarray:
+        """Per-pool GB usage, aggregated from a per-tier usage vector.
+
+        ``tier_usage_gb`` is a ``(T,)`` vector of stored GB per catalog tier
+        (e.g. summed across every tenant's
+        :meth:`~repro.cloud.CompiledPlacement.tier_usage_gb`).
+        """
+        tier_usage_gb = np.asarray(tier_usage_gb, dtype=np.float64)
+        if tier_usage_gb.shape != (len(self.catalog),):
+            raise ValueError(
+                f"tier_usage_gb must have shape ({len(self.catalog)},), "
+                f"got {tier_usage_gb.shape}"
+            )
+        pooled = self.pool_of_tier >= 0
+        return np.bincount(
+            self.pool_of_tier[pooled],
+            weights=tier_usage_gb[pooled],
+            minlength=len(self.pools),
+        )
+
+    def usage_by_name(self, tier_usage_gb: np.ndarray) -> dict[str, float]:
+        """Like :meth:`usage` but keyed by pool name (for reports)."""
+        used = self.usage(tier_usage_gb)
+        return {pool.name: float(used[i]) for i, pool in enumerate(self.pools)}
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def per_tier(
+        cls, catalog: TierCatalog, capacities: Mapping[str, float]
+    ) -> "PoolSet":
+        """One single-tier pool per entry of ``{tier name: capacity GB}``."""
+        return cls(
+            catalog,
+            [
+                CapacityPool(name=tier_name, tier_names=(tier_name,), capacity_gb=cap)
+                for tier_name, cap in capacities.items()
+            ],
+        )
+
+    @classmethod
+    def per_provider(
+        cls, catalog: TierCatalog, capacities: Mapping[str, float]
+    ) -> "PoolSet":
+        """One pool per provider, covering all that provider's tiers.
+
+        ``capacities`` maps provider names (as reported by
+        :meth:`~repro.cloud.TierCatalog.provider_of`) to shared GB budgets;
+        providers not listed stay unpooled.
+        """
+        tiers_by_provider: dict[str, list[str]] = {}
+        for tier_index, tier in enumerate(catalog):
+            provider = catalog.provider_of(tier_index)
+            tiers_by_provider.setdefault(provider, []).append(tier.name)
+        unknown = set(capacities) - set(tiers_by_provider)
+        if unknown:
+            raise ValueError(
+                f"capacities name providers not in the catalog: "
+                f"{sorted(unknown)} (catalog has "
+                f"{sorted(tiers_by_provider)})"
+            )
+        return cls(
+            catalog,
+            [
+                CapacityPool(
+                    name=provider,
+                    tier_names=tuple(tiers_by_provider[provider]),
+                    capacity_gb=cap,
+                )
+                for provider, cap in capacities.items()
+            ],
+        )
+
+    def scaled(self, factor: float) -> "PoolSet":
+        """A pool set with every capacity multiplied by ``factor``.
+
+        The naive per-tenant baseline in the fleet example slices each pool
+        into ``1/N`` static shares; this helper builds those shares.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return PoolSet(
+            self.catalog,
+            [
+                CapacityPool(
+                    name=pool.name,
+                    tier_names=pool.tier_names,
+                    capacity_gb=pool.capacity_gb * factor,
+                )
+                for pool in self.pools
+            ],
+        )

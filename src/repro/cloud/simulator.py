@@ -380,6 +380,7 @@ class CompiledPlacement:
         self.tier_index = tier_index
 
         stored_gb = arrays.size_gb / ratio
+        self.stored_gb = stored_gb
         self.storage_per_month = costs["storage_cost"][tier_index] * stored_gb
         read_gb_uncompressed = arrays.read_gb_per_access
         read_gb = read_gb_uncompressed / ratio
@@ -390,6 +391,19 @@ class CompiledPlacement:
         )
         self.latency_s = decompression_s + costs["latency_s"][tier_index]
         self.violates_sla = self.latency_s > arrays.latency_threshold_s
+
+    def tier_usage_gb(self) -> np.ndarray:
+        """Stored GB per catalog tier under this placement.
+
+        The per-account capacity ledger: summed across tenants it is what the
+        fleet layer checks against shared :class:`~repro.cloud.CapacityPool`
+        budgets and reports as pool utilization.
+        """
+        return np.bincount(
+            self.tier_index,
+            weights=self.stored_gb,
+            minlength=len(self.simulator.tiers),
+        )
 
     def step(
         self,

@@ -10,13 +10,14 @@
   iterative latency relaxation.
 """
 
-from .capacity import SolveReport, repair_capacity, solve_optassign
+from .capacity import SolveReport, repair_capacity, repair_pools, solve_optassign
 from .errors import InfeasibleError
 from .greedy import solve_greedy
 from .ilp import IlpInfeasibleError, solve_ilp
 from .matching import MatchingNotApplicableError, solve_matching
 from .problem import CandidateOption, OptAssignProblem, ProfileTable
 from .result import Assignment
+from .stacked import StackedProblem, TENANT_SEPARATOR
 
 __all__ = [
     "OptAssignProblem",
@@ -31,5 +32,8 @@ __all__ = [
     "MatchingNotApplicableError",
     "solve_optassign",
     "repair_capacity",
+    "repair_pools",
     "SolveReport",
+    "StackedProblem",
+    "TENANT_SEPARATOR",
 ]

@@ -20,13 +20,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ...cloud import PoolSet
 from .errors import InfeasibleError
 from .greedy import solve_greedy
 from .ilp import solve_ilp
 from .problem import OptAssignProblem
 from .result import Assignment
 
-__all__ = ["solve_optassign", "repair_capacity", "SolveReport"]
+__all__ = ["solve_optassign", "repair_capacity", "repair_pools", "SolveReport"]
 
 
 @dataclass
@@ -42,31 +43,34 @@ class SolveReport:
         return self.latency_relaxation > 1.0
 
 
-def repair_capacity(
-    assignment: Assignment, tolerance: float = 1e-9
+def _repair_groups(
+    assignment: Assignment,
+    group_of_tier: np.ndarray,
+    capacities: np.ndarray,
+    describe_failure,
+    solver_suffix: str,
+    tolerance: float,
 ) -> Assignment:
-    """Evict partitions from over-capacity tiers at minimum regret, vectorized.
+    """Greedy regret-per-GB eviction until every *tier group* fits its budget.
 
-    Greedy assigns every partition its individually-cheapest option, which may
-    jointly exceed a tier's reserved capacity.  This pass restores capacity
-    feasibility: tiers are processed most-overfull first, and members of an
-    over-full tier are moved to their cheapest feasible option *elsewhere*,
-    cheapest regret per freed GB first, until the tier fits.  A repaired tier
-    is closed to further arrivals, so the loop terminates after at most T
-    rounds.  All candidate costs come from the problem's cached batch tensors
-    — no per-option Python re-evaluation.
+    The shared water-filling machinery behind :func:`repair_capacity` (every
+    tier its own group, budgets = reserved tier capacities) and
+    :func:`repair_pools` (groups = shared capacity pools, tiers with group
+    index ``-1`` unconstrained).  Groups are processed most-overfull first;
+    members of an over-full group move to their cheapest feasible option
+    outside every closed group, cheapest regret per freed GB first, until the
+    group fits.  A repaired group is closed to further arrivals, so the loop
+    terminates after at most one round per group.  All candidate costs come
+    from the problem's cached batch tensors — no per-option Python
+    re-evaluation.
 
-    Returns the assignment unchanged (same object) when it is already
-    capacity-feasible.  Raises :class:`InfeasibleError` when a tier cannot be
-    repaired (not enough movable partitions with feasible options outside the
-    full tiers); ``solve_optassign`` reacts by relaxing latency thresholds,
-    which widens the set of feasible destinations.
+    ``describe_failure(index, need_gb)`` renders the complete InfeasibleError
+    message when the group at ``index`` cannot shed ``need_gb`` more GB.
     """
     problem = assignment.problem
     tensors = problem.batch_tensors()
     arrays = problem.partition_arrays()
-    capacities = problem.cost_model.tiers.cost_arrays()["capacity_gb"]
-    num_tiers = tensors.num_tiers
+    num_groups = len(capacities)
     num_partitions = tensors.num_partitions
 
     scheme_index = {scheme: k for k, scheme in enumerate(tensors.schemes)}
@@ -82,31 +86,40 @@ def repair_capacity(
     )
     rows = np.arange(num_partitions)
     stored = tensors.stored_gb[rows, current_scheme]
-    usage = np.bincount(current_tier, weights=stored, minlength=num_tiers)
+    tier_usage = np.bincount(current_tier, weights=stored, minlength=tensors.num_tiers)
+    grouped_tiers = group_of_tier >= 0
+    usage = np.bincount(
+        group_of_tier[grouped_tiers],
+        weights=tier_usage[grouped_tiers],
+        minlength=num_groups,
+    )
     if not (usage > capacities + tolerance).any():
         return assignment
 
     masked = tensors.masked_objective()
-    closed = np.zeros(num_tiers, dtype=bool)
+    closed = np.zeros(num_groups, dtype=bool)
     moved: set[int] = set()
     while True:
         overflow = usage - capacities
         overfull = np.flatnonzero(overflow > tolerance)
         if overfull.size == 0:
             break
-        # Invariant: an over-full tier here is never closed — evictions only
-        # target non-closed destinations, so a repaired tier's usage cannot
-        # grow again and each round closes one more tier (<= T rounds total).
+        # Invariant: an over-full group here is never closed — evictions only
+        # target tiers of non-closed groups (or ungrouped tiers), so a
+        # repaired group's usage cannot grow again and each round closes one
+        # more group (<= one round per group in total).
         target = int(overfull[np.argmax(overflow[overfull])])
         closed[target] = True
+        closed_tiers = np.zeros(tensors.num_tiers, dtype=bool)
+        closed_tiers[grouped_tiers] = closed[group_of_tier[grouped_tiers]]
 
-        members = np.flatnonzero(current_tier == target)
+        members = np.flatnonzero(group_of_tier[current_tier] == target)
         alternatives = masked[members].copy()
-        alternatives[:, closed, :] = np.inf
+        alternatives[:, closed_tiers, :] = np.inf
         flat = alternatives.reshape(len(members), -1)
         best = np.argmin(flat, axis=1)
         best_objective = flat[np.arange(len(members)), best]
-        current_objective = masked[members, target, current_scheme[members]]
+        current_objective = masked[members, current_tier[members], current_scheme[members]]
         freed = stored[members]
         regret = best_objective - current_objective
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -124,17 +137,15 @@ def repair_capacity(
             need -= freed[position]
             usage[target] -= freed[position]
             new_stored = float(tensors.stored_gb[index, new_scheme])
-            usage[new_tier] += new_stored
+            destination = int(group_of_tier[new_tier])
+            if destination >= 0:
+                usage[destination] += new_stored
             current_tier[index] = new_tier
             current_scheme[index] = new_scheme
             stored[index] = new_stored
             moved.add(index)
         if need > tolerance:
-            raise InfeasibleError(
-                f"capacity repair failed: tier {target} remains "
-                f"{float(need):.3f} GB over its reserved capacity and no "
-                "movable partition has a feasible option elsewhere"
-            )
+            raise InfeasibleError(describe_failure(target, float(need)))
 
     choices = dict(assignment.choices)
     for index in moved:
@@ -150,7 +161,101 @@ def repair_capacity(
             latency_s=float(tensors.latency_s[index, tier, scheme]),
         )
     return Assignment(
-        problem=problem, choices=choices, solver=f"{assignment.solver}+repair"
+        problem=problem,
+        choices=choices,
+        solver=f"{assignment.solver}{solver_suffix}",
+    )
+
+
+def repair_capacity(
+    assignment: Assignment, tolerance: float = 1e-9
+) -> Assignment:
+    """Evict partitions from over-capacity tiers at minimum regret, vectorized.
+
+    Greedy assigns every partition its individually-cheapest option, which may
+    jointly exceed a tier's reserved capacity.  This pass restores capacity
+    feasibility via :func:`_repair_groups` with every tier as its own group:
+    tiers are processed most-overfull first, and members of an over-full tier
+    are moved to their cheapest feasible option *elsewhere*, cheapest regret
+    per freed GB first, until the tier fits.
+
+    Returns the assignment unchanged (same object) when it is already
+    capacity-feasible.  Raises :class:`InfeasibleError` when a tier cannot be
+    repaired (not enough movable partitions with feasible options outside the
+    full tiers); ``solve_optassign`` reacts by relaxing latency thresholds,
+    which widens the set of feasible destinations.
+    """
+    tiers = assignment.problem.cost_model.tiers
+    capacities = tiers.cost_arrays()["capacity_gb"]
+    return _repair_groups(
+        assignment,
+        group_of_tier=np.arange(len(capacities), dtype=np.int64),
+        capacities=capacities,
+        describe_failure=lambda tier, need: (
+            f"capacity repair failed: tier {tier} remains {need:.3f} GB over "
+            "its reserved capacity and no movable partition has a feasible "
+            "option elsewhere"
+        ),
+        solver_suffix="+repair",
+        tolerance=tolerance,
+    )
+
+
+def repair_pools(
+    assignment: Assignment,
+    pool_set: PoolSet,
+    reserved_gb: np.ndarray | None = None,
+    tolerance: float = 1e-9,
+) -> Assignment:
+    """Evict partitions from over-budget *capacity pools* at minimum regret.
+
+    The pool-level counterpart of :func:`repair_capacity`: a
+    :class:`~repro.cloud.PoolSet` groups catalog tiers into shared GB budgets
+    (typically spanning many tenants via a stacked problem), and this pass
+    restores pool feasibility by the same greedy water-filling — most-overfull
+    pool first, its members moved to their cheapest feasible option outside
+    every closed pool, cheapest regret per freed GB first.  A repaired pool is
+    closed to further arrivals (all its tiers are masked), so the loop
+    terminates after at most one round per pool.  Tiers in no pool are
+    unconstrained destinations.
+
+    ``reserved_gb`` (one entry per pool) is capacity already consumed by
+    partitions *outside* this assignment — in the fleet setting, the standing
+    placements of tenants that did not re-optimize this epoch — and is
+    subtracted from each pool's budget before arbitration.
+
+    Returns the assignment unchanged (same object) when every pool already
+    fits.  Raises :class:`InfeasibleError` when a pool cannot be repaired;
+    the fleet scheduler reacts by relaxing latency thresholds, exactly as
+    ``solve_optassign`` does for tier-capacity infeasibility.
+    """
+    if pool_set.catalog is not assignment.problem.cost_model.tiers:
+        raise ValueError(
+            "pool_set was resolved against a different tier catalog than the "
+            "assignment's problem"
+        )
+    capacities = pool_set.capacities
+    if reserved_gb is not None:
+        reserved_gb = np.asarray(reserved_gb, dtype=np.float64)
+        if reserved_gb.shape != capacities.shape:
+            raise ValueError(
+                f"reserved_gb must have shape {capacities.shape}, "
+                f"got {reserved_gb.shape}"
+            )
+        if (reserved_gb < 0).any():
+            raise ValueError("reserved_gb entries must be non-negative")
+        capacities = np.maximum(capacities - reserved_gb, 0.0)
+    return _repair_groups(
+        assignment,
+        group_of_tier=pool_set.pool_of_tier,
+        capacities=capacities,
+        describe_failure=lambda pool, need: (
+            f"pool arbitration failed: pool {pool_set.pools[pool].name!r} "
+            f"remains {need:.3f} GB over its shared budget and no movable "
+            "partition has a feasible option outside the full pools"
+        ),
+        solver_suffix="+pools",
+        tolerance=tolerance,
     )
 
 
@@ -160,6 +265,7 @@ def solve_optassign(
     max_relaxation_rounds: int = 6,
     relaxation_step: float = 2.0,
     time_limit_s: float | None = None,
+    post_repair=None,
 ) -> SolveReport:
     """Solve OPTASSIGN, relaxing latency thresholds if the instance is infeasible.
 
@@ -175,6 +281,14 @@ def solve_optassign(
         before giving up.
     relaxation_step:
         Multiplicative latency relaxation per round (> 1).
+    post_repair:
+        Optional ``Assignment -> Assignment`` pass applied *inside* the
+        relaxation loop, after the solver (and any tier-capacity repair)
+        succeeds.  An :class:`InfeasibleError` it raises triggers the same
+        latency relaxation as solver infeasibility, while the up-front
+        fail-fast certificates still run exactly once.  The fleet layer
+        plugs :func:`repair_pools` in here so shared-pool arbitration rides
+        the one relaxation loop instead of duplicating it.
 
     Raises
     ------
@@ -227,6 +341,8 @@ def solve_optassign(
                     assignment = repair_capacity(assignment)
             else:
                 assignment = solve_ilp(candidate, time_limit_s=time_limit_s)
+            if post_repair is not None:
+                assignment = post_repair(assignment)
             return SolveReport(
                 assignment=assignment, solver=solver, latency_relaxation=factor
             )

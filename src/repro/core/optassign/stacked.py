@@ -1,0 +1,173 @@
+"""Tenant-tagged stacked OPTASSIGN problems — one solve for a whole fleet.
+
+The fleet scheduler re-optimizes many tenants in the same epoch.  Solving N
+small instances costs N × (tensor build + argmin + Python dispatch); stacking
+them into *one* :class:`~repro.core.optassign.OptAssignProblem` amortises all
+of that into a single vectorized pass — and, more importantly, gives the
+pool-level capacity arbitration (:func:`repro.core.optassign.repair_pools`)
+one global view of every partition competing for the shared budgets.
+
+Stacking is sound because the OPTASSIGN objective is separable per partition:
+with slack capacity each partition's argmin is independent of its neighbours,
+so the stacked solve returns exactly the per-tenant solutions (same choices,
+same tie-breaks — the scheme-union enumeration order restricted to one
+partition's available schemes is the same sorted order in both).  The
+per-tenant scalar path therefore stays the oracle the fleet layer is tested
+against bill for bill.
+
+Partition names are tagged ``tenant::name`` (:data:`TENANT_SEPARATOR`) so
+identically-named partitions of different tenants cannot collide, and
+:meth:`StackedProblem.split_placements` untags the solved assignment back
+into per-tenant placement maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ...cloud import DataPartition, PlacementDecision
+from .problem import CandidateOption, OptAssignProblem
+from .result import Assignment
+
+__all__ = ["TENANT_SEPARATOR", "StackedProblem"]
+
+#: Separator between tenant and partition names in a stacked problem.
+TENANT_SEPARATOR: str = "::"
+
+
+def _check_cost_models(problems: Mapping[str, OptAssignProblem]) -> None:
+    """All sub-problems must price placements identically for stacking to be
+    the per-tenant solve: same catalog object, horizon, compute price and
+    objective weights."""
+    reference = None
+    for tenant, problem in problems.items():
+        model = problem.cost_model
+        if reference is None:
+            reference = (tenant, model)
+            continue
+        first_tenant, first = reference
+        if model.tiers is not first.tiers:
+            raise ValueError(
+                f"tenants {first_tenant!r} and {tenant!r} use different tier "
+                "catalogs; a stacked problem needs one shared catalog object"
+            )
+        if (
+            model.duration_months != first.duration_months
+            or model.compute_cost_per_s != first.compute_cost_per_s
+            or model.weights != first.weights
+        ):
+            raise ValueError(
+                f"tenants {first_tenant!r} and {tenant!r} use different cost "
+                "model parameters (horizon, compute price or weights); "
+                "stacked solves require identical pricing"
+            )
+
+
+@dataclass(frozen=True)
+class StackedProblem:
+    """N tenants' OPTASSIGN instances combined into one tagged problem.
+
+    Build with :meth:`stack`; solve ``.problem`` with any solver; map the
+    result back with :meth:`split_choices` / :meth:`split_placements`.
+    """
+
+    problem: OptAssignProblem
+    tenants: tuple[str, ...]
+
+    @classmethod
+    def stack(cls, problems: Mapping[str, OptAssignProblem]) -> "StackedProblem":
+        """Combine per-tenant problems into one, tagging partition names.
+
+        ``problems`` maps tenant names (which may not contain
+        :data:`TENANT_SEPARATOR`) to their instances.  Iteration order fixes
+        the stacked partition order: tenants in mapping order, each tenant's
+        partitions in its own order.
+        """
+        if not problems:
+            raise ValueError("at least one tenant problem is required")
+        for tenant in problems:
+            if not tenant:
+                raise ValueError("tenant names must be non-empty")
+            if TENANT_SEPARATOR in tenant:
+                raise ValueError(
+                    f"tenant name may not contain {TENANT_SEPARATOR!r}: {tenant!r}"
+                )
+        _check_cost_models(problems)
+
+        partitions = []
+        profiles: dict[str, dict] = {}
+        latency_slo: dict[str, float] = {}
+        affinity: dict[str, frozenset[str]] = {}
+        # Renamed copies are assembled through __dict__ instead of
+        # dataclasses.replace: the fields are already validated and replace()'s
+        # per-field getattr round trip dominates stacking time at fleet scale
+        # (same trick the vectorized greedy solver uses for CandidateOption).
+        new_partition = DataPartition.__new__
+        for tenant, problem in problems.items():
+            for partition in problem.partitions:
+                tagged = f"{tenant}{TENANT_SEPARATOR}{partition.name}"
+                copy = new_partition(DataPartition)
+                copy.__dict__ = {**partition.__dict__, "name": tagged}
+                partitions.append(copy)
+                profiles[tagged] = problem._profiles[partition.name]
+                cap = problem.slo_cap_for(partition.name)
+                if cap is not None:
+                    latency_slo[tagged] = cap
+                allowed = problem.providers_allowed_for(partition.name)
+                if allowed is not None:
+                    affinity[tagged] = allowed
+        model = next(iter(problems.values())).cost_model
+        # Every sub-problem already validated its partitions, profiles (the
+        # "none" scheme is present, pinned codecs have profiles) and SLO /
+        # affinity maps against this same catalog, and the tenant tags keep
+        # names unique across tenants — so the combined problem is assembled
+        # directly, skipping OptAssignProblem.__init__'s re-validation and
+        # per-partition profile-table copies (the same construction shortcut
+        # OptAssignProblem.relaxed uses).  At fleet scale this is what keeps
+        # stacking overhead below the solve itself.
+        stacked = OptAssignProblem.__new__(OptAssignProblem)
+        stacked.partitions = partitions
+        stacked.cost_model = model
+        stacked._profiles = profiles
+        stacked._latency_slo = latency_slo
+        stacked._provider_affinity = affinity
+        stacked._arrays = None
+        stacked._profile_columns_cache = None
+        stacked._tensors = None
+        return cls(problem=stacked, tenants=tuple(problems))
+
+    @staticmethod
+    def untag(tagged_name: str) -> tuple[str, str]:
+        """Split a tagged partition name back into (tenant, original name)."""
+        tenant, separator, name = tagged_name.partition(TENANT_SEPARATOR)
+        if not separator:
+            raise ValueError(f"partition name {tagged_name!r} carries no tenant tag")
+        return tenant, name
+
+    def split_choices(
+        self, assignment: Assignment
+    ) -> dict[str, dict[str, CandidateOption]]:
+        """Per-tenant choice maps, with original (untagged) partition names."""
+        split: dict[str, dict[str, CandidateOption]] = {
+            tenant: {} for tenant in self.tenants
+        }
+        for tagged, option in assignment.choices.items():
+            tenant, name = self.untag(tagged)
+            split[tenant][name] = replace(option, partition=name)
+        return split
+
+    def split_placements(
+        self, assignment: Assignment
+    ) -> dict[str, dict[str, PlacementDecision]]:
+        """Per-tenant placement maps ready for the engines' executors."""
+        split: dict[str, dict[str, PlacementDecision]] = {
+            tenant: {} for tenant in self.tenants
+        }
+        for tagged, option in assignment.choices.items():
+            tenant, name = self.untag(tagged)
+            split[tenant][name] = PlacementDecision(
+                tier_index=option.tier_index,
+                profile=self.problem.profile_for(tagged, option.scheme),
+            )
+        return split

@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from ..cloud import (
     CloudStorageSimulator,
     CompiledPlacement,
@@ -242,6 +244,7 @@ class OnlineTieringEngine:
         }
         self._last_epoch = -1
         self._last_observed: dict[str, float] | None = None
+        self._pending_forecast: dict[str, float] | None = None
 
     # -- the control loop -------------------------------------------------------
     def run(self, stream: Iterable[EpochBatch]) -> EngineReport:
@@ -258,59 +261,127 @@ class OnlineTieringEngine:
         months are modelled as batches with no events (every provided stream
         yields them), not as skipped epochs.
         """
-        records: list[EpochRecord] = []
-        for batch in stream:
-            started = time.perf_counter()
-            epoch = batch.epoch
-            if self._last_epoch >= 0 and epoch != self._last_epoch + 1:
-                raise ValueError(
-                    f"stream epochs must advance one month at a time (got "
-                    f"{epoch} after {self._last_epoch}); model quiet months "
-                    "as empty batches, not gaps"
-                )
-
-            migration: MigrationReport | None = None
-            reoptimized = False
-            if self.placement is None or self.policy.should_reoptimize(
-                epoch, self._last_observed
-            ):
-                migration = self._reoptimize(epoch)
-                reoptimized = True
-
-            # The compiled placement answers step_month queries with vectorized
-            # gathers; it is invalidated whenever a re-optimization moves data.
-            if self._compiled is None:
-                self._compiled = self.simulator.compile_placement(
-                    self._arrays, self.placement
-                )
-            step = self._compiled.step(batch.events)
-
-            observed = batch.reads_by_partition()
-            self.feature_store.observe(batch)
-            self.forecaster.update(epoch, observed)
-            MigrationExecutor.tick(self.months_in_tier, list(self._by_name))
-            self._last_observed = observed
-            self._last_epoch = epoch
-
-            records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    reoptimized=reoptimized,
-                    storage_cost=step.bill.storage,
-                    read_cost=step.bill.read,
-                    decompression_cost=step.bill.decompression,
-                    migration_cost=migration.migration_cost if migration else 0.0,
-                    early_deletion_penalty=(
-                        migration.early_deletion_penalty if migration else 0.0
-                    ),
-                    num_moved=migration.num_moved if migration else 0,
-                    moved_gb=migration.moved_gb if migration else 0.0,
-                    access_count=step.access_count,
-                    latency_violations=step.latency_violations,
-                    wall_clock_s=time.perf_counter() - started,
-                )
-            )
+        records = [self.step(batch) for batch in stream]
         return EngineReport(policy=self.policy.name, records=records)
+
+    def step(self, batch: EpochBatch) -> EpochRecord:
+        """Consume a single epoch batch: the body of :meth:`run`'s loop.
+
+        Equivalent to ``begin_epoch`` → (``build_problem`` →
+        ``solve_optassign`` → ``apply_assignment`` when the policy fires) →
+        ``settle``.  External schedulers (the fleet layer) call those hooks
+        individually so the solve can be batched across engines; everything
+        else should call ``step`` or ``run``.
+        """
+        started = time.perf_counter()
+        migration: MigrationReport | None = None
+        reoptimized = False
+        if self.begin_epoch(batch.epoch):
+            problem = self.build_problem(batch.epoch)
+            report = solve_optassign(problem)
+            migration = self.apply_assignment(
+                batch.epoch, report.assignment.to_placement()
+            )
+            reoptimized = True
+        return self.settle(
+            batch, migration=migration, reoptimized=reoptimized, started=started
+        )
+
+    # -- external-scheduling hooks ----------------------------------------------
+    # The fleet scheduler (:mod:`repro.fleet`) epoch-locks many engines and
+    # replaces the per-engine solve with one stacked, pool-arbitrated solve.
+    # Per epoch it must call, in order: ``begin_epoch`` (validation + policy
+    # check, no state change), then for firing engines ``build_problem`` and
+    # ``apply_assignment`` with an externally computed placement, then
+    # ``settle`` for *every* engine.  ``step`` composes exactly these hooks.
+
+    def _validate_epoch(self, epoch: int) -> None:
+        """Raise unless ``epoch`` continues the dense monthly timeline."""
+        if self._last_epoch >= 0 and epoch != self._last_epoch + 1:
+            raise ValueError(
+                f"stream epochs must advance one month at a time (got "
+                f"{epoch} after {self._last_epoch}); model quiet months "
+                "as empty batches, not gaps"
+            )
+
+    def begin_epoch(self, epoch: int) -> bool:
+        """Validate the epoch and ask the policy whether to re-optimize.
+
+        Raises before anything is billed or migrated when ``epoch`` does not
+        continue the engine's dense monthly timeline.  Mutates no engine
+        state (the policy may update its own drift bookkeeping).
+        """
+        self._validate_epoch(epoch)
+        return self.placement is None or self.policy.should_reoptimize(
+            epoch, self._last_observed
+        )
+
+    def settle(
+        self,
+        batch: EpochBatch,
+        migration: MigrationReport | None = None,
+        reoptimized: bool = False,
+        started: float | None = None,
+    ) -> EpochRecord:
+        """Bill the epoch and fold its events into the engine's state.
+
+        Steps the simulator one month against the (possibly just-changed)
+        placement, feeds the feature store and forecaster, advances the
+        residency clocks and returns the epoch's record.  ``migration`` is
+        the report of this epoch's re-optimization, if one was applied.
+        """
+        epoch = batch.epoch
+        self._validate_epoch(epoch)
+        # The compiled placement answers step_month queries with vectorized
+        # gathers; it is invalidated whenever a re-optimization moves data.
+        if self._compiled is None:
+            self._compiled = self.simulator.compile_placement(
+                self._arrays, self.placement
+            )
+        step = self._compiled.step(batch.events)
+
+        observed = batch.reads_by_partition()
+        self.feature_store.observe(batch)
+        self.forecaster.update(epoch, observed)
+        MigrationExecutor.tick(self.months_in_tier, list(self._by_name))
+        self._last_observed = observed
+        self._last_epoch = epoch
+        # A forecast built for this epoch is stale once the epoch settles; if
+        # a solve failed between build_problem and here, dropping it keeps the
+        # apply_assignment guard honest for later epochs.
+        self._pending_forecast = None
+
+        return EpochRecord(
+            epoch=epoch,
+            reoptimized=reoptimized,
+            storage_cost=step.bill.storage,
+            read_cost=step.bill.read,
+            decompression_cost=step.bill.decompression,
+            migration_cost=migration.migration_cost if migration else 0.0,
+            early_deletion_penalty=(
+                migration.early_deletion_penalty if migration else 0.0
+            ),
+            num_moved=migration.num_moved if migration else 0,
+            moved_gb=migration.moved_gb if migration else 0.0,
+            access_count=step.access_count,
+            latency_violations=step.latency_violations,
+            wall_clock_s=time.perf_counter() - started if started is not None else 0.0,
+        )
+
+    def tier_usage_gb(self) -> np.ndarray:
+        """Stored GB per catalog tier under the current placement.
+
+        Zeros before the first re-optimization (nothing is placed yet).  The
+        fleet layer sums this across engines to account shared
+        :class:`~repro.cloud.CapacityPool` budgets.
+        """
+        if self.placement is None:
+            return np.zeros(len(self.tiers), dtype=np.float64)
+        if self._compiled is None:
+            self._compiled = self.simulator.compile_placement(
+                self._arrays, self.placement
+            )
+        return self._compiled.tier_usage_gb()
 
     # -- re-optimization ---------------------------------------------------------
     def forecast_monthly(self, epoch: int) -> dict[str, float]:
@@ -324,7 +395,15 @@ class OnlineTieringEngine:
         windows = self.feature_store.window_series_map(names)
         return self.forecaster.forecast_monthly(names, windows, epoch=epoch - 1)
 
-    def _reoptimize(self, epoch: int) -> MigrationReport:
+    def build_problem(self, epoch: int) -> OptAssignProblem:
+        """The OPTASSIGN instance this epoch's re-optimization would solve.
+
+        Forecasts monthly rates from the feature store, scales them to the
+        planning horizon, prices against the engine's cost model and warm
+        starts from the current placement (so staying put is free and every
+        move must earn back its own cost over the horizon).  The forecast is
+        remembered so that :meth:`apply_assignment` can hand it to the policy.
+        """
         config = self.config
         predicted_monthly = self.forecast_monthly(epoch)
         horizon_partitions = [
@@ -355,16 +434,37 @@ class OnlineTieringEngine:
             # the data actually lives today, so staying put is free and every
             # move must earn back its own cost over the horizon.
             problem = problem.with_current_placement(self.placement)
-        report = solve_optassign(problem)
-        new_placement = report.assignment.to_placement()
+        self._pending_forecast = predicted_monthly
+        return problem
+
+    def apply_assignment(
+        self, epoch: int, new_placement: Mapping[str, PlacementDecision]
+    ) -> MigrationReport:
+        """Apply and bill a solved placement, completing a re-optimization.
+
+        ``new_placement`` is usually ``report.assignment.to_placement()`` of
+        a solve over :meth:`build_problem`'s instance — or, in the fleet
+        setting, this engine's slice of a stacked, pool-arbitrated solve.
+        The policy is notified with the forecast the problem was built from,
+        so every ``apply_assignment`` requires a fresh preceding
+        :meth:`build_problem` (notifying with a stale forecast would corrupt
+        a drift policy's baseline silently).
+        """
+        if self._pending_forecast is None:
+            raise ValueError(
+                "apply_assignment requires a preceding build_problem for "
+                "this re-optimization (the policy must be notified with the "
+                "forecast the applied placement was planned from)"
+            )
         migration = self.executor.apply(
             self._partitions,
             self.placement,
-            new_placement,
+            dict(new_placement),
             self.months_in_tier,
             epoch=epoch,
         )
-        self.placement = new_placement
+        self.placement = dict(new_placement)
         self._compiled = None
-        self.policy.notify_reoptimized(epoch, predicted_monthly)
+        self.policy.notify_reoptimized(epoch, self._pending_forecast)
+        self._pending_forecast = None
         return migration

@@ -1,0 +1,308 @@
+"""The fleet scheduler: N tenants, one catalog, shared capacity pools.
+
+:class:`FleetScheduler` drives one :class:`~repro.engine.OnlineTieringEngine`
+per tenant epoch-locked over the same monthly timeline.  Per epoch it
+
+1. asks every tenant's policy whether to re-optimize
+   (:meth:`~repro.engine.OnlineTieringEngine.begin_epoch`);
+2. builds the firing tenants' warm-started OPTASSIGN instances, stacks them
+   into one tenant-tagged problem
+   (:class:`~repro.core.optassign.StackedProblem`) and performs a *single*
+   vectorized solve;
+3. arbitrates the shared :class:`~repro.cloud.PoolSet` budgets with
+   :func:`~repro.core.optassign.repair_pools` — greedy regret-per-GB
+   water-filling across every competing tenant, with the standing placements
+   of non-firing tenants subtracted from each pool's budget first — then
+   splits the placements back and lets each tenant's executor apply and bill
+   its own moves;
+4. settles every tenant (simulator step, feature store, forecaster) through a
+   :mod:`concurrent.futures` thread pool, since settled tenants share no
+   mutable state.
+
+With slack pools the arbitration is a no-op and every partition keeps its
+individually-cheapest option, so a fleet run is **bill-exact** against N
+independent single-tenant engine runs — the scalar per-tenant path stays the
+oracle (``tests/fleet/test_fleet_invariants.py``).  Under contention the
+shared budget is water-filled across tenants by regret per GB, which strictly
+beats carving the pool into static per-tenant slices (see
+``examples/fleet_tiering.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Mapping, Sequence, TypeVar
+
+import numpy as np
+from concurrent.futures import ThreadPoolExecutor
+
+from ..cloud import PoolSet, TierCatalog
+from ..core.optassign import StackedProblem, repair_pools, solve_optassign
+from ..engine import EngineReport, EpochBatch, OnlineTieringEngine
+from .report import FleetReport, PoolUsageRecord
+from .tenants import FleetConfig, TenantSpec
+
+__all__ = ["FleetScheduler"]
+
+_T = TypeVar("_T")
+
+
+class FleetScheduler:
+    """Epoch-locked multi-tenant tiering over shared capacity pools.
+
+    Parameters
+    ----------
+    tenants:
+        The tenant specs.  Names must be unique; policies must not be shared
+        between specs (they are stateful).
+    tiers:
+        The fleet's shared tier catalog.  Its per-tier capacities must be
+        unbounded: shared pools *are* the fleet's capacity story — a finite
+        ``capacity_gb`` would be enforced across all tenants combined by the
+        stacked solve, silently diverging from per-tenant engine semantics.
+    pools:
+        Optional shared GB budgets spanning tenants, resolved against
+        ``tiers``.
+    config:
+        Fleet knobs; its ``engine`` config is the default for specs without
+        their own.  All tenants must price placements identically (same
+        horizon, objective weights and compute price) so their problems can
+        be stacked into one solve.
+    """
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        tiers: TierCatalog,
+        pools: PoolSet | None = None,
+        config: FleetConfig | None = None,
+    ):
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        policies = {id(spec.policy) for spec in tenants}
+        if len(policies) != len(tenants):
+            raise ValueError(
+                "tenant specs share a policy instance; policies are stateful "
+                "and every tenant needs its own"
+            )
+        # The fleet's capacity story is shared pools: a per-tier capacity_gb
+        # in the catalog would be enforced by the *stacked* solve across all
+        # tenants combined — silently different semantics from N independent
+        # engine runs, where each account gets the full tier to itself.
+        bounded = [tier.name for tier in tiers if tier.capacity_gb != math.inf]
+        if bounded:
+            raise ValueError(
+                "the fleet catalog must be uncapacitated (tier capacities "
+                f"{bounded} would be enforced fleet-wide, not per tenant); "
+                "model shared budgets as CapacityPools instead"
+            )
+        if pools is not None and pools.catalog is not tiers:
+            raise ValueError(
+                "pools were resolved against a different catalog object "
+                "than the fleet's tiers"
+            )
+        self.config = config or FleetConfig()
+        self.tenants: tuple[TenantSpec, ...] = tuple(tenants)
+        self.tiers = tiers
+        self.pools = pools
+
+        shared = self.config.engine
+        pricing = {}
+        for spec in self.tenants:
+            engine_config = spec.config or shared
+            pricing[spec.name] = (
+                engine_config.horizon_months,
+                engine_config.compute_cost_per_s,
+                engine_config.weights,
+            )
+        first_name = self.tenants[0].name
+        for name, signature in pricing.items():
+            if signature != pricing[first_name]:
+                raise ValueError(
+                    f"tenants {first_name!r} and {name!r} price placements "
+                    "differently (horizon, compute price or weights); stacked "
+                    "fleet solves require identical pricing"
+                )
+
+        self.engines: dict[str, OnlineTieringEngine] = {
+            spec.name: OnlineTieringEngine(
+                spec.partitions,
+                tiers,
+                spec.policy,
+                config=spec.config or shared,
+                profiles=spec.profiles,
+                latency_slo_s=spec.latency_slo_s,
+                provider_affinity=spec.provider_affinity,
+            )
+            for spec in self.tenants
+        }
+        self._records: dict[str, list] = {spec.name: [] for spec in self.tenants}
+        self._pool_records: list[PoolUsageRecord] = []
+
+    # -- helpers ---------------------------------------------------------------
+    def _map(self, function: Callable[[str], _T], names: Sequence[str]) -> list[_T]:
+        """Apply ``function`` per tenant, threaded when configured.
+
+        Tenant engines share no mutable state with each other, so the results
+        are identical for any worker count; the pool only buys wall-clock.
+        """
+        workers = self.config.max_workers
+        if workers is None or workers <= 1 or len(names) <= 1:
+            return [function(name) for name in names]
+        with ThreadPoolExecutor(max_workers=min(workers, len(names))) as pool:
+            return list(pool.map(function, names))
+
+    def _fleet_tier_usage(self, names: Sequence[str]) -> np.ndarray:
+        """Summed stored GB per tier across the named tenants' placements."""
+        usage = np.zeros(len(self.tiers), dtype=np.float64)
+        for name in names:
+            usage += self.engines[name].tier_usage_gb()
+        return usage
+
+    def _solve_arbitrated(self, problem, reserved_gb):
+        """One stacked solve with pool arbitration inside the facade's loop.
+
+        Pool arbitration rides ``solve_optassign``'s own latency-relaxation
+        loop via its ``post_repair`` hook: an unfixable pool relaxes latency
+        exactly as tier-capacity infeasibility does (the paper's
+        prescription), while the facade's up-front fail-fast certificates
+        (hard SLO/affinity masks latency relaxation can never fix) still run
+        once and surface their pointed diagnostics immediately.
+        """
+        post_repair = None
+        if self.pools is not None:
+            post_repair = lambda assignment: repair_pools(  # noqa: E731
+                assignment, self.pools, reserved_gb=reserved_gb
+            )
+        return solve_optassign(
+            problem, prefer="greedy", post_repair=post_repair
+        ).assignment
+
+    # -- one epoch -------------------------------------------------------------
+    def step_epoch(self, batches: Mapping[str, EpochBatch]) -> None:
+        """Advance every tenant one epoch (all batches must share the epoch)."""
+        missing = [spec.name for spec in self.tenants if spec.name not in batches]
+        if missing:
+            raise KeyError(f"batches missing tenants: {missing}")
+        epochs = {batch.epoch for batch in batches.values()}
+        if len(epochs) != 1:
+            raise ValueError(
+                f"fleet epochs are locked: got mixed epochs {sorted(epochs)}"
+            )
+        epoch = epochs.pop()
+        order = [spec.name for spec in self.tenants]
+
+        firing = [
+            name for name in order if self.engines[name].begin_epoch(epoch)
+        ]
+        solve_started = time.perf_counter()
+        migrations: dict[str, object] = {}
+        if firing:
+            problems = dict(
+                zip(
+                    firing,
+                    self._map(
+                        lambda name: self.engines[name].build_problem(epoch),
+                        firing,
+                    ),
+                )
+            )
+            stacked = StackedProblem.stack(problems)
+            reserved = None
+            if self.pools is not None:
+                firing_set = set(firing)
+                standing = [name for name in order if name not in firing_set]
+                reserved = self.pools.usage(self._fleet_tier_usage(standing))
+            assignment = self._solve_arbitrated(stacked.problem, reserved)
+            placements = stacked.split_placements(assignment)
+            for name in firing:
+                migrations[name] = self.engines[name].apply_assignment(
+                    epoch, placements[name]
+                )
+        solve_seconds = time.perf_counter() - solve_started
+
+        def settle(name: str):
+            started = time.perf_counter()
+            return self.engines[name].settle(
+                batches[name],
+                migration=migrations.get(name),
+                reoptimized=name in migrations,
+                started=started,
+            )
+
+        for name, record in zip(order, self._map(settle, order)):
+            self._records[name].append(record)
+
+        # The per-epoch record always carries the stacked-solve telemetry
+        # (solve wall clock is invisible to per-tenant settle timings); the
+        # pool columns are empty for a pool-less fleet.
+        used = (
+            self.pools.usage_by_name(self._fleet_tier_usage(order))
+            if self.pools is not None
+            else {}
+        )
+        self._pool_records.append(
+            PoolUsageRecord(
+                epoch=epoch,
+                used_gb=used,
+                capacity_gb=(
+                    {pool.name: pool.capacity_gb for pool in self.pools}
+                    if self.pools is not None
+                    else {}
+                ),
+                num_reoptimized=len(firing),
+                solve_wall_clock_s=solve_seconds,
+            )
+        )
+
+    # -- the run loop ------------------------------------------------------------
+    def run(self, num_epochs: int | None = None) -> FleetReport:
+        """Drive every tenant's stream to exhaustion, epoch-locked.
+
+        All tenant streams must cover the same epochs (quiet months are empty
+        batches, exactly as for the single-tenant engine); ``num_epochs``
+        caps or extends series-backed streams.  Returns the accumulated
+        report.  ``run`` may be called again only when every tenant was given
+        an explicit ``stream=`` whose later batches continue the timeline —
+        series-backed tenants rebuild their stream from epoch 0 on each call,
+        which the engines reject (alternatively, drive continuing epochs
+        through :meth:`step_epoch` directly).
+        """
+        iterators = {
+            spec.name: iter(spec.make_stream(num_epochs)) for spec in self.tenants
+        }
+        while True:
+            batches: dict[str, EpochBatch] = {}
+            exhausted: list[str] = []
+            for name, iterator in iterators.items():
+                batch = next(iterator, None)
+                if batch is None:
+                    exhausted.append(name)
+                else:
+                    batches[name] = batch
+            if len(exhausted) == len(iterators):
+                break
+            if exhausted:
+                raise ValueError(
+                    "fleet tenant streams must cover the same epochs, but "
+                    f"{exhausted} ended before {sorted(batches)}"
+                )
+            self.step_epoch(batches)
+        return self.report()
+
+    def report(self) -> FleetReport:
+        """The fleet report over everything consumed so far."""
+        return FleetReport(
+            tenant_reports={
+                spec.name: EngineReport(
+                    policy=spec.policy.name,
+                    records=list(self._records[spec.name]),
+                )
+                for spec in self.tenants
+            },
+            pool_usage=list(self._pool_records),
+        )

@@ -13,6 +13,11 @@ from .access_logs import (
     generate_monthly_writes,
     zipf_dataset_weights,
 )
+from .fleet import (
+    FLEET_DRIFT_MIXES,
+    TenantWorkload,
+    generate_fleet_workload,
+)
 from .enterprise import (
     CUSTOMER_ACCOUNT_PRESETS,
     EnterpriseCatalogConfig,
@@ -61,6 +66,9 @@ __all__ = [
     "SloClass",
     "SloWorkload",
     "generate_slo_workload",
+    "FLEET_DRIFT_MIXES",
+    "TenantWorkload",
+    "generate_fleet_workload",
     "TPCH_TABLE_NAMES",
     "TpchConfig",
     "TpchDatabase",

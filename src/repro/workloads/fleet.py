@@ -1,0 +1,177 @@
+"""Fleet workload generation: many tenants, mixed SLO classes, mixed drift.
+
+One tenant is a :func:`repro.workloads.generate_slo_workload` account (the
+interactive/analytics/batch/archive service-class mix) plus a monthly read
+series per partition built from :func:`repro.workloads.generate_drifting_reads`
+— some partitions hold their pattern for the whole horizon, others cool off,
+heat up or decay at a drift point, so fleet policies face the same pattern
+flips the single-tenant engine is tested on, but staggered across tenants.
+
+Everything is deterministic in ``seed``: tenant ``i`` draws from
+``default_rng(seed + i)``, so perturbing one tenant's inputs (the isolation
+invariant) or regenerating a subset reproduces the others bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..cloud import CompressionProfile
+from .access_logs import DriftSegment, generate_drifting_reads
+from .slo import DEFAULT_SLO_CLASSES, SloClass, SloWorkload, generate_slo_workload
+
+__all__ = ["TenantWorkload", "FLEET_DRIFT_MIXES", "generate_fleet_workload"]
+
+
+#: Named drift behaviours a partition's series can follow over the horizon.
+#: ``stable`` holds the constant pattern; ``cooling`` goes quiet halfway;
+#: ``heating`` starts silent and turns hot halfway; ``decaying`` declines
+#: throughout; ``seasonal`` peaks on a twelve-month cycle.
+FLEET_DRIFT_MIXES: tuple[str, ...] = (
+    "stable",
+    "cooling",
+    "heating",
+    "decaying",
+    "seasonal",
+)
+
+
+def _segments(mix: str, months: int) -> list[DriftSegment]:
+    half = max(months // 2, 1)
+    rest = max(months - half, 1)
+    if mix == "stable":
+        return [DriftSegment("constant", months)]
+    if mix == "cooling":
+        return [DriftSegment("constant", half), DriftSegment("inactive", rest)]
+    if mix == "heating":
+        return [DriftSegment("inactive", half), DriftSegment("constant", rest)]
+    if mix == "decaying":
+        return [DriftSegment("decaying", months)]
+    if mix == "seasonal":
+        return [DriftSegment("periodic", months)]
+    raise ValueError(
+        f"unknown drift mix {mix!r}; expected one of {FLEET_DRIFT_MIXES}"
+    )
+
+
+@dataclass
+class TenantWorkload:
+    """One generated tenant: account, read series, compression profiles."""
+
+    name: str
+    workload: SloWorkload
+    series: dict[str, list[float]]
+    profiles: dict[str, dict[str, CompressionProfile]]
+    drift_mix_of: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def partitions(self):
+        return self.workload.partitions
+
+    @property
+    def total_gb(self) -> float:
+        return self.workload.total_gb
+
+
+def generate_fleet_workload(
+    num_tenants: int,
+    partitions_per_tenant: int,
+    months: int,
+    seed: int = 0,
+    classes: Sequence[SloClass] = DEFAULT_SLO_CLASSES,
+    drift_mixes: Sequence[str] = FLEET_DRIFT_MIXES,
+    drift_weights: Sequence[float] | None = None,
+    residency_providers: Sequence[str] | None = None,
+    residency_fraction: float = 0.0,
+    compression_schemes: bool = True,
+) -> list[TenantWorkload]:
+    """Sample ``num_tenants`` independent tenant accounts.
+
+    Parameters
+    ----------
+    num_tenants, partitions_per_tenant, months:
+        Fleet shape: accounts, placement units per account, horizon length.
+    seed:
+        Deterministic base seed; tenant ``i`` uses ``seed + i`` for both its
+        account and its series, independently of every other tenant.
+    classes:
+        The SLO service-class mix (see :func:`generate_slo_workload`).
+    drift_mixes, drift_weights:
+        Which :data:`FLEET_DRIFT_MIXES` behaviours partitions may follow and
+        with what sampling weights (uniform by default).
+    residency_providers, residency_fraction:
+        Data-residency pinning forwarded to :func:`generate_slo_workload`.
+    compression_schemes:
+        When True each partition gets sampled gzip/snappy
+        :class:`~repro.cloud.CompressionProfile` entries; False leaves the
+        profile tables empty (tier assignment only).
+    """
+    if num_tenants <= 0:
+        raise ValueError("num_tenants must be positive")
+    if months <= 0:
+        raise ValueError("months must be positive")
+    if not drift_mixes:
+        raise ValueError("at least one drift mix is required")
+    for mix in drift_mixes:
+        if mix not in FLEET_DRIFT_MIXES:
+            raise ValueError(
+                f"unknown drift mix {mix!r}; expected one of {FLEET_DRIFT_MIXES}"
+            )
+    if drift_weights is not None:
+        if len(drift_weights) != len(drift_mixes):
+            raise ValueError("drift_weights must match drift_mixes in length")
+        weights = np.asarray(drift_weights, dtype=np.float64)
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("drift_weights must be non-negative and sum > 0")
+        weights = weights / weights.sum()
+    else:
+        weights = np.full(len(drift_mixes), 1.0 / len(drift_mixes))
+
+    tenants: list[TenantWorkload] = []
+    for index in range(num_tenants):
+        tenant_seed = seed + index
+        account = generate_slo_workload(
+            partitions_per_tenant,
+            seed=tenant_seed,
+            classes=classes,
+            residency_providers=residency_providers,
+            residency_fraction=residency_fraction,
+        )
+        rng = np.random.default_rng((tenant_seed, 0xF1EE7))
+        series: dict[str, list[float]] = {}
+        profiles: dict[str, dict[str, CompressionProfile]] = {}
+        drift_mix_of: dict[str, str] = {}
+        for partition in account.partitions:
+            mix = drift_mixes[int(rng.choice(len(drift_mixes), p=weights))]
+            drift_mix_of[partition.name] = mix
+            series[partition.name] = generate_drifting_reads(
+                rng,
+                _segments(mix, months),
+                base_level=max(partition.predicted_accesses, 1.0),
+            )
+            if compression_schemes:
+                profiles[partition.name] = {
+                    "gzip": CompressionProfile(
+                        "gzip",
+                        ratio=float(rng.uniform(2.5, 5.0)),
+                        decompression_s_per_gb=float(rng.uniform(0.8, 1.5)),
+                    ),
+                    "snappy": CompressionProfile(
+                        "snappy",
+                        ratio=float(rng.uniform(1.5, 2.5)),
+                        decompression_s_per_gb=float(rng.uniform(0.05, 0.2)),
+                    ),
+                }
+        tenants.append(
+            TenantWorkload(
+                name=f"tenant_{index:03d}",
+                workload=account,
+                series=series,
+                profiles=profiles,
+                drift_mix_of=drift_mix_of,
+            )
+        )
+    return tenants

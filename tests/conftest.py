@@ -7,6 +7,8 @@ them pay the generation cost once.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,51 @@ from repro.workloads import (
     generate_tpch_queries,
     split_table_into_files,
 )
+
+
+def _numpy_global_state_equal(before, after) -> bool:
+    """Compare two ``np.random.get_state()`` tuples (the keys array needs
+    element-wise comparison)."""
+    if len(before) != len(after):
+        return False
+    return all(
+        np.array_equal(b, a) if isinstance(b, np.ndarray) else b == a
+        for b, a in zip(before, after)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _global_rng_audit(request):
+    """Determinism audit: no test may leak global RNG state.
+
+    Every generator in this repo is seeded and local (``default_rng``); a
+    test that advances the *global* ``numpy.random`` or ``random`` state is
+    either depending on hidden shared state or silently reseeding it for
+    whoever runs next — both make failures order-dependent.  The fixture
+    snapshots both global states, restores them unconditionally, and fails
+    the leaking test.  Hypothesis manages the stdlib ``random`` state itself
+    (it seeds per example and restores afterwards), so hypothesis-driven
+    tests are exempt from the stdlib check but still audited for numpy.
+    """
+    numpy_before = np.random.get_state()
+    python_before = random.getstate()
+    yield
+    numpy_leaked = not _numpy_global_state_equal(numpy_before, np.random.get_state())
+    python_leaked = random.getstate() != python_before
+    np.random.set_state(numpy_before)
+    random.setstate(python_before)
+    leaked = []
+    if numpy_leaked:
+        leaked.append("numpy.random")
+    is_hypothesis = getattr(request.function, "is_hypothesis_test", False)
+    if python_leaked and not is_hypothesis:
+        leaked.append("random")
+    if leaked:
+        pytest.fail(
+            f"test leaked global RNG state ({', '.join(leaked)}); seed a "
+            "local np.random.default_rng / random.Random instead of using "
+            "the module-level generators"
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,187 @@
+"""Scenario-matrix golden regressions for the fleet layer.
+
+The single-tenant pipeline has pinned headline numbers
+(``tests/pipeline/test_golden_scope.py``); this suite extends the approach
+one layer up.  Every cell of the {drift pattern x SLO-class mix x provider
+mix x policy} grid runs a small deterministic fleet end to end and pins its
+aggregate bill and re-optimization count — a change anywhere in the stack
+(workload sampling, forecasting, stacked solve, arbitration, billing) that
+shifts a scenario past the tolerance fails here even if every unit test
+still passes.
+
+The golden values were produced by the code at the time this test was
+committed (regenerate by running this file as a script: ``PYTHONPATH=src
+python tests/fleet/test_fleet_scenarios.py``).  If a change intentionally
+moves them, re-derive and update the constants in the same commit and say
+why.
+
+Two extra pinned cells cover contended pools, where arbitration (not just
+placement) shapes the bill.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cloud import PoolSet, multi_cloud_catalog
+from repro.cloud.providers import aws_s3, azure_blob
+from repro.engine import DriftTriggered, EngineConfig, PeriodicReoptimize
+from repro.fleet import FleetConfig, FleetScheduler, TenantSpec
+from repro.workloads import DEFAULT_SLO_CLASSES, generate_fleet_workload
+
+COST_RTOL = 1e-6
+
+NUM_TENANTS = 2
+PARTITIONS_PER_TENANT = 5
+MONTHS = 6
+SEED = 2023
+SLACK = 1e9
+
+ENGINE_CONFIG = EngineConfig(horizon_months=6.0, window_months=6)
+
+DRIFTS = ("cooling", "heating")
+CLASS_MIXES = ("latency", "cold")
+PROVIDER_MIXES = ("multi", "azure_aws")
+POLICIES = ("periodic", "drift")
+
+#: SLO-class subsets: a latency-sensitive account (interactive + analytics)
+#: and a cold one (batch + archive).
+CLASSES = {
+    "latency": DEFAULT_SLO_CLASSES[:2],
+    "cold": DEFAULT_SLO_CLASSES[2:],
+}
+
+
+def build_catalog(provider_mix: str):
+    if provider_mix == "multi":
+        return multi_cloud_catalog()
+    return multi_cloud_catalog((azure_blob(), aws_s3()))
+
+
+def build_policy(policy: str):
+    if policy == "periodic":
+        return PeriodicReoptimize(2)
+    return DriftTriggered(threshold=0.25, min_gap_months=1)
+
+
+def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
+                 azure_capacity: float = SLACK):
+    catalog = build_catalog(provider_mix)
+    fleet = generate_fleet_workload(
+        NUM_TENANTS,
+        PARTITIONS_PER_TENANT,
+        MONTHS,
+        seed=SEED,
+        classes=CLASSES[class_mix],
+        drift_mixes=(drift, "stable"),
+    )
+    specs = [
+        TenantSpec(
+            name=tenant.name,
+            partitions=tenant.partitions,
+            policy=build_policy(policy),
+            series=tenant.series,
+            profiles=tenant.profiles,
+            config=ENGINE_CONFIG,
+            latency_slo_s=tenant.workload.latency_slo_s,
+        )
+        for tenant in fleet
+    ]
+    capacities = {name: SLACK for name in catalog.provider_names}
+    capacities["azure_blob"] = azure_capacity
+    pools = PoolSet.per_provider(catalog, capacities)
+    scheduler = FleetScheduler(
+        specs, catalog, pools=pools, config=FleetConfig(engine=ENGINE_CONFIG)
+    )
+    return scheduler.run(num_epochs=MONTHS)
+
+
+# -- golden values ------------------------------------------------------------
+# scenario key: (drift, class_mix, provider_mix, policy)
+SCENARIO_GOLDEN = {
+    ("cooling", "latency", "multi", "periodic"): {"total_bill": 22981.39213424179, "reoptimizations": 6},
+    ("cooling", "latency", "multi", "drift"): {"total_bill": 22888.017549077667, "reoptimizations": 6},
+    ("cooling", "latency", "azure_aws", "periodic"): {"total_bill": 22981.39213424179, "reoptimizations": 6},
+    ("cooling", "latency", "azure_aws", "drift"): {"total_bill": 22888.017549077667, "reoptimizations": 6},
+    ("cooling", "cold", "multi", "periodic"): {"total_bill": 33639.07965122575, "reoptimizations": 6},
+    ("cooling", "cold", "multi", "drift"): {"total_bill": 33492.733139810654, "reoptimizations": 7},
+    ("cooling", "cold", "azure_aws", "periodic"): {"total_bill": 33983.65385432662, "reoptimizations": 6},
+    ("cooling", "cold", "azure_aws", "drift"): {"total_bill": 34094.92449097389, "reoptimizations": 7},
+    ("heating", "latency", "multi", "periodic"): {"total_bill": 24235.49736625257, "reoptimizations": 6},
+    ("heating", "latency", "multi", "drift"): {"total_bill": 26003.909848051357, "reoptimizations": 11},
+    ("heating", "latency", "azure_aws", "periodic"): {"total_bill": 24235.49736625257, "reoptimizations": 6},
+    ("heating", "latency", "azure_aws", "drift"): {"total_bill": 26003.909848051357, "reoptimizations": 11},
+    ("heating", "cold", "multi", "periodic"): {"total_bill": 36768.20996543632, "reoptimizations": 6},
+    ("heating", "cold", "multi", "drift"): {"total_bill": 36985.95729860275, "reoptimizations": 11},
+    ("heating", "cold", "azure_aws", "periodic"): {"total_bill": 37622.374958281536, "reoptimizations": 6},
+    ("heating", "cold", "azure_aws", "drift"): {"total_bill": 37731.495069003286, "reoptimizations": 11},
+}
+
+#: Contended cells: the azure budget alone squeezed to 120 GB (the other
+#: providers stay slack) forces arbitration out of azure's tiers.
+CONTENDED_GOLDEN = {
+    ("cooling", "latency", "multi", "periodic"): {"total_bill": 27318.715664066774},
+    ("heating", "latency", "multi", "drift"): {"total_bill": 29239.514757333935},
+}
+CONTENDED_CAPACITY = 120.0
+
+
+class TestScenarioMatrix:
+    @pytest.mark.parametrize(
+        "drift,class_mix,provider_mix,policy",
+        sorted(SCENARIO_GOLDEN),
+        ids=lambda value: str(value),
+    )
+    def test_scenario_bill_pinned(self, drift, class_mix, provider_mix, policy):
+        report = run_scenario(drift, class_mix, provider_mix, policy)
+        golden = SCENARIO_GOLDEN[(drift, class_mix, provider_mix, policy)]
+        assert report.total_bill == pytest.approx(
+            golden["total_bill"], rel=COST_RTOL
+        )
+        assert report.total_reoptimizations == golden["reoptimizations"]
+        assert report.num_epochs == MONTHS
+
+    def test_matrix_covers_the_full_grid(self):
+        assert set(SCENARIO_GOLDEN) == set(
+            itertools.product(DRIFTS, CLASS_MIXES, PROVIDER_MIXES, POLICIES)
+        )
+
+
+class TestContendedScenarios:
+    @pytest.mark.parametrize(
+        "key", sorted(CONTENDED_GOLDEN), ids=lambda value: str(value)
+    )
+    def test_contended_bill_pinned(self, key):
+        report = run_scenario(*key, azure_capacity=CONTENDED_CAPACITY)
+        golden = CONTENDED_GOLDEN[key]
+        assert report.total_bill == pytest.approx(
+            golden["total_bill"], rel=COST_RTOL
+        )
+        for record in report.pool_usage:
+            for name, used in record.used_gb.items():
+                assert used <= record.capacity_gb[name] + 1e-6
+
+    @pytest.mark.parametrize(
+        "key", sorted(CONTENDED_GOLDEN), ids=lambda value: str(value)
+    )
+    def test_contention_costs_at_least_the_slack_bill(self, key):
+        """Arbitration can only lose money relative to unlimited capacity."""
+        slack = run_scenario(*key)
+        contended = run_scenario(*key, azure_capacity=CONTENDED_CAPACITY)
+        assert contended.total_bill >= slack.total_bill - 1e-9
+
+
+if __name__ == "__main__":  # pragma: no cover - golden regeneration helper
+    print("SCENARIO_GOLDEN = {")
+    for key in itertools.product(DRIFTS, CLASS_MIXES, PROVIDER_MIXES, POLICIES):
+        report = run_scenario(*key)
+        print(
+            f"    {key!r}: {{\"total_bill\": {report.total_bill!r}, "
+            f"\"reoptimizations\": {report.total_reoptimizations}}},"
+        )
+    print("}")
+    print("CONTENDED_GOLDEN = {")
+    for key in sorted(CONTENDED_GOLDEN):
+        report = run_scenario(*key, azure_capacity=CONTENDED_CAPACITY)
+        print(f"    {key!r}: {{\"total_bill\": {report.total_bill!r}}},")
+    print("}")

@@ -1,0 +1,152 @@
+"""Unit tests for shared capacity pools and the per-tier usage ledger."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CapacityPool,
+    CloudStorageSimulator,
+    CompressionProfile,
+    DataPartition,
+    PlacementDecision,
+    PoolSet,
+    azure_tier_catalog,
+    multi_cloud_catalog,
+)
+
+
+@pytest.fixture
+def catalog():
+    return azure_tier_catalog()  # premium / hot / cool / archive
+
+
+class TestCapacityPool:
+    def test_valid_pool(self):
+        pool = CapacityPool("fast", ("premium", "hot"), 1000.0)
+        assert pool.tier_names == ("premium", "hot")
+
+    def test_list_tier_names_coerced_to_tuple(self):
+        pool = CapacityPool("fast", ["premium"], 10.0)
+        assert pool.tier_names == ("premium",)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", tier_names=("hot",), capacity_gb=1.0),
+            dict(name="p", tier_names=(), capacity_gb=1.0),
+            dict(name="p", tier_names=("hot", "hot"), capacity_gb=1.0),
+            dict(name="p", tier_names=("hot",), capacity_gb=0.0),
+            dict(name="p", tier_names=("hot",), capacity_gb=-5.0),
+            dict(name="p", tier_names=("hot",), capacity_gb=math.inf),
+        ],
+    )
+    def test_invalid_pools_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CapacityPool(**kwargs)
+
+
+class TestPoolSet:
+    def test_resolves_tiers_and_aggregates_usage(self, catalog):
+        pools = PoolSet(
+            catalog,
+            [
+                CapacityPool("fast", ("premium", "hot"), 100.0),
+                CapacityPool("cold", ("archive",), 500.0),
+            ],
+        )
+        usage = pools.usage(np.array([10.0, 20.0, 40.0, 80.0]))
+        # cool (index 2) is unpooled and ignored.
+        assert usage.tolist() == [30.0, 80.0]
+        assert pools.usage_by_name(np.array([10.0, 20.0, 40.0, 80.0])) == {
+            "fast": 30.0,
+            "cold": 80.0,
+        }
+
+    def test_tiers_of(self, catalog):
+        pools = PoolSet(catalog, [CapacityPool("fast", ("premium", "hot"), 1.0)])
+        assert pools.tiers_of(0).tolist() == [0, 1]
+
+    def test_unknown_tier_raises(self, catalog):
+        with pytest.raises(KeyError):
+            PoolSet(catalog, [CapacityPool("p", ("nvme",), 1.0)])
+
+    def test_overlapping_pools_rejected(self, catalog):
+        with pytest.raises(ValueError, match="claimed by both"):
+            PoolSet(
+                catalog,
+                [
+                    CapacityPool("a", ("premium", "hot"), 1.0),
+                    CapacityPool("b", ("hot",), 1.0),
+                ],
+            )
+
+    def test_duplicate_pool_names_rejected(self, catalog):
+        with pytest.raises(ValueError, match="duplicate"):
+            PoolSet(
+                catalog,
+                [
+                    CapacityPool("a", ("premium",), 1.0),
+                    CapacityPool("a", ("hot",), 1.0),
+                ],
+            )
+
+    def test_empty_pool_set_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            PoolSet(catalog, [])
+
+    def test_usage_shape_validated(self, catalog):
+        pools = PoolSet(catalog, [CapacityPool("p", ("hot",), 1.0)])
+        with pytest.raises(ValueError, match="shape"):
+            pools.usage(np.zeros(3))
+
+    def test_per_tier_constructor(self, catalog):
+        pools = PoolSet.per_tier(catalog, {"premium": 10.0, "cool": 20.0})
+        assert pools.names == ("premium", "cool")
+        assert pools.capacities.tolist() == [10.0, 20.0]
+
+    def test_per_provider_constructor(self):
+        catalog = multi_cloud_catalog()
+        pools = PoolSet.per_provider(catalog, {"aws_s3": 100.0})
+        (aws_tiers,) = (pools.tiers_of(0),)
+        assert all(
+            catalog.provider_of(int(tier)) == "aws_s3" for tier in aws_tiers
+        )
+        # every aws tier is covered
+        aws_count = sum(
+            1
+            for index in range(len(catalog))
+            if catalog.provider_of(index) == "aws_s3"
+        )
+        assert len(aws_tiers) == aws_count
+
+    def test_per_provider_unknown_provider(self, catalog):
+        with pytest.raises(ValueError, match="not in the catalog"):
+            PoolSet.per_provider(catalog, {"aws_s3": 1.0})
+
+    def test_scaled(self, catalog):
+        pools = PoolSet.per_tier(catalog, {"hot": 100.0})
+        half = pools.scaled(0.5)
+        assert half.capacities.tolist() == [50.0]
+        assert half.catalog is catalog
+        with pytest.raises(ValueError):
+            pools.scaled(0.0)
+
+
+class TestCompiledPlacementTierUsage:
+    def test_tier_usage_matches_manual_ledger(self, catalog):
+        partitions = [
+            DataPartition("a", size_gb=100.0, predicted_accesses=1.0),
+            DataPartition("b", size_gb=50.0, predicted_accesses=1.0),
+            DataPartition("c", size_gb=30.0, predicted_accesses=1.0),
+        ]
+        gzip = CompressionProfile("gzip", ratio=4.0, decompression_s_per_gb=1.0)
+        placement = {
+            "a": PlacementDecision(tier_index=1, profile=gzip),
+            "b": PlacementDecision(tier_index=1),
+            "c": PlacementDecision(tier_index=3),
+        }
+        simulator = CloudStorageSimulator(catalog)
+        compiled = simulator.compile_placement(partitions, placement)
+        assert compiled.tier_usage_gb().tolist() == [0.0, 100.0 / 4.0 + 50.0, 0.0, 30.0]

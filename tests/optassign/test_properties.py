@@ -21,6 +21,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+# Hypothesis-driven randomized sweeps dominate the suite's runtime; keep the
+# inner loop fast with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
 from repro.cloud import (
     AccessEvent,
     CloudStorageSimulator,

@@ -1,0 +1,122 @@
+"""Fleet workload generation: determinism, shapes, drift mixes, validation."""
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_SLO_CLASSES,
+    FLEET_DRIFT_MIXES,
+    generate_fleet_workload,
+)
+
+
+class TestShapeAndDeterminism:
+    def test_shapes(self):
+        fleet = generate_fleet_workload(3, 7, months=12, seed=1)
+        assert len(fleet) == 3
+        assert [tenant.name for tenant in fleet] == [
+            "tenant_000", "tenant_001", "tenant_002",
+        ]
+        for tenant in fleet:
+            assert len(tenant.partitions) == 7
+            assert set(tenant.series) == {p.name for p in tenant.partitions}
+            assert all(len(values) == 12 for values in tenant.series.values())
+            assert set(tenant.profiles) == {p.name for p in tenant.partitions}
+            assert set(tenant.drift_mix_of.values()) <= set(FLEET_DRIFT_MIXES)
+
+    def test_deterministic_in_seed(self):
+        first = generate_fleet_workload(2, 5, months=6, seed=42)
+        second = generate_fleet_workload(2, 5, months=6, seed=42)
+        for a, b in zip(first, second):
+            assert a.series == b.series
+            assert a.drift_mix_of == b.drift_mix_of
+            assert [p.name for p in a.partitions] == [p.name for p in b.partitions]
+            assert a.total_gb == b.total_gb
+
+    def test_tenants_are_independent_of_fleet_size(self):
+        # Tenant i draws from seed + i: generating a bigger fleet must not
+        # change the smaller fleet's tenants (the isolation invariant's
+        # workload-side counterpart).
+        small = generate_fleet_workload(2, 5, months=6, seed=9)
+        large = generate_fleet_workload(4, 5, months=6, seed=9)
+        for a, b in zip(small, large[:2]):
+            assert a.series == b.series
+
+    def test_different_seeds_differ(self):
+        a = generate_fleet_workload(1, 8, months=6, seed=0)[0]
+        b = generate_fleet_workload(1, 8, months=6, seed=1)[0]
+        assert a.series != b.series
+
+
+class TestDriftMixes:
+    def test_restricting_mixes_is_honored(self):
+        fleet = generate_fleet_workload(
+            2, 6, months=10, seed=3, drift_mixes=("cooling",)
+        )
+        for tenant in fleet:
+            assert set(tenant.drift_mix_of.values()) == {"cooling"}
+            # cooling: second half of every series is (near-)silent relative
+            # to the first half
+            for values in tenant.series.values():
+                first, second = sum(values[:5]), sum(values[5:])
+                assert second <= first
+
+    def test_heating_series_start_quiet(self):
+        fleet = generate_fleet_workload(
+            1, 6, months=10, seed=3, drift_mixes=("heating",)
+        )
+        for values in fleet[0].series.values():
+            assert sum(values[:5]) <= sum(values[5:])
+
+    def test_weights_bias_the_mix(self):
+        fleet = generate_fleet_workload(
+            1, 40, months=4, seed=5,
+            drift_mixes=("stable", "cooling"),
+            drift_weights=(1.0, 0.0),
+        )
+        assert set(fleet[0].drift_mix_of.values()) == {"stable"}
+
+
+class TestOptions:
+    def test_no_compression_schemes(self):
+        fleet = generate_fleet_workload(
+            1, 4, months=4, seed=1, compression_schemes=False
+        )
+        assert fleet[0].profiles == {}
+
+    def test_residency_pinning_forwarded(self):
+        fleet = generate_fleet_workload(
+            1, 30, months=4, seed=2,
+            residency_providers=("aws_s3",),
+            residency_fraction=1.0,
+        )
+        affinity = fleet[0].workload.provider_affinity
+        assert affinity  # every partition pinned
+        assert set().union(*affinity.values()) == {"aws_s3"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_tenants=0, partitions_per_tenant=1, months=1),
+            dict(num_tenants=1, partitions_per_tenant=1, months=0),
+            dict(num_tenants=1, partitions_per_tenant=1, months=1, drift_mixes=()),
+            dict(num_tenants=1, partitions_per_tenant=1, months=1, drift_mixes=("warp",)),
+            dict(
+                num_tenants=1, partitions_per_tenant=1, months=1,
+                drift_mixes=("stable",), drift_weights=(0.5, 0.5),
+            ),
+            dict(
+                num_tenants=1, partitions_per_tenant=1, months=1,
+                drift_mixes=("stable",), drift_weights=(-1.0,),
+            ),
+        ],
+    )
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_fleet_workload(seed=0, **kwargs)
+
+    def test_classes_forwarded(self):
+        interactive_only = (DEFAULT_SLO_CLASSES[0],)
+        fleet = generate_fleet_workload(
+            1, 6, months=4, seed=0, classes=interactive_only
+        )
+        assert set(fleet[0].workload.class_of.values()) == {"interactive"}
