@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: re-run a benchmark subset against BENCH_*.json.
+
+The repository commits four benchmark trajectories at the repo root:
+
+* ``BENCH_optassign_scaling.json`` — scalar vs vectorized greedy OPTASSIGN;
+* ``BENCH_optassign_delta.json``   — incremental delta solve vs full re-solve;
+* ``BENCH_fleet_scaling.json``     — per-tenant loop vs stacked fleet solve;
+* ``BENCH_engine_online.json``     — online engine bills per policy.
+
+This script re-runs a small, representative subset of each sweep on the
+current checkout and fails (non-zero exit) when the code has regressed
+against the committed baseline:
+
+* **Wall clock** gets a deliberately generous tolerance — measured time must
+  stay under ``2x`` the committed number plus a small absolute slack, so CI
+  runner jitter and slower hardware don't produce false alarms while a
+  genuine algorithmic regression (a lost fast path, an accidental O(n^2))
+  still trips the gate.
+* **Exactness flags** (``assignments_identical``, ``oracle_verified``) must
+  remain true: the vectorized / stacked / delta paths must keep reproducing
+  the scalar oracle bit-for-bit.
+* **Bills are deterministic**, so the online engine's per-policy
+  ``total_bill_cents`` and ``reoptimizations`` must match the baseline
+  exactly (within float-reassociation epsilon) — any drift means the engine's
+  semantics changed and the baseline must be consciously re-recorded.
+* The delta solver's headline claim — ``>= 3x`` speedup over the full solve
+  at 5% drift on 10k partitions — is re-asserted on every run.
+
+Re-baselining: when a change legitimately shifts these numbers (new cost
+model, different workload seed, faster algorithm), regenerate the committed
+JSON on a quiet machine and commit it alongside the change::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_scaling.py
+    PYTHONPATH=src python benchmarks/bench_fleet_scaling.py
+    PYTHONPATH=src python benchmarks/bench_engine_online.py
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py
+    PYTHONPATH=src python benchmarks/check_bench_regression.py --only delta
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+WALL_CLOCK_FACTOR = 2.0
+# Absolute slack absorbs scheduler jitter on sub-10ms baselines, where a
+# single context switch would otherwise exceed 2x on its own.
+WALL_CLOCK_SLACK_S = 0.05
+# Bills are deterministic; the epsilon only absorbs float reassociation
+# across BLAS/SIMD builds, not semantic drift.
+BILL_REL_TOLERANCE = 1e-9
+
+_FAILURES: list[str] = []
+
+
+def _check(label: str, ok: bool, detail: str) -> None:
+    status = "ok  " if ok else "FAIL"
+    print(f"  [{status}] {label}: {detail}")
+    if not ok:
+        _FAILURES.append(f"{label}: {detail}")
+
+
+def _check_wall_clock(label: str, measured: float, baseline: float) -> None:
+    allowed = WALL_CLOCK_FACTOR * baseline + WALL_CLOCK_SLACK_S
+    _check(
+        label,
+        measured <= allowed,
+        f"{measured * 1e3:.2f} ms vs baseline {baseline * 1e3:.2f} ms "
+        f"(allowed {allowed * 1e3:.2f} ms)",
+    )
+
+
+def _load(name: str) -> dict:
+    path = ROOT / name
+    if not path.exists():
+        raise SystemExit(f"missing committed baseline {name}; run the benchmark first")
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def check_optassign() -> None:
+    """Vectorized greedy solve: wall clock + scalar-oracle exactness."""
+    from bench_runtime_scaling import sweep_greedy
+
+    print("== optassign greedy scaling (463 and 10k partitions)")
+    baseline = {row["partitions"]: row for row in _load("BENCH_optassign_scaling.json")["greedy"]}
+    for row in sweep_greedy((463, 10_000)):
+        base = baseline[row["partitions"]]
+        n = row["partitions"]
+        _check(
+            f"greedy[{n}] identical",
+            row["assignments_identical"],
+            "vectorized matches scalar oracle",
+        )
+        _check_wall_clock(f"greedy[{n}] cold", row["vectorized_s"], base["vectorized_s"])
+        _check_wall_clock(f"greedy[{n}] warm", row["vectorized_warm_s"], base["vectorized_warm_s"])
+
+
+def check_delta() -> None:
+    """Delta solver: wall clock per drift fraction, exactness, 3x headline."""
+    from bench_runtime_scaling import DELTA_PARTITIONS, sweep_delta
+
+    print("== optassign delta vs full (10k partitions)")
+    baseline = {
+        row["drift_fraction"]: row
+        for row in _load("BENCH_optassign_delta.json")["rows"]
+    }
+    for row in sweep_delta(DELTA_PARTITIONS):
+        base = baseline[row["drift_fraction"]]
+        tag = f"delta[{row['drift_fraction']:.0%}]"
+        _check(f"{tag} identical", row["assignments_identical"], "delta matches full solve")
+        _check(
+            f"{tag} mode",
+            row["mode"] == base["mode"],
+            f"mode={row['mode']} (baseline {base['mode']})",
+        )
+        _check_wall_clock(f"{tag} wall clock", row["delta_s"], base["delta_s"])
+        if row["drift_fraction"] == 0.05:
+            _check(
+                f"{tag} headline speedup",
+                row["speedup"] >= 3.0,
+                f"{row['speedup']:.1f}x vs full (floor 3.0x)",
+            )
+
+
+def check_fleet() -> None:
+    """Stacked fleet solve: wall clock + per-tenant oracle agreement."""
+    from bench_fleet_scaling import sweep
+
+    print("== fleet stacked solve (32 tenants x 64 partitions)")
+    baseline = {
+        (row["tenants"], row["partitions_per_tenant"]): row
+        for row in _load("BENCH_fleet_scaling.json")["rows"]
+    }
+    for row in sweep(((32, 64),), repeats=3, verify=True):
+        base = baseline[(row["tenants"], row["partitions_per_tenant"])]
+        tag = f"fleet[{row['tenants']}x{row['partitions_per_tenant']}]"
+        _check(f"{tag} oracle", row["oracle_verified"], "stacked matches per-tenant solves")
+        _check_wall_clock(f"{tag} stacked", row["stacked_vectorized_s"], base["stacked_vectorized_s"])
+
+
+def check_engine() -> None:
+    """Online engine: bill-exactness per policy plus total wall clock."""
+    from bench_engine_online import build_workload, run_policies
+
+    print("== online engine policies (bill exactness)")
+    baseline = _load("BENCH_engine_online.json")["policies"]
+    series, partitions = build_workload()
+    for name, result in run_policies(series, partitions).items():
+        base = baseline[name]
+        measured = result["total_bill_cents"]
+        expected = base["total_bill_cents"]
+        relative = abs(measured - expected) / max(abs(expected), 1.0)
+        _check(
+            f"engine[{name}] bill",
+            relative <= BILL_REL_TOLERANCE,
+            f"{measured:.4f} vs baseline {expected:.4f} cents (rel {relative:.2e})",
+        )
+        _check(
+            f"engine[{name}] reopts",
+            result["reoptimizations"] == base["reoptimizations"],
+            f"{result['reoptimizations']} vs baseline {base['reoptimizations']}",
+        )
+        _check_wall_clock(
+            f"engine[{name}] wall clock",
+            result["wall_clock_total_s"],
+            base["wall_clock_total_s"],
+        )
+
+
+CHECKS = {
+    "optassign": check_optassign,
+    "delta": check_delta,
+    "fleet": check_fleet,
+    "engine": check_engine,
+}
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        choices=sorted(CHECKS),
+        action="append",
+        help="run only the named suite(s); default runs all four",
+    )
+    options = parser.parse_args(argv)
+    selected = options.only or sorted(CHECKS)
+    for name in selected:
+        CHECKS[name]()
+    print()
+    if _FAILURES:
+        print(f"bench regression: {len(_FAILURES)} check(s) FAILED")
+        for failure in _FAILURES:
+            print(f"  - {failure}")
+        print(
+            "If the change legitimately shifts these numbers, re-record the "
+            "baselines (see module docstring) and commit the JSON."
+        )
+        raise SystemExit(1)
+    print("bench regression: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

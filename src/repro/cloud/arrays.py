@@ -101,6 +101,29 @@ class PartitionArrays:
             for i in range(len(self.names))
         ]
 
+    def take(self, indices: Sequence[int] | np.ndarray) -> "PartitionArrays":
+        """A row subset as a new :class:`PartitionArrays` (order preserved).
+
+        The numeric columns are numpy fancy-indexed; the object columns are
+        gathered in one list pass.  This is what lets the incremental delta
+        solver carve the changed rows out of a large instance without
+        materialising per-row :class:`DataPartition` objects for the
+        unchanged majority.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        positions = idx.tolist()
+        return PartitionArrays(
+            names=tuple(self.names[i] for i in positions),
+            size_gb=self.size_gb[idx],
+            predicted_accesses=self.predicted_accesses[idx],
+            latency_threshold_s=self.latency_threshold_s[idx],
+            current_tier=self.current_tier[idx],
+            read_fraction=self.read_fraction[idx],
+            pushdown_fraction=self.pushdown_fraction[idx],
+            current_codec=tuple(self.current_codec[i] for i in positions),
+            file_ids=tuple(self.file_ids[i] for i in positions),
+        )
+
     # -- container protocol ---------------------------------------------------
     def __len__(self) -> int:
         return len(self.names)

@@ -8,9 +8,12 @@
   no-compression instances (Theorem 2).
 * :func:`solve_optassign` — the facade with automatic solver choice and
   iterative latency relaxation.
+* :class:`DeltaSolver` — incremental re-solve across epochs: only drifted
+  rows are re-optimized, everything else stays pinned (bounded regret).
 """
 
 from .capacity import SolveReport, repair_capacity, repair_pools, solve_optassign
+from .delta import DeltaSolveReport, DeltaSolver
 from .errors import InfeasibleError
 from .greedy import solve_greedy
 from .ilp import IlpInfeasibleError, solve_ilp
@@ -34,6 +37,8 @@ __all__ = [
     "repair_capacity",
     "repair_pools",
     "SolveReport",
+    "DeltaSolver",
+    "DeltaSolveReport",
     "StackedProblem",
     "TENANT_SEPARATOR",
 ]

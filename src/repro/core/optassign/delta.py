@@ -1,0 +1,595 @@
+"""Incremental (delta) OPTASSIGN: re-solve only the rows that drifted.
+
+Every re-optimization so far rebuilt and re-solved the full
+partitions × tiers × schemes tensor even when drift touched a handful of
+partitions.  :class:`DeltaSolver` keeps the previous epoch's per-partition
+features and chosen options between solves and, on the next instance,
+
+1. detects the **changed rows** — partitions whose windowed access forecast
+   moved past a configurable relative drift threshold, plus every partition
+   with a structural change (new name, different size / latency SLA /
+   read-pattern columns, codec pin, SLO cap, provider affinity, an externally
+   moved ``current_tier``) and every name the caller flags explicitly (a
+   :class:`~repro.engine.DriftTriggered` policy's per-partition scores);
+2. solves a carved-out subproblem over only those rows (the same vectorized
+   masked-argmin greedy as the full path, so tie-breaks are identical);
+3. **pins** every other partition to its standing choice from the cache;
+4. checks tier capacities and shared pool budgets against the composed
+   placement with one vectorized pass and runs
+   :func:`~repro.core.optassign.repair_capacity` /
+   :func:`~repro.core.optassign.repair_pools` **only when a budget is
+   actually violated** — falling back to the full
+   :func:`~repro.core.optassign.solve_optassign` facade (latency relaxation
+   and all) when the violation is unfixable or the changed rows alone are
+   infeasible.
+
+Bounded-regret guarantee
+------------------------
+
+Pinning is safe because the objective is separable and, for a pinned row,
+only the access-count feature may have moved (anything else marks the row
+changed) — by at most the relative drift threshold ``tau``.  Writing a
+partition's objective as ``S(o) + a * c(o)`` (access-independent storage /
+migration terms plus per-access read + decompression cost ``c(o) >= 0``
+scaled by the predicted accesses ``a >= 0``), the pinned option ``p`` was the
+argmin under the cached accesses ``a`` and the fresh optimum ``o*`` under the
+new accesses ``b`` satisfies ``|a - b| <= tau * max(a, b)``, so the row's
+regret is::
+
+    S(p) + b c(p) - S(o*) - b c(o*)
+        <= (b - a)(c(p) - c(o*))            # p was optimal under a
+        <= tau/(1-tau) * b * (c(p) + c(o*))
+        <= 2 tau/(1-tau) * (S(p) + b c(p))  # o* is no worse than p
+
+Summed over pinned rows (all terms non-negative), for ``tau < 1/3`` on an
+instance where no repair fires::
+
+    true_objective(delta) <= true_objective(full) * (1 - tau) / (1 - 3 tau)
+
+and with every row marked changed (``tau = 0`` forces this whenever anything
+moved at all) the delta solve **is** the full vectorized solve, bit for bit.
+``tests/optassign/test_delta.py`` asserts both properties under random drift
+masks.
+
+Pricing staleness
+-----------------
+
+A pinned row's :class:`~repro.core.optassign.CandidateOption` carries the
+objective/breakdown at which it was *last solved* — re-pricing the unchanged
+majority every epoch would cost exactly the full tensor build the delta path
+exists to avoid.  The **placement** (tier + scheme) is what downstream
+consumers use (the engine's executor and simulator bill from it truthfully);
+treat the per-option cents on pinned rows as approximate within the bound
+above, and re-price against a fresh problem where exact accounting matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cloud import PoolSet
+from .capacity import SolveReport, repair_capacity, repair_pools, solve_optassign
+from .errors import InfeasibleError
+from .greedy import solve_greedy
+from .problem import CandidateOption, OptAssignProblem
+from .result import Assignment
+
+__all__ = ["DeltaSolver", "DeltaSolveReport"]
+
+
+@dataclass
+class DeltaSolveReport:
+    """The assignment plus how the delta layer obtained it.
+
+    ``mode`` is ``"delta"`` when pinning happened and ``"full"`` when the
+    solver ran the complete :func:`solve_optassign` facade instead (cache
+    bootstrap, every row changed, pricing/constraint signature changed, or a
+    fallback); ``reason`` says which.  ``repaired`` records whether a budget
+    violation forced a capacity/pool repair pass over the composed placement.
+    """
+
+    assignment: Assignment
+    mode: str
+    reason: str
+    num_changed: int
+    num_pinned: int
+    repaired: bool = False
+    full_report: SolveReport | None = None
+
+    @property
+    def pinned_fraction(self) -> float:
+        total = self.num_changed + self.num_pinned
+        return self.num_pinned / total if total else 0.0
+
+
+class DeltaSolver:
+    """Stateful incremental OPTASSIGN over a sequence of related instances.
+
+    Parameters
+    ----------
+    drift_threshold:
+        Relative move in ``predicted_accesses`` (``|new - old| >
+        drift_threshold * max(|new|, |old|)``) past which a row is re-solved.
+        ``0.0`` re-solves every row whose forecast moved at all — making the
+        delta solve bit-exact against the full solve at the cost of its
+        speedup.  Must stay below ``1/3`` for the documented regret bound.
+    prefer:
+        Solver preference forwarded to :func:`solve_optassign` whenever a
+        full solve runs (bootstrap and fallbacks).  Defaults to ``"greedy"``
+        — the vectorized argmin + repair path the delta subproblems also use,
+        so full and delta epochs price identically.
+    tolerance:
+        Slack (GB) applied to capacity/pool budget checks, mirroring
+        :func:`repair_capacity`.
+
+    The cache is keyed by partition *name*: instances may cover different
+    subsets between calls (the fleet scheduler stacks only the tenants whose
+    policies fired), and rows absent from an instance simply keep their
+    cached state until they reappear.  All instances must price against the
+    same catalog object, horizon, compute price and objective weights — a
+    changed pricing signature flushes the cache and runs a full solve.
+    """
+
+    def __init__(
+        self,
+        drift_threshold: float = 0.1,
+        prefer: str = "greedy",
+        tolerance: float = 1e-9,
+    ):
+        if drift_threshold < 0.0:
+            raise ValueError("drift_threshold must be non-negative")
+        if drift_threshold >= 1.0 / 3.0:
+            raise ValueError(
+                "drift_threshold must stay below 1/3 (the bounded-regret "
+                f"guarantee degenerates past it), got {drift_threshold}"
+            )
+        self.drift_threshold = float(drift_threshold)
+        self.prefer = prefer
+        self.tolerance = float(tolerance)
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop every cached row; the next solve bootstraps with a full solve."""
+        self._pricing: tuple | None = None
+        self._names: tuple[str, ...] | None = None
+        self._index: dict[str, int] | None = None
+        self._features: dict[str, np.ndarray] = {}
+        self._codec: tuple[str | None, ...] = ()
+        self._tier: np.ndarray | None = None
+        self._stored: np.ndarray | None = None
+        self._options: dict[str, CandidateOption] = {}
+        self._slo: dict[str, float] = {}
+        self._affinity: dict[str, frozenset] = {}
+        self._profiles: dict[str, dict] = {}
+
+    # -- public entry point -----------------------------------------------------
+    def solve(
+        self,
+        problem: OptAssignProblem,
+        changed: "set[str] | list[str] | tuple[str, ...] | None" = None,
+        pool_set: PoolSet | None = None,
+        reserved_gb: np.ndarray | None = None,
+    ) -> DeltaSolveReport:
+        """Solve ``problem`` incrementally against the cached previous epoch.
+
+        ``changed`` adds names to the changed-row set on top of the solver's
+        own drift detection (it can only widen the set, never pin a row the
+        detector flagged).  ``pool_set`` / ``reserved_gb`` carry the fleet's
+        shared budgets, checked exactly as :func:`repair_pools` would and
+        repaired only on violation.
+        """
+        if changed is not None:
+            unknown = set(changed) - set(problem.partition_names)
+            if unknown:
+                raise ValueError(
+                    f"changed names unknown to the problem: {sorted(unknown)[:5]}"
+                )
+        pricing = self._pricing_signature(problem)
+        if self._names is None:
+            return self._full(problem, pool_set, reserved_gb, "bootstrap")
+        if pricing != self._pricing:
+            self.reset()
+            return self._full(problem, pool_set, reserved_gb, "pricing changed")
+
+        arrays = problem.partition_arrays()
+        names = arrays.names
+        changed_mask, pinned_tier, pinned_stored = self._detect_changes(
+            problem, arrays, set(changed) if changed else None
+        )
+        num_changed = int(changed_mask.sum())
+        total = len(names)
+        if num_changed == total:
+            return self._full(problem, pool_set, reserved_gb, "every row changed")
+
+        # Solve the changed rows on a carved-out subproblem; the pinned rows
+        # keep their standing options.  The subproblem uses the same
+        # vectorized masked-argmin greedy as the full path (per-partition
+        # argmins are independent, and restricting the sorted scheme union to
+        # one partition's available schemes preserves enumeration order), so
+        # its choices are exactly what the full solve would pick pre-repair.
+        tier = pinned_tier
+        stored = pinned_stored
+        choices: dict[str, CandidateOption] = {}
+        changed_rows = np.flatnonzero(changed_mask)
+        if changed_rows.size:
+            sub = self._subproblem(problem, arrays, changed_rows)
+            try:
+                sub_assignment = solve_greedy(sub, enforce_unbounded=False)
+            except InfeasibleError:
+                return self._full(
+                    problem, pool_set, reserved_gb, "changed rows infeasible"
+                )
+            tensors = sub.batch_tensors()
+            scheme_index = {scheme: k for k, scheme in enumerate(tensors.schemes)}
+            for row, name in enumerate(sub.partition_names):
+                option = sub_assignment.choices[name]
+                index = int(changed_rows[row])
+                tier[index] = option.tier_index
+                stored[index] = tensors.stored_gb[row, scheme_index[option.scheme]]
+                choices[name] = option
+        for index in np.flatnonzero(~changed_mask).tolist():
+            name = names[index]
+            choices[name] = self._options[name]
+
+        assignment = Assignment(problem=problem, choices=choices, solver="delta")
+        repaired = False
+        if self._budgets_violated(problem, tier, stored, pool_set, reserved_gb):
+            try:
+                if problem.has_finite_capacity():
+                    assignment = repair_capacity(assignment, tolerance=self.tolerance)
+                if pool_set is not None:
+                    assignment = repair_pools(
+                        assignment,
+                        pool_set,
+                        reserved_gb=reserved_gb,
+                        tolerance=self.tolerance,
+                    )
+            except InfeasibleError:
+                return self._full(
+                    problem, pool_set, reserved_gb, "budget repair infeasible"
+                )
+            repaired = True
+            tier, stored = self._vectors_from_choices(problem, assignment.choices)
+
+        updated = changed_mask
+        if repaired:
+            # Repair may evict a pinned row to a fresh, fresh-priced option;
+            # such a row's feature baseline rebases to this epoch too.
+            updated = changed_mask.copy()
+            for index in np.flatnonzero(~changed_mask).tolist():
+                name = names[index]
+                if assignment.choices[name] is not self._options[name]:
+                    updated[index] = True
+        self._remember(
+            problem, arrays, assignment.choices, tier, stored, pricing, updated=updated
+        )
+        return DeltaSolveReport(
+            assignment=assignment,
+            mode="delta",
+            reason="",
+            num_changed=num_changed,
+            num_pinned=total - num_changed,
+            repaired=repaired,
+        )
+
+    # -- change detection -------------------------------------------------------
+    def _pricing_signature(self, problem: OptAssignProblem) -> tuple:
+        model = problem.cost_model
+        return (
+            id(model.tiers),
+            model.duration_months,
+            model.compute_cost_per_s,
+            model.weights,
+        )
+
+    def _detect_changes(
+        self,
+        problem: OptAssignProblem,
+        arrays,
+        flagged: set[str] | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(changed mask, pinned tier vector, pinned stored-GB vector).
+
+        The tier/stored vectors are aligned to the *new* row order and only
+        meaningful where the mask is False; changed rows are filled in by the
+        subproblem solve.
+        """
+        names = arrays.names
+        total = len(names)
+        if names == self._names:
+            rows = np.arange(total)
+            cached = {key: column for key, column in self._features.items()}
+            cached_codec = self._codec
+            missing = np.zeros(total, dtype=bool)
+        else:
+            index = self._name_index()
+            gathered = np.fromiter(
+                (index.get(name, -1) for name in names),
+                dtype=np.int64,
+                count=total,
+            )
+            missing = gathered < 0
+            rows = np.where(missing, 0, gathered)
+            cached = {
+                key: column[rows] for key, column in self._features.items()
+            }
+            cached_codec = tuple(self._codec[i] for i in rows.tolist())
+
+        new_accesses = arrays.predicted_accesses
+        old_accesses = cached["predicted_accesses"]
+        drifted = np.abs(new_accesses - old_accesses) > (
+            self.drift_threshold * np.maximum(np.abs(new_accesses), np.abs(old_accesses))
+        )
+        # A different warm-start tier re-prices the migration term of every
+        # candidate, so it is structural: the regret bound only covers rows
+        # whose sole moving feature is the access forecast.  (A row that
+        # migrated last epoch is therefore re-solved once more the epoch
+        # after, when its warm start first reflects the move.)
+        structural = (
+            (arrays.size_gb != cached["size_gb"])
+            | (arrays.latency_threshold_s != cached["latency_threshold_s"])
+            | (arrays.read_fraction != cached["read_fraction"])
+            | (arrays.pushdown_fraction != cached["pushdown_fraction"])
+            | (arrays.current_tier != cached["current_tier"])
+        )
+        pinned_tier = self._tier[rows].copy()
+        pinned_stored = self._stored[rows].copy()
+        moved = arrays.current_tier != pinned_tier
+
+        changed = missing | drifted | structural | moved
+        if arrays.current_codec != cached_codec:
+            for i, (new_codec, old_codec) in enumerate(
+                zip(arrays.current_codec, cached_codec)
+            ):
+                if new_codec != old_codec:
+                    changed[i] = True
+        # Hard-constraint edits (SLO caps, provider affinity) can invalidate a
+        # standing placement, and a refreshed compression profile reprices a
+        # row's entire candidate set, so an edited row is always re-solved.
+        # The whole-dict comparisons are the cheap common case (constraints
+        # and profile tables are usually static objects, and dict equality
+        # short-circuits on per-value identity); only a mismatch pays the
+        # per-name pass.  Fleet instances cover a name subset, so the gates
+        # compare against the cache restricted to this instance's names.
+        if problem._latency_slo != self._slo or problem._provider_affinity != self._affinity:
+            for i, name in enumerate(names):
+                if (
+                    problem._latency_slo.get(name) != self._slo.get(name)
+                    or problem._provider_affinity.get(name) != self._affinity.get(name)
+                ):
+                    changed[i] = True
+        if problem._profiles != self._profiles:
+            for i, name in enumerate(names):
+                if problem._profiles[name] != self._profiles.get(name):
+                    changed[i] = True
+        if flagged:
+            for i, name in enumerate(names):
+                if name in flagged:
+                    changed[i] = True
+        return changed, pinned_tier, pinned_stored
+
+    def _name_index(self) -> dict[str, int]:
+        if self._index is None:
+            self._index = {name: i for i, name in enumerate(self._names)}
+        return self._index
+
+    # -- subproblem & budgets ----------------------------------------------------
+    def _subproblem(
+        self, problem: OptAssignProblem, arrays, rows: np.ndarray
+    ) -> OptAssignProblem:
+        """The changed rows as a standalone instance (shared profile tables).
+
+        Assembled through ``__new__`` like :meth:`OptAssignProblem.relaxed`
+        and :meth:`StackedProblem.stack`: every row was already validated by
+        the parent problem's constructor, so re-validation (and the per-
+        partition profile-table copies) would only burn the time the delta
+        path is trying to save.
+        """
+        sub_arrays = arrays.take(rows)
+        sub = OptAssignProblem.__new__(OptAssignProblem)
+        sub.partitions = sub_arrays.to_partitions()
+        sub.cost_model = problem.cost_model
+        sub._profiles = {name: problem._profiles[name] for name in sub_arrays.names}
+        sub._latency_slo = {
+            name: cap
+            for name in sub_arrays.names
+            if (cap := problem._latency_slo.get(name)) is not None
+        }
+        sub._provider_affinity = {
+            name: allowed
+            for name in sub_arrays.names
+            if (allowed := problem._provider_affinity.get(name)) is not None
+        }
+        sub._arrays = sub_arrays
+        sub._profile_columns_cache = None
+        sub._tensors = None
+        return sub
+
+    def _budgets_violated(
+        self,
+        problem: OptAssignProblem,
+        tier: np.ndarray,
+        stored: np.ndarray,
+        pool_set: PoolSet | None,
+        reserved_gb: np.ndarray | None,
+    ) -> bool:
+        """One vectorized pass over the composed placement's tier usage."""
+        if not problem.has_finite_capacity() and pool_set is None:
+            return False
+        num_tiers = problem.tier_count
+        usage = np.bincount(tier, weights=stored, minlength=num_tiers)
+        if problem.has_finite_capacity():
+            capacities = problem.cost_model.tiers.cost_arrays()["capacity_gb"]
+            if (usage > capacities + self.tolerance).any():
+                return True
+        if pool_set is not None:
+            budgets = pool_set.capacities
+            if reserved_gb is not None:
+                budgets = np.maximum(budgets - np.asarray(reserved_gb, dtype=np.float64), 0.0)
+            if (pool_set.usage(usage) > budgets + self.tolerance).any():
+                return True
+        return False
+
+    def _vectors_from_choices(
+        self, problem: OptAssignProblem, choices: dict[str, CandidateOption]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tier / stored-GB vectors of an arbitrary choice map (repair path)."""
+        arrays = problem.partition_arrays()
+        tensors = problem.batch_tensors()
+        scheme_index = {scheme: k for k, scheme in enumerate(tensors.schemes)}
+        total = len(arrays)
+        tier = np.empty(total, dtype=np.int64)
+        scheme = np.empty(total, dtype=np.int64)
+        for i, name in enumerate(arrays.names):
+            option = choices[name]
+            tier[i] = option.tier_index
+            scheme[i] = scheme_index[option.scheme]
+        stored = tensors.stored_gb[np.arange(total), scheme]
+        return tier, stored
+
+    # -- full solve & cache update ----------------------------------------------
+    def _full(
+        self,
+        problem: OptAssignProblem,
+        pool_set: PoolSet | None,
+        reserved_gb: np.ndarray | None,
+        reason: str,
+    ) -> DeltaSolveReport:
+        post_repair = None
+        if pool_set is not None:
+            post_repair = lambda assignment: repair_pools(  # noqa: E731
+                assignment, pool_set, reserved_gb=reserved_gb
+            )
+        report = solve_optassign(problem, prefer=self.prefer, post_repair=post_repair)
+        arrays = problem.partition_arrays()
+        tier, stored = self._vectors_from_choices(problem, report.assignment.choices)
+        self._remember(
+            problem,
+            arrays,
+            report.assignment.choices,
+            tier,
+            stored,
+            self._pricing_signature(problem),
+        )
+        total = len(arrays)
+        return DeltaSolveReport(
+            assignment=report.assignment,
+            mode="full",
+            reason=reason,
+            num_changed=total,
+            num_pinned=0,
+            repaired=report.assignment.solver.endswith(("+repair", "+pools")),
+            full_report=report,
+        )
+
+    def _remember(
+        self,
+        problem: OptAssignProblem,
+        arrays,
+        choices: dict[str, CandidateOption],
+        tier: np.ndarray,
+        stored: np.ndarray,
+        pricing: tuple,
+        updated: np.ndarray | None = None,
+    ) -> None:
+        """Fold the solved instance into the cache (wholesale or merge).
+
+        ``updated`` (a per-row bool mask) restricts *feature* writes to the
+        rows that were actually re-solved: a pinned row must keep the feature
+        reference it was last solved under, or a forecast drifting slowly —
+        just under the threshold every epoch — would ratchet the baseline
+        along with it and never trigger a re-solve.  Everything else in the
+        cache (chosen tier/stored vectors, options, codecs, constraints) is
+        written wholesale: for pinned rows the new values equal the cached
+        ones by construction, so only features differ.
+        """
+        self._pricing = pricing
+        features = {
+            "size_gb": arrays.size_gb,
+            "predicted_accesses": arrays.predicted_accesses,
+            "latency_threshold_s": arrays.latency_threshold_s,
+            "read_fraction": arrays.read_fraction,
+            "pushdown_fraction": arrays.pushdown_fraction,
+            "current_tier": arrays.current_tier,
+        }
+        names = arrays.names
+        if self._names is None or names == self._names:
+            if self._names is not None and updated is not None:
+                rows = np.flatnonzero(updated)
+                for key, column in features.items():
+                    self._features[key][rows] = column[rows]
+            else:
+                self._features = {
+                    key: column.copy() for key, column in features.items()
+                }
+            self._names = names
+            self._codec = arrays.current_codec
+            self._tier = tier.copy()
+            self._stored = stored.copy()
+            self._options = dict(choices)
+            self._slo = dict(problem._latency_slo)
+            self._affinity = dict(problem._provider_affinity)
+            self._profiles = dict(problem._profiles)
+            return
+        # Merge path: the instance covers a different name set (the fleet's
+        # firing subset).  Known rows are overwritten in place, novel rows
+        # appended; rows outside the instance keep their cached state.
+        index = self._name_index()
+        known_positions: list[int] = []
+        known_rows: list[int] = []
+        novel_rows: list[int] = []
+        for row, name in enumerate(names):
+            position = index.get(name)
+            if position is None:
+                novel_rows.append(row)
+            else:
+                known_positions.append(position)
+                known_rows.append(row)
+        if known_rows:
+            positions = np.asarray(known_positions, dtype=np.int64)
+            rows = np.asarray(known_rows, dtype=np.int64)
+            if updated is not None:
+                keep = updated[rows]
+                feature_positions, feature_rows = positions[keep], rows[keep]
+            else:
+                feature_positions, feature_rows = positions, rows
+            for key, column in features.items():
+                self._features[key][feature_positions] = column[feature_rows]
+            self._tier[positions] = tier[rows]
+            self._stored[positions] = stored[rows]
+            if any(
+                arrays.current_codec[row] != self._codec[position]
+                for position, row in zip(known_positions, known_rows)
+            ):
+                codecs = list(self._codec)
+                for position, row in zip(known_positions, known_rows):
+                    codecs[position] = arrays.current_codec[row]
+                self._codec = tuple(codecs)
+        if novel_rows:
+            rows = np.asarray(novel_rows, dtype=np.int64)
+            for key, column in features.items():
+                self._features[key] = np.concatenate(
+                    [self._features[key], column[rows]]
+                )
+            self._tier = np.concatenate([self._tier, tier[rows]])
+            self._stored = np.concatenate([self._stored, stored[rows]])
+            self._codec = self._codec + tuple(
+                arrays.current_codec[row] for row in novel_rows
+            )
+            self._names = self._names + tuple(names[row] for row in novel_rows)
+            self._index = None
+        self._options.update(choices)
+        self._profiles.update(problem._profiles)
+        for name in names:
+            cap = problem._latency_slo.get(name)
+            if cap is None:
+                self._slo.pop(name, None)
+            else:
+                self._slo[name] = cap
+            allowed = problem._provider_affinity.get(name)
+            if allowed is None:
+                self._affinity.pop(name, None)
+            else:
+                self._affinity[name] = allowed

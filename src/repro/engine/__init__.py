@@ -31,6 +31,7 @@ from .policies import (
     StaticOnce,
     TieringPolicy,
     drift_score,
+    partition_drift_scores,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "PeriodicReoptimize",
     "DriftTriggered",
     "drift_score",
+    "partition_drift_scores",
 ]

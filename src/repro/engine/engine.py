@@ -41,7 +41,12 @@ from ..cloud import (
     TierCatalog,
 )
 from ..core.access_predict import WindowedAccessForecaster
-from ..core.optassign import OptAssignProblem, ProfileTable, solve_optassign
+from ..core.optassign import (
+    DeltaSolver,
+    OptAssignProblem,
+    ProfileTable,
+    solve_optassign,
+)
 from .events import EpochBatch
 from .executor import MigrationExecutor, MigrationReport
 from .features import FeatureStore
@@ -59,6 +64,14 @@ class EngineConfig:
     feature store's sliding window.  ``prior_monthly_accesses`` substitutes
     for history at the bootstrap optimization: by default each partition's
     ``predicted_accesses`` field is interpreted as its prior *monthly* rate.
+
+    ``reopt_mode`` selects how re-optimizations solve: ``"full"`` runs the
+    complete :func:`~repro.core.optassign.solve_optassign` facade every time;
+    ``"delta"`` keeps a :class:`~repro.core.optassign.DeltaSolver` across
+    epochs and re-solves only the partitions whose horizon forecast moved
+    more than ``delta_drift_threshold`` (relative), pinning the rest to their
+    standing placement.  ``delta_drift_threshold=0.0`` re-solves every row
+    that moved at all, making delta mode bill-identical to full mode.
     """
 
     horizon_months: float = 6.0
@@ -67,12 +80,23 @@ class EngineConfig:
     weights: CostWeights = field(default_factory=CostWeights)
     forecast_alpha: float = 0.4
     forecast_blend: float = 0.6
+    reopt_mode: str = "full"
+    delta_drift_threshold: float = 0.1
 
     def __post_init__(self) -> None:
         if self.horizon_months <= 0:
             raise ValueError("horizon_months must be positive")
         if self.window_months <= 0:
             raise ValueError("window_months must be positive")
+        if self.reopt_mode not in ("full", "delta"):
+            raise ValueError(
+                f"reopt_mode must be 'full' or 'delta', got {self.reopt_mode!r}"
+            )
+        if not 0.0 <= self.delta_drift_threshold < 1.0 / 3.0:
+            raise ValueError(
+                "delta_drift_threshold must be in [0, 1/3) — the delta "
+                "solver's regret bound degenerates past 1/3"
+            )
 
 
 @dataclass
@@ -245,6 +269,12 @@ class OnlineTieringEngine:
         self._last_epoch = -1
         self._last_observed: dict[str, float] | None = None
         self._pending_forecast: dict[str, float] | None = None
+        self._delta: DeltaSolver | None = (
+            DeltaSolver(drift_threshold=self.config.delta_drift_threshold)
+            if self.config.reopt_mode == "delta"
+            else None
+        )
+        self.last_delta_report = None
 
     # -- the control loop -------------------------------------------------------
     def run(self, stream: Iterable[EpochBatch]) -> EngineReport:
@@ -278,14 +308,36 @@ class OnlineTieringEngine:
         reoptimized = False
         if self.begin_epoch(batch.epoch):
             problem = self.build_problem(batch.epoch)
-            report = solve_optassign(problem)
-            migration = self.apply_assignment(
-                batch.epoch, report.assignment.to_placement()
-            )
+            assignment = self.solve_problem(problem)
+            migration = self.apply_assignment(batch.epoch, assignment.to_placement())
             reoptimized = True
         return self.settle(
             batch, migration=migration, reoptimized=reoptimized, started=started
         )
+
+    def solve_problem(self, problem: OptAssignProblem):
+        """Solve a built instance under the configured ``reopt_mode``.
+
+        ``"full"`` runs :func:`solve_optassign` from scratch.  ``"delta"``
+        hands the instance to the engine's persistent
+        :class:`~repro.core.optassign.DeltaSolver`; the policy's
+        per-partition drift scores (when it has them — see
+        :meth:`~repro.engine.policies.TieringPolicy.drifted_partitions`)
+        widen the changed-row set, and a ``profile_provider`` forces every
+        row changed since refreshed profiles reprice all candidate options.
+        The delta report lands in :attr:`last_delta_report` for inspection.
+        """
+        if self._delta is None:
+            return solve_optassign(problem).assignment
+        if self._profile_provider is not None:
+            changed = set(problem.partition_names)
+        else:
+            changed = self.policy.drifted_partitions(
+                self.config.delta_drift_threshold
+            )
+        report = self._delta.solve(problem, changed=changed)
+        self.last_delta_report = report
+        return report.assignment
 
     # -- external-scheduling hooks ----------------------------------------------
     # The fleet scheduler (:mod:`repro.fleet`) epoch-locks many engines and

@@ -28,6 +28,7 @@ __all__ = [
     "PeriodicReoptimize",
     "DriftTriggered",
     "drift_score",
+    "partition_drift_scores",
 ]
 
 
@@ -62,6 +63,26 @@ def drift_score(
     return max(shape, volume)
 
 
+def partition_drift_scores(
+    predicted_monthly: Mapping[str, float], observed: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-partition drift in [0, 1]: relative access-count divergence.
+
+    ``|observed - predicted| / max(observed, predicted)`` per partition over
+    the union of names (a partition missing from one side scores 1.0 unless
+    both sides are zero).  This is exactly the relative-move metric the
+    incremental :class:`~repro.core.optassign.DeltaSolver` thresholds on, so
+    a policy's scores can feed the delta solver's changed-row set directly.
+    """
+    scores: dict[str, float] = {}
+    for name in set(predicted_monthly) | set(observed):
+        predicted = float(predicted_monthly.get(name, 0.0))
+        seen = float(observed.get(name, 0.0))
+        top = max(abs(predicted), abs(seen))
+        scores[name] = abs(seen - predicted) / top if top > 0.0 else 0.0
+    return scores
+
+
 class TieringPolicy(ABC):
     """Decides, once per epoch, whether the engine re-runs the optimizer."""
 
@@ -80,6 +101,15 @@ class TieringPolicy(ABC):
         """Called by the engine after a re-optimization with the monthly
         access rates the optimizer was given, so drift-aware policies can
         compare future observations against them."""
+
+    def drifted_partitions(self, threshold: float) -> "set[str] | None":
+        """Names whose accesses drifted past ``threshold`` since the last
+        re-optimization, or ``None`` when the policy carries no per-partition
+        signal.  An incremental engine (``reopt_mode="delta"``) feeds this
+        into the :class:`~repro.core.optassign.DeltaSolver` changed-row set;
+        ``None`` means the solver's own feature-drift detector decides alone.
+        """
+        return None
 
 
 class StaticOnce(TieringPolicy):
@@ -150,6 +180,7 @@ class DriftTriggered(TieringPolicy):
         self.threshold = threshold
         self.min_gap_months = min_gap_months
         self.last_score = 0.0
+        self.last_partition_scores: dict[str, float] = {}
         self._predicted: dict[str, float] | None = None
         self._last_reoptimized: int | None = None
 
@@ -161,12 +192,28 @@ class DriftTriggered(TieringPolicy):
         if observed is None:
             return False
         self.last_score = drift_score(self._predicted, observed)
+        self.last_partition_scores = partition_drift_scores(
+            self._predicted, observed
+        )
         if (
             self._last_reoptimized is not None
             and epoch - self._last_reoptimized < self.min_gap_months
         ):
             return False
         return self.last_score > self.threshold
+
+    def drifted_partitions(self, threshold: float) -> "set[str] | None":
+        """The partitions whose last-epoch reads moved past ``threshold``
+        relative to the last optimization's forecast — the changed-row hint
+        for an incremental re-solve.  ``None`` until the first scores exist
+        (bootstrap epochs re-solve everything anyway)."""
+        if not self.last_partition_scores:
+            return None
+        return {
+            name
+            for name, score in self.last_partition_scores.items()
+            if score > threshold
+        }
 
     def notify_reoptimized(
         self, epoch: int, predicted_monthly: Mapping[str, float]

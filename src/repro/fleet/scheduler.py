@@ -38,7 +38,13 @@ import numpy as np
 from concurrent.futures import ThreadPoolExecutor
 
 from ..cloud import PoolSet, TierCatalog
-from ..core.optassign import StackedProblem, repair_pools, solve_optassign
+from ..core.optassign import (
+    TENANT_SEPARATOR,
+    DeltaSolver,
+    StackedProblem,
+    repair_pools,
+    solve_optassign,
+)
 from ..engine import EngineReport, EpochBatch, OnlineTieringEngine
 from .report import FleetReport, PoolUsageRecord
 from .tenants import FleetConfig, TenantSpec
@@ -142,6 +148,18 @@ class FleetScheduler:
         }
         self._records: dict[str, list] = {spec.name: [] for spec in self.tenants}
         self._pool_records: list[PoolUsageRecord] = []
+        # Incremental fleet solves: one DeltaSolver across epochs, keyed by
+        # tenant-tagged names so the varying firing subsets merge into a
+        # single fleet-wide cache.  Governed by the *shared* engine config —
+        # there is only one stacked solve to be incremental about, so
+        # per-spec ``reopt_mode`` overrides are not consulted here.
+        shared_mode = shared.reopt_mode
+        self._delta: DeltaSolver | None = (
+            DeltaSolver(drift_threshold=shared.delta_drift_threshold)
+            if shared_mode == "delta"
+            else None
+        )
+        self.last_delta_report = None
 
     # -- helpers ---------------------------------------------------------------
     def _map(self, function: Callable[[str], _T], names: Sequence[str]) -> list[_T]:
@@ -182,6 +200,35 @@ class FleetScheduler:
             problem, prefer="greedy", post_repair=post_repair
         ).assignment
 
+    def _solve_delta(self, stacked: StackedProblem, firing, reserved_gb):
+        """One incremental stacked solve: only drifted rows re-optimize.
+
+        The firing tenants' policies contribute per-partition drift hints
+        (tenant-tagged to match the stacked name space); the delta solver's
+        own feature detector widens the set with structural changes it spots
+        itself.  Pool budgets are checked against the composed placement and
+        repaired only on violation — bootstrap epochs and unfixable
+        violations fall back to the full arbitrated solve inside the solver.
+        """
+        threshold = self.config.engine.delta_drift_threshold
+        changed: set[str] = set()
+        for name in firing:
+            hint = self.engines[name].policy.drifted_partitions(threshold)
+            if hint:
+                changed.update(
+                    f"{name}{TENANT_SEPARATOR}{partition}" for partition in hint
+                )
+        if changed:
+            changed &= set(stacked.problem.partition_names)
+        report = self._delta.solve(
+            stacked.problem,
+            changed=changed or None,
+            pool_set=self.pools,
+            reserved_gb=reserved_gb,
+        )
+        self.last_delta_report = report
+        return report.assignment
+
     # -- one epoch -------------------------------------------------------------
     def step_epoch(self, batches: Mapping[str, EpochBatch]) -> None:
         """Advance every tenant one epoch (all batches must share the epoch)."""
@@ -217,7 +264,10 @@ class FleetScheduler:
                 firing_set = set(firing)
                 standing = [name for name in order if name not in firing_set]
                 reserved = self.pools.usage(self._fleet_tier_usage(standing))
-            assignment = self._solve_arbitrated(stacked.problem, reserved)
+            if self._delta is not None:
+                assignment = self._solve_delta(stacked, firing, reserved)
+            else:
+                assignment = self._solve_arbitrated(stacked.problem, reserved)
             placements = stacked.split_placements(assignment)
             for name in firing:
                 migrations[name] = self.engines[name].apply_assignment(

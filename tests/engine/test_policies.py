@@ -7,6 +7,7 @@ from repro.engine import (
     PeriodicReoptimize,
     StaticOnce,
     drift_score,
+    partition_drift_scores,
 )
 
 
@@ -79,3 +80,52 @@ class TestDriftTriggered:
             DriftTriggered(threshold=0.0)
         with pytest.raises(ValueError):
             DriftTriggered(threshold=0.4, min_gap_months=0)
+
+
+class TestPartitionDriftScores:
+    def test_zero_when_matching(self):
+        scores = partition_drift_scores({"a": 10.0, "b": 0.0}, {"a": 10.0, "b": 0.0})
+        assert scores == {"a": 0.0, "b": 0.0}
+
+    def test_relative_move_metric(self):
+        scores = partition_drift_scores({"a": 10.0}, {"a": 15.0})
+        assert scores["a"] == pytest.approx(5.0 / 15.0)
+
+    def test_union_of_names_with_one_sided_activity(self):
+        scores = partition_drift_scores({"a": 10.0}, {"b": 3.0})
+        assert scores == {"a": 1.0, "b": 1.0}
+
+    def test_symmetric(self):
+        left = partition_drift_scores({"a": 4.0}, {"a": 8.0})
+        right = partition_drift_scores({"a": 8.0}, {"a": 4.0})
+        assert left == right
+
+
+class TestDriftTriggeredPartitionHints:
+    def test_no_hint_before_any_observation(self):
+        policy = DriftTriggered(threshold=0.4)
+        assert policy.drifted_partitions(0.1) is None
+
+    def test_hint_names_only_the_drifted_partitions(self):
+        policy = DriftTriggered(threshold=0.4)
+        policy.notify_reoptimized(0, {"a": 10.0, "b": 5.0, "c": 2.0})
+        policy.should_reoptimize(1, {"a": 10.0, "b": 20.0, "c": 2.0})
+        assert policy.drifted_partitions(0.1) == {"b"}
+
+    def test_hint_respects_the_threshold(self):
+        policy = DriftTriggered(threshold=0.4)
+        policy.notify_reoptimized(0, {"a": 10.0, "b": 10.0})
+        policy.should_reoptimize(1, {"a": 11.0, "b": 30.0})
+        # a moved ~9%, b ~67%: a stays pinned at tau=0.2, both flagged at 0.05.
+        assert policy.drifted_partitions(0.2) == {"b"}
+        assert policy.drifted_partitions(0.05) == {"a", "b"}
+
+    def test_scores_update_even_inside_the_refractory_gap(self):
+        policy = DriftTriggered(threshold=0.2, min_gap_months=4)
+        policy.notify_reoptimized(0, {"a": 10.0})
+        assert not policy.should_reoptimize(2, {"a": 100.0})  # gap suppresses
+        assert policy.drifted_partitions(0.1) == {"a"}
+
+    def test_base_policy_has_no_per_partition_signal(self):
+        assert StaticOnce().drifted_partitions(0.1) is None
+        assert PeriodicReoptimize(2).drifted_partitions(0.1) is None

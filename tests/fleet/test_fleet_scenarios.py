@@ -65,7 +65,8 @@ def build_policy(policy: str):
 
 
 def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
-                 azure_capacity: float = SLACK):
+                 azure_capacity: float = SLACK,
+                 engine_config: EngineConfig = ENGINE_CONFIG):
     catalog = build_catalog(provider_mix)
     fleet = generate_fleet_workload(
         NUM_TENANTS,
@@ -82,7 +83,7 @@ def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
             policy=build_policy(policy),
             series=tenant.series,
             profiles=tenant.profiles,
-            config=ENGINE_CONFIG,
+            config=engine_config,
             latency_slo_s=tenant.workload.latency_slo_s,
         )
         for tenant in fleet
@@ -91,7 +92,7 @@ def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
     capacities["azure_blob"] = azure_capacity
     pools = PoolSet.per_provider(catalog, capacities)
     scheduler = FleetScheduler(
-        specs, catalog, pools=pools, config=FleetConfig(engine=ENGINE_CONFIG)
+        specs, catalog, pools=pools, config=FleetConfig(engine=engine_config)
     )
     return scheduler.run(num_epochs=MONTHS)
 
@@ -145,6 +146,53 @@ class TestScenarioMatrix:
         assert set(SCENARIO_GOLDEN) == set(
             itertools.product(DRIFTS, CLASS_MIXES, PROVIDER_MIXES, POLICIES)
         )
+
+
+class TestDeltaModeCells:
+    """The incremental engine must not change what the fleet decides.
+
+    At ``delta_drift_threshold=0.0`` the stacked delta solve pins only
+    bit-unchanged rows, so every mid-horizon re-optimization (epochs 2 and 4
+    under ``PeriodicReoptimize(2)``; drift-triggered firings for the drift
+    policy) lands on the same placements — and therefore the same pinned
+    golden bill — as the full solve it replaces.
+    """
+
+    DELTA_CONFIG = EngineConfig(
+        horizon_months=6.0,
+        window_months=6,
+        reopt_mode="delta",
+        delta_drift_threshold=0.0,
+    )
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            ("cooling", "latency", "multi", "periodic"),
+            ("heating", "cold", "multi", "drift"),
+        ],
+        ids=lambda value: str(value),
+    )
+    def test_delta_cell_matches_full_mode_golden(self, key):
+        report = run_scenario(*key, engine_config=self.DELTA_CONFIG)
+        golden = SCENARIO_GOLDEN[key]
+        assert report.total_bill == pytest.approx(
+            golden["total_bill"], rel=COST_RTOL
+        )
+        assert report.total_reoptimizations == golden["reoptimizations"]
+
+    def test_delta_cell_under_pool_contention(self):
+        key = ("cooling", "latency", "multi", "periodic")
+        report = run_scenario(
+            *key, azure_capacity=CONTENDED_CAPACITY, engine_config=self.DELTA_CONFIG
+        )
+        golden = CONTENDED_GOLDEN[key]
+        assert report.total_bill == pytest.approx(
+            golden["total_bill"], rel=COST_RTOL
+        )
+        for record in report.pool_usage:
+            for name, used in record.used_gb.items():
+                assert used <= record.capacity_gb[name] + 1e-6
 
 
 class TestContendedScenarios:

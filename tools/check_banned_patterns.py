@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Static lint: ban draws from the global RNG outside workload seeding.
+
+The repro code must be deterministic per-seed: every random draw goes through
+an explicitly seeded ``numpy.random.default_rng(seed)`` (or a ``Generator``
+threaded in from one).  Bare module-level calls — ``np.random.uniform(...)``,
+``random.shuffle(...)`` — read the process-global RNG, which makes results
+depend on import order and test ordering; the RNG-leak audit fixture in
+``tests/conftest.py`` exists to catch state leaks, and this lint catches the
+draws themselves before they land.
+
+Allowed:
+
+* ``default_rng`` / ``Generator`` / ``SeedSequence`` constructors;
+* state *inspection* (``get_state`` / ``set_state`` / ``getstate`` /
+  ``setstate``) — used only by the conftest leak-audit fixture;
+* ``random.Random(seed)`` instances (explicitly seeded).
+
+The check is AST-based, so mentions in comments and docstrings don't trip it.
+
+Usage::
+
+    python tools/check_banned_patterns.py [paths...]   # default: src tests benchmarks examples tools
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+# Attribute names that do not draw from (or clobber) the global stream when
+# accessed on numpy.random / random.
+ALLOWED_NUMPY_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                        "PCG64", "Philox", "get_state", "set_state"}
+ALLOWED_STDLIB_RANDOM = {"Random", "SystemRandom", "getstate", "setstate"}
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything non-trivial."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def scan_file(path: Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # compileall catches these too; report anyway
+        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
+
+    numpy_aliases = {"numpy"}
+    imports_stdlib_random = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "random":
+                    imports_stdlib_random = True
+
+    violations: list[str] = []
+    for node in ast.walk(tree):
+        dotted = _dotted_name(node) if isinstance(node, ast.Attribute) else None
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in numpy_aliases and parts[1] == "random":
+            if parts[2] not in ALLOWED_NUMPY_RANDOM:
+                violations.append(
+                    f"{path}:{node.lineno}: bare global-RNG call `{dotted}` — "
+                    f"use numpy.random.default_rng(seed) instead"
+                )
+        elif (
+            imports_stdlib_random
+            and len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] not in ALLOWED_STDLIB_RANDOM
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: bare global-RNG call `{dotted}` — "
+                f"use random.Random(seed) or a numpy Generator instead"
+            )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> None:
+    arguments = argv if argv is not None else sys.argv[1:]
+    targets = [Path(argument) for argument in arguments] or [
+        ROOT / name for name in DEFAULT_PATHS
+    ]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            files.append(target)
+    violations: list[str] = []
+    for path in files:
+        violations.extend(scan_file(path))
+    if violations:
+        print(f"banned-pattern lint: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        raise SystemExit(1)
+    print(f"banned-pattern lint: {len(files)} files clean")
+
+
+if __name__ == "__main__":
+    main()
