@@ -34,7 +34,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -43,12 +42,14 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro import obs  # noqa: E402
 from repro.cloud import (  # noqa: E402
     AccessEvent,
     CloudStorageSimulator,
     CompressionProfile,
     CostModel,
     DataPartition,
+    TierCatalog,
     azure_tier_catalog,
 )
 from repro.core.optassign import (  # noqa: E402
@@ -81,13 +82,75 @@ def _print_section(title: str) -> None:
     print("=" * 78)
 
 
+def _timed(function, name: str = "bench.run"):
+    """``(result, duration_s)`` of one call, timed through the span API.
+
+    A private :class:`repro.obs.Tracer` is used directly — the process-global
+    observability switch stays off, so the code under test runs with no-op
+    instrumentation and the measurement matches production-disabled timings,
+    while the timing itself shares the span clock with live telemetry.
+    """
+    tracer = obs.Tracer()
+    with tracer.span(name):
+        result = function()
+    return result, tracer.records()[-1].duration_s
+
+
 def _best_of(function, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        function()
-        best = min(best, time.perf_counter() - started)
-    return best
+    return min(_timed(function, "bench.repeat")[1] for _ in range(repeats))
+
+
+# The solver phases the per-phase regression gate tracks; identical to the
+# span names the live telemetry exports (that is the point).
+SOLVER_PHASES = (
+    "optassign.batch_tensors",
+    "optassign.greedy",
+    "optassign.repair_capacity",
+    "optassign.solve",
+)
+
+
+def profile_solver_phases(count: int, capacity_fraction: float = 0.4) -> dict:
+    """Per-phase wall clock of one instrumented ``solve_optassign`` run.
+
+    Runs the seeded instance once uncapacitated (tensor build + greedy) and
+    once with the hottest tier's capacity squeezed to ``capacity_fraction``
+    of the unconstrained usage (so ``repair_capacity`` actually fires), both
+    under an enabled tracer, and aggregates the span durations with
+    :func:`repro.obs.phase_totals` — the same phase names live telemetry
+    exports, which is what lets ``check_bench_regression.py`` compare them.
+    """
+    model = CostModel(azure_tier_catalog(include_premium=False), duration_months=6.0)
+    partitions, profiles = build_instance(count)
+    with obs.observed() as run:
+        problem = OptAssignProblem(partitions, model, profiles)
+        report = solve_optassign(problem, prefer="greedy")
+
+        # Capacitated pass: squeeze the tier the unconstrained solve used
+        # most so the repair phase does real eviction work.
+        usage = np.zeros(len(model.tiers), dtype=np.float64)
+        tensors = problem.batch_tensors()
+        scheme_index = {scheme: k for k, scheme in enumerate(tensors.schemes)}
+        for row, name in enumerate(problem.partition_names):
+            option = report.assignment.choices[name]
+            usage[option.tier_index] += tensors.stored_gb[
+                row, scheme_index[option.scheme]
+            ]
+        hot = int(np.argmax(usage))
+        tiers = [
+            tier.with_capacity(usage[hot] * capacity_fraction)
+            if index == hot
+            else tier
+            for index, tier in enumerate(azure_tier_catalog(include_premium=False))
+        ]
+        bounded_model = CostModel(TierCatalog(tiers), duration_months=6.0)
+        bounded = OptAssignProblem(partitions, bounded_model, profiles)
+        solve_optassign(bounded, prefer="greedy")
+    totals = obs.phase_totals(run.tracer.records())
+    return {
+        "partitions": count,
+        "phases": {name: totals[name] for name in SOLVER_PHASES if name in totals},
+    }
 
 
 def build_instance(count: int, seed: int = 91):
@@ -318,9 +381,10 @@ def sweep_step_month(sizes, events_per_epoch: int = 5_000, repeats: int = 3) -> 
         scalar_s = _best_of(
             lambda: simulator.step_month(partitions, placement, events), repeats
         )
-        started = time.perf_counter()
-        compiled = simulator.compile_placement(partitions, placement)
-        compile_s = time.perf_counter() - started
+        compiled, compile_s = _timed(
+            lambda: simulator.compile_placement(partitions, placement),
+            "bench.compile",
+        )
         compiled_s = _best_of(lambda: compiled.step(events), repeats)
         fast = compiled.step(events)
         reference = simulator.step_month(partitions, placement, events)
@@ -366,13 +430,15 @@ def sweep_feature_store(
     results = {}
     stores = {"scalar": ScalarFeatureStore(window), "ring": FeatureStore(window)}
     for label, store in stores.items():
-        started = time.perf_counter()
-        for epoch, counts in enumerate(batches):
-            store.observe_counts(epoch, counts)
-        ingest_s = time.perf_counter() - started
-        started = time.perf_counter()
-        series = store.window_series_map(names)
-        aggregate_s = time.perf_counter() - started
+
+        def _ingest(store=store):
+            for epoch, counts in enumerate(batches):
+                store.observe_counts(epoch, counts)
+
+        _, ingest_s = _timed(_ingest, "bench.ingest")
+        _, aggregate_s = _timed(
+            lambda store=store: store.window_series_map(names), "bench.aggregate"
+        )
         results[label] = {
             "ingest_s_per_epoch": ingest_s / epochs,
             "window_aggregation_s": aggregate_s,
@@ -437,6 +503,16 @@ def main(argv: list[str] | None = None) -> None:
         QUICK_DELTA_PARTITIONS if args.quick else DELTA_PARTITIONS,
         repeats=2 if args.quick else 3,
     )
+    _print_section("Solver phases: span-derived per-phase wall clock")
+    phase_profile = profile_solver_phases(500 if args.quick else 10_000)
+    for name, stats in sorted(phase_profile["phases"].items()):
+        print(
+            f"{name:28s} total {stats['total_s'] * 1e3:8.2f} ms  "
+            f"count {stats['count']:3d}  mean {stats['mean_s'] * 1e3:7.2f} ms"
+        )
+    missing = [name for name in SOLVER_PHASES if name not in phase_profile["phases"]]
+    if missing:
+        raise SystemExit(f"solver phase spans missing from the profile: {missing}")
 
     if not all(row["assignments_identical"] for row in greedy_rows):
         raise SystemExit("vectorized greedy diverged from the scalar oracle")
@@ -456,6 +532,7 @@ def main(argv: list[str] | None = None) -> None:
         "greedy": greedy_rows,
         "step_month": step_rows,
         "feature_store": store_row,
+        "solver_phases": phase_profile,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2))
     print(f"\nwrote {OUTPUT}")

@@ -26,6 +26,10 @@ against the committed baseline:
   semantics changed and the baseline must be consciously re-recorded.
 * The delta solver's headline claim — ``>= 3x`` speedup over the full solve
   at 5% drift on 10k partitions — is re-asserted on every run.
+* **Per-phase span timings** (tensor build / greedy / capacity repair / pool
+  arbitration, from ``repro.obs`` spans) are compared phase by phase with the
+  same 2x-plus-jitter policy, so a regression localises to the phase that
+  caused it.
 
 Re-baselining: when a change legitimately shifts these numbers (new cost
 model, different workload seed, faster algorithm), regenerate the committed
@@ -150,6 +154,65 @@ def check_fleet() -> None:
         _check_wall_clock(f"{tag} stacked", row["stacked_vectorized_s"], base["stacked_vectorized_s"])
 
 
+def check_phases() -> None:
+    """Span-derived per-phase timings (tensor build / greedy / repair / pools).
+
+    The phase names are the exact span names the live telemetry exports
+    (``repro.obs``), so the regression gate and a production trace disagree
+    about nothing: a phase that regresses in CI is the same phase an operator
+    would see ballooning in a span dump.  Same 2x-plus-jitter policy as the
+    end-to-end wall clocks.
+    """
+    from bench_fleet_scaling import FLEET_PHASES, profile_fleet_phases
+    from bench_runtime_scaling import SOLVER_PHASES, profile_solver_phases
+
+    print("== per-phase span timings (solver + fleet)")
+    solver_base = _load("BENCH_optassign_scaling.json").get("solver_phases")
+    if solver_base is None:
+        raise SystemExit(
+            "baseline has no solver_phases; re-record BENCH_optassign_scaling.json"
+        )
+    measured = profile_solver_phases(solver_base["partitions"])
+    for name in SOLVER_PHASES:
+        _check(
+            f"phase[{name}] present",
+            name in measured["phases"],
+            "span recorded by the instrumented solve",
+        )
+        if name in measured["phases"] and name in solver_base["phases"]:
+            _check_wall_clock(
+                f"phase[{name}]",
+                measured["phases"][name]["total_s"],
+                solver_base["phases"][name]["total_s"],
+            )
+
+    fleet_base = _load("BENCH_fleet_scaling.json").get("fleet_phases")
+    if fleet_base is None:
+        raise SystemExit(
+            "baseline has no fleet_phases; re-record BENCH_fleet_scaling.json"
+        )
+    fleet_measured = profile_fleet_phases(months=fleet_base["months"])
+    for name in FLEET_PHASES:
+        _check(
+            f"phase[{name}] present",
+            name in fleet_measured["phases"],
+            "span recorded by the instrumented fleet run",
+        )
+        if name in fleet_measured["phases"] and name in fleet_base["phases"]:
+            _check_wall_clock(
+                f"phase[{name}]",
+                fleet_measured["phases"][name]["total_s"],
+                fleet_base["phases"][name]["total_s"],
+            )
+    _check(
+        "phase[fleet] bill",
+        fleet_measured["total_bill"] == fleet_base["total_bill"],
+        f"{fleet_measured['total_bill']:.4f} vs baseline "
+        f"{fleet_base['total_bill']:.4f} cents (instrumentation must not "
+        "change the bill)",
+    )
+
+
 def check_engine() -> None:
     """Online engine: bill-exactness per policy plus total wall clock."""
     from bench_engine_online import build_workload, run_policies
@@ -184,6 +247,7 @@ CHECKS = {
     "delta": check_delta,
     "fleet": check_fleet,
     "engine": check_engine,
+    "phases": check_phases,
 }
 
 
@@ -193,7 +257,7 @@ def main(argv: list[str] | None = None) -> None:
         "--only",
         choices=sorted(CHECKS),
         action="append",
-        help="run only the named suite(s); default runs all four",
+        help="run only the named suite(s); default runs all of them",
     )
     options = parser.parse_args(argv)
     selected = options.only or sorted(CHECKS)

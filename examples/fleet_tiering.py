@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import math
 
+from repro import obs
 from repro.cloud import CapacityPool, DataPartition, PoolSet, multi_cloud_catalog
 from repro.engine import EngineConfig, OnlineTieringEngine, PeriodicReoptimize, SeriesStream
 from repro.fleet import FleetConfig, FleetScheduler, TenantSpec
@@ -144,17 +145,22 @@ def main() -> None:
         f"performance pool = {POOL_TIERS} @ {capacity:,.0f} GB shared by "
         "1 hot + 3 cold tenants"
     )
-    shared = run_shared(catalog, capacity, hot_parts, cold_parts)
+    with obs.observed() as run:
+        shared = run_shared(catalog, capacity, hot_parts, cold_parts)
     sliced = run_sliced(catalog, capacity, hot_parts, cold_parts)
     sliced_total = sum(report.total_bill for report in sliced.values())
 
-    print(f"\n{'tenant':>8} | {'sliced bill':>14} | {'shared bill':>14}")
-    for name, report in sliced.items():
-        shared_bill = shared.tenant_reports[name].total_bill
-        print(
-            f"{name:>8} | {report.total_bill:>14,.0f} | {shared_bill:>14,.0f}"
+    rows = [
+        (
+            name,
+            f"{report.total_bill:,.0f}",
+            f"{shared.tenant_reports[name].total_bill:,.0f}",
         )
-    print(f"{'total':>8} | {sliced_total:>14,.0f} | {shared.total_bill:>14,.0f}")
+        for name, report in sliced.items()
+    ]
+    rows.append(("total", f"{sliced_total:,.0f}", f"{shared.total_bill:,.0f}"))
+    print()
+    print(obs.render_table(("tenant", "sliced bill", "shared bill"), rows))
     saving = 100.0 * (sliced_total - shared.total_bill) / sliced_total
     peak = shared.peak_pool_utilization()["performance"]
     print(
@@ -162,6 +168,8 @@ def main() -> None:
         f"(peak pool utilization {peak:.0%}; the hot tenant borrows the "
         "slack the cold tenants never use)"
     )
+    print("\nshared-run telemetry (span-phase totals + fleet metrics):")
+    print(obs.render_summary(run.snapshot(), top=8))
     assert shared.total_bill < sliced_total, "arbitration must beat slicing here"
 
     print()

@@ -22,6 +22,7 @@ Run with:  python examples/online_tiering.py
 
 import numpy as np
 
+from repro import obs
 from repro.cloud import DataPartition, azure_tier_catalog
 from repro.engine import (
     DriftTriggered,
@@ -93,24 +94,30 @@ def main() -> None:
         DriftTriggered(threshold=0.4, min_gap_months=2),
     ]
     reports = {}
-    for policy in policies:
-        engine = OnlineTieringEngine(partitions, tiers, policy, config)
-        reports[policy.name] = engine.run(SeriesStream(series))
+    with obs.observed() as run:  # trace every epoch of every policy
+        for policy in policies:
+            engine = OnlineTieringEngine(partitions, tiers, policy, config)
+            reports[policy.name] = engine.run(SeriesStream(series))
 
     print()
-    header = (
-        f"{'policy':18s} {'total bill':>14s} {'reopts':>7s} "
-        f"{'migrations':>11s} {'moved GB':>9s} {'s/epoch':>8s}"
-    )
-    print(header)
-    print("-" * len(header))
-    for name, report in reports.items():
-        print(
-            f"{name:18s} {report.total_bill / 100.0:12.2f} $ "
-            f"{report.num_reoptimizations:7d} "
-            f"{report.total_migration_cost / 100.0:9.2f} $ "
-            f"{report.total_moved_gb:9.1f} {report.mean_epoch_seconds:8.4f}"
+    print(
+        obs.render_table(
+            ("policy", "total bill $", "reopts", "migrations $", "moved GB", "s/epoch"),
+            [
+                (
+                    name,
+                    f"{report.total_bill / 100.0:.2f}",
+                    report.num_reoptimizations,
+                    f"{report.total_migration_cost / 100.0:.2f}",
+                    f"{report.total_moved_gb:.1f}",
+                    f"{report.mean_epoch_seconds:.4f}",
+                )
+                for name, report in reports.items()
+            ],
         )
+    )
+    print()
+    print(obs.render_summary(run.snapshot(), top=8))
 
     static = reports["static_once"]
     periodic = reports["periodic"]

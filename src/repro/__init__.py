@@ -19,15 +19,16 @@ guarantees) and every substrate it needs to run on a laptop:
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-from . import cloud, compression, core, engine, fleet, ml, tabular, workloads
+from . import cloud, compression, core, engine, fleet, ml, obs, tabular, workloads
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "cloud",
     "compression",
     "core",
     "engine",
+    "obs",
     "fleet",
     "ml",
     "tabular",

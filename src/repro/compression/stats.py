@@ -9,9 +9,9 @@ GB of uncompressed data).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from ..obs.clock import monotonic_s
 from ..tabular import Table
 from .codecs import Codec
 from .registry import Layout
@@ -81,16 +81,16 @@ def measure_compression(
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
-    start = time.perf_counter()
+    start = monotonic_s()
     compressed = codec.compress(payload)
-    compress_seconds = time.perf_counter() - start
+    compress_seconds = monotonic_s() - start
 
     decompress_seconds = float("inf")
     restored = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = monotonic_s()
         restored = codec.decompress(compressed)
-        decompress_seconds = min(decompress_seconds, time.perf_counter() - start)
+        decompress_seconds = min(decompress_seconds, monotonic_s() - start)
 
     if restored != payload:
         raise ValueError(f"codec {codec.name!r} failed to round-trip the payload")

@@ -16,11 +16,13 @@ batch cost tensors — so the facade's old promise that the greedy fallback
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ...cloud import PoolSet
+from ...obs import get_metrics, get_tracer
 from .errors import InfeasibleError
 from .greedy import solve_greedy
 from .ilp import solve_ilp
@@ -50,6 +52,7 @@ def _repair_groups(
     describe_failure,
     solver_suffix: str,
     tolerance: float,
+    kind: str = "capacity",
 ) -> Assignment:
     """Greedy regret-per-GB eviction until every *tier group* fits its budget.
 
@@ -66,6 +69,40 @@ def _repair_groups(
 
     ``describe_failure(index, need_gb)`` renders the complete InfeasibleError
     message when the group at ``index`` cannot shed ``need_gb`` more GB.
+    ``kind`` names the telemetry series (``optassign.repair_capacity`` /
+    ``optassign.repair_pools`` spans, ``optassign.repair.*{kind=}``
+    counters).
+    """
+    tracer = get_tracer()
+    with tracer.span(f"optassign.repair_{kind}") as span:
+        result, rounds, evictions = _repair_groups_impl(
+            assignment, group_of_tier, capacities, describe_failure,
+            solver_suffix, tolerance,
+        )
+        if tracer.enabled:
+            span.set(rounds=rounds, evictions=evictions)
+            metrics = get_metrics()
+            if rounds:
+                metrics.counter("optassign.repair.rounds", kind=kind).add(rounds)
+            if evictions:
+                metrics.counter("optassign.repair.evictions", kind=kind).add(
+                    evictions
+                )
+    return result
+
+
+def _repair_groups_impl(
+    assignment: Assignment,
+    group_of_tier: np.ndarray,
+    capacities: np.ndarray,
+    describe_failure,
+    solver_suffix: str,
+    tolerance: float,
+) -> tuple[Assignment, int, int]:
+    """The water-filling algorithm behind :func:`_repair_groups`.
+
+    Returns ``(assignment, rounds, evictions)`` — rounds is the number of
+    groups that had to be repaired, evictions the partitions moved.
     """
     problem = assignment.problem
     tensors = problem.batch_tensors()
@@ -94,16 +131,18 @@ def _repair_groups(
         minlength=num_groups,
     )
     if not (usage > capacities + tolerance).any():
-        return assignment
+        return assignment, 0, 0
 
     masked = tensors.masked_objective()
     closed = np.zeros(num_groups, dtype=bool)
     moved: set[int] = set()
+    rounds = 0
     while True:
         overflow = usage - capacities
         overfull = np.flatnonzero(overflow > tolerance)
         if overfull.size == 0:
             break
+        rounds += 1
         # Invariant: an over-full group here is never closed — evictions only
         # target tiers of non-closed groups (or ungrouped tiers), so a
         # repaired group's usage cannot grow again and each round closes one
@@ -160,10 +199,14 @@ def _repair_groups(
             breakdown=tensors.breakdown_at(index, tier, scheme),
             latency_s=float(tensors.latency_s[index, tier, scheme]),
         )
-    return Assignment(
-        problem=problem,
-        choices=choices,
-        solver=f"{assignment.solver}{solver_suffix}",
+    return (
+        Assignment(
+            problem=problem,
+            choices=choices,
+            solver=f"{assignment.solver}{solver_suffix}",
+        ),
+        rounds,
+        len(moved),
     )
 
 
@@ -198,6 +241,7 @@ def repair_capacity(
         ),
         solver_suffix="+repair",
         tolerance=tolerance,
+        kind="capacity",
     )
 
 
@@ -256,6 +300,7 @@ def repair_pools(
         ),
         solver_suffix="+pools",
         tolerance=tolerance,
+        kind="pools",
     )
 
 
@@ -309,50 +354,72 @@ def solve_optassign(
     else:
         solver = prefer
 
-    # Fail fast on the two infeasibility classes latency relaxation can never
-    # fix, with pointed diagnostics instead of a misleading exhausted-rounds
-    # error: hard-mask-empty partitions (SLO/affinity/codec) and aggregate
-    # capacity shortfall.
-    masked_out = problem.hard_mask_empty_partitions()
-    if masked_out:
-        raise InfeasibleError(
-            "partitions have no (tier, scheme) candidate under their "
-            "never-relaxed constraints (tier SLO caps, provider affinity, "
-            f"codec pinning): {masked_out[:5]}"
-            f"{'...' if len(masked_out) > 5 else ''}; latency relaxation "
-            "cannot help — loosen those constraints or extend the catalog"
-        )
-    shortfall = _capacity_shortfall(problem)
-    if shortfall > 0.0:
-        raise InfeasibleError(
-            "OPTASSIGN instance is capacity-infeasible regardless of latency "
-            f"relaxation: the partitions' minimum stored size exceeds the "
-            f"total reserved capacity by {shortfall:.3f} GB"
-        )
-
-    factor = 1.0
-    last_error: Exception | None = None
-    for _ in range(max_relaxation_rounds + 1):
-        candidate = problem if factor == 1.0 else problem.relaxed(factor)
-        try:
-            if solver == "greedy":
-                assignment = solve_greedy(candidate, enforce_unbounded=False)
-                if candidate.has_finite_capacity():
-                    assignment = repair_capacity(assignment)
-            else:
-                assignment = solve_ilp(candidate, time_limit_s=time_limit_s)
-            if post_repair is not None:
-                assignment = post_repair(assignment)
-            return SolveReport(
-                assignment=assignment, solver=solver, latency_relaxation=factor
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("optassign.solve", solver=solver) as solve_span:
+        # Fail fast on the two infeasibility classes latency relaxation can
+        # never fix, with pointed diagnostics instead of a misleading
+        # exhausted-rounds error: hard-mask-empty partitions (SLO/affinity/
+        # codec) and aggregate capacity shortfall.
+        masked_out = problem.hard_mask_empty_partitions()
+        if masked_out:
+            metrics.counter(
+                "optassign.infeasibility_certificates", kind="hard_mask"
+            ).add()
+            raise InfeasibleError(
+                "partitions have no (tier, scheme) candidate under their "
+                "never-relaxed constraints (tier SLO caps, provider affinity, "
+                f"codec pinning): {masked_out[:5]}"
+                f"{'...' if len(masked_out) > 5 else ''}; latency relaxation "
+                "cannot help — loosen those constraints or extend the catalog"
             )
-        except InfeasibleError as error:
-            last_error = error
-            factor *= relaxation_step
-    raise InfeasibleError(
-        f"OPTASSIGN instance remained infeasible after relaxing latency "
-        f"thresholds {max_relaxation_rounds} times (last error: {last_error})"
-    )
+        shortfall = _capacity_shortfall(problem)
+        if shortfall > 0.0:
+            metrics.counter(
+                "optassign.infeasibility_certificates", kind="capacity_shortfall"
+            ).add()
+            raise InfeasibleError(
+                "OPTASSIGN instance is capacity-infeasible regardless of latency "
+                f"relaxation: the partitions' minimum stored size exceeds the "
+                f"total reserved capacity by {shortfall:.3f} GB"
+            )
+
+        factor = 1.0
+        last_error: Exception | None = None
+        for round_index in range(max_relaxation_rounds + 1):
+            candidate = problem if factor == 1.0 else problem.relaxed(factor)
+            # Round 0 is the unrelaxed solve; only actual relaxation retries
+            # get their own span so the relaxation loop shows up in traces
+            # exactly when it ran.
+            round_context = (
+                tracer.span(
+                    "optassign.relaxation_round", round=round_index, factor=factor
+                )
+                if round_index > 0
+                else nullcontext()
+            )
+            try:
+                with round_context:
+                    if solver == "greedy":
+                        assignment = solve_greedy(candidate, enforce_unbounded=False)
+                        if candidate.has_finite_capacity():
+                            assignment = repair_capacity(assignment)
+                    else:
+                        assignment = solve_ilp(candidate, time_limit_s=time_limit_s)
+                    if post_repair is not None:
+                        assignment = post_repair(assignment)
+                solve_span.set(latency_relaxation=factor)
+                return SolveReport(
+                    assignment=assignment, solver=solver, latency_relaxation=factor
+                )
+            except InfeasibleError as error:
+                last_error = error
+                factor *= relaxation_step
+                metrics.counter("optassign.relaxations").add()
+        raise InfeasibleError(
+            f"OPTASSIGN instance remained infeasible after relaxing latency "
+            f"thresholds {max_relaxation_rounds} times (last error: {last_error})"
+        )
 
 
 def _capacity_shortfall(problem: OptAssignProblem) -> float:

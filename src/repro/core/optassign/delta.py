@@ -70,6 +70,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...cloud import PoolSet
+from ...obs import get_metrics, get_tracer
 from .capacity import SolveReport, repair_capacity, repair_pools, solve_optassign
 from .errors import InfeasibleError
 from .greedy import solve_greedy
@@ -180,6 +181,39 @@ class DeltaSolver:
         shared budgets, checked exactly as :func:`repair_pools` would and
         repaired only on violation.
         """
+        tracer = get_tracer()
+        with tracer.span("optassign.delta_solve") as span:
+            report = self._solve(problem, changed, pool_set, reserved_gb)
+            if tracer.enabled:
+                span.set(
+                    mode=report.mode,
+                    reason=report.reason,
+                    num_changed=report.num_changed,
+                    num_pinned=report.num_pinned,
+                    repaired=report.repaired,
+                )
+                metrics = get_metrics()
+                metrics.counter("optassign.delta.rows_resolved").add(
+                    report.num_changed
+                )
+                metrics.counter("optassign.delta.rows_pinned").add(
+                    report.num_pinned
+                )
+                if report.mode == "full":
+                    # The fallback reasons are a small fixed vocabulary
+                    # ("bootstrap", "pricing changed", ...), safe as a label.
+                    metrics.counter(
+                        "optassign.delta.full_solves", reason=report.reason
+                    ).add()
+            return report
+
+    def _solve(
+        self,
+        problem: OptAssignProblem,
+        changed: "set[str] | list[str] | tuple[str, ...] | None" = None,
+        pool_set: PoolSet | None = None,
+        reserved_gb: np.ndarray | None = None,
+    ) -> DeltaSolveReport:
         if changed is not None:
             unknown = set(changed) - set(problem.partition_names)
             if unknown:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...cloud import CostBreakdown
+from ...obs import get_tracer
 from .errors import InfeasibleError
 from .problem import CandidateOption, OptAssignProblem
 from .result import Assignment
@@ -71,9 +72,15 @@ def solve_greedy(
             "use solve_optassign (ILP) for capacity-bounded instances"
         )
     if vectorized:
-        choices, infeasible = _vectorized_choices(problem)
-    else:
-        choices, infeasible = _scalar_choices(problem)
+        # Warm the tensor cache *before* opening the greedy span so the build
+        # is traced as its own `optassign.batch_tensors` phase (a sibling,
+        # not a child inflating the greedy timing).
+        problem.batch_tensors()
+    with get_tracer().span("optassign.greedy", vectorized=vectorized):
+        if vectorized:
+            choices, infeasible = _vectorized_choices(problem)
+        else:
+            choices, infeasible = _scalar_choices(problem)
     if infeasible:
         raise InfeasibleError(
             "no feasible (tier, scheme) option exists for partitions: "

@@ -25,6 +25,7 @@ from ...cloud import (
     PartitionArrays,
 )
 from ...cloud.objects import NO_COMPRESSION
+from ...obs import get_tracer
 
 __all__ = ["CandidateOption", "OptAssignProblem", "ProfileTable"]
 
@@ -349,16 +350,22 @@ class OptAssignProblem:
         the SLO and provider-affinity constraints.
         """
         if self._tensors is None:
-            schemes, ratio, decompression, available = self._profile_columns()
-            self._tensors = self.cost_model.batch_tensors(
-                self.partition_arrays(),
-                schemes,
-                ratio,
-                decompression,
-                available,
-                latency_slo_s=self._slo_vector(),
-                tier_allowed=self._tier_allowed_mask(),
-            )
+            with get_tracer().span("optassign.batch_tensors") as span:
+                schemes, ratio, decompression, available = self._profile_columns()
+                self._tensors = self.cost_model.batch_tensors(
+                    self.partition_arrays(),
+                    schemes,
+                    ratio,
+                    decompression,
+                    available,
+                    latency_slo_s=self._slo_vector(),
+                    tier_allowed=self._tier_allowed_mask(),
+                )
+                span.set(
+                    partitions=self._tensors.num_partitions,
+                    tiers=self._tensors.num_tiers,
+                    schemes=self._tensors.num_schemes,
+                )
         return self._tensors
 
     def stored_gb(self, partition: DataPartition, scheme: str) -> float:

@@ -25,7 +25,6 @@ compared apples to apples on the same stream.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -47,6 +46,8 @@ from ..core.optassign import (
     ProfileTable,
     solve_optassign,
 )
+from ..obs import get_metrics, get_tracer
+from ..obs.clock import monotonic_s
 from .events import EpochBatch
 from .executor import MigrationExecutor, MigrationReport
 from .features import FeatureStore
@@ -303,17 +304,22 @@ class OnlineTieringEngine:
         individually so the solve can be batched across engines; everything
         else should call ``step`` or ``run``.
         """
-        started = time.perf_counter()
-        migration: MigrationReport | None = None
-        reoptimized = False
-        if self.begin_epoch(batch.epoch):
-            problem = self.build_problem(batch.epoch)
-            assignment = self.solve_problem(problem)
-            migration = self.apply_assignment(batch.epoch, assignment.to_placement())
-            reoptimized = True
-        return self.settle(
-            batch, migration=migration, reoptimized=reoptimized, started=started
-        )
+        started = monotonic_s()
+        with get_tracer().span("engine.epoch", epoch=batch.epoch) as span:
+            migration: MigrationReport | None = None
+            reoptimized = False
+            if self.begin_epoch(batch.epoch):
+                problem = self.build_problem(batch.epoch)
+                assignment = self.solve_problem(problem)
+                migration = self.apply_assignment(
+                    batch.epoch, assignment.to_placement()
+                )
+                reoptimized = True
+            record = self.settle(
+                batch, migration=migration, reoptimized=reoptimized, started=started
+            )
+            span.set(reoptimized=reoptimized)
+        return record
 
     def solve_problem(self, problem: OptAssignProblem):
         """Solve a built instance under the configured ``reopt_mode``.
@@ -327,17 +333,18 @@ class OnlineTieringEngine:
         row changed since refreshed profiles reprice all candidate options.
         The delta report lands in :attr:`last_delta_report` for inspection.
         """
-        if self._delta is None:
-            return solve_optassign(problem).assignment
-        if self._profile_provider is not None:
-            changed = set(problem.partition_names)
-        else:
-            changed = self.policy.drifted_partitions(
-                self.config.delta_drift_threshold
-            )
-        report = self._delta.solve(problem, changed=changed)
-        self.last_delta_report = report
-        return report.assignment
+        with get_tracer().span("engine.solve", mode=self.config.reopt_mode):
+            if self._delta is None:
+                return solve_optassign(problem).assignment
+            if self._profile_provider is not None:
+                changed = set(problem.partition_names)
+            else:
+                changed = self.policy.drifted_partitions(
+                    self.config.delta_drift_threshold
+                )
+            report = self._delta.solve(problem, changed=changed)
+            self.last_delta_report = report
+            return report.assignment
 
     # -- external-scheduling hooks ----------------------------------------------
     # The fleet scheduler (:mod:`repro.fleet`) epoch-locks many engines and
@@ -364,9 +371,21 @@ class OnlineTieringEngine:
         state (the policy may update its own drift bookkeeping).
         """
         self._validate_epoch(epoch)
-        return self.placement is None or self.policy.should_reoptimize(
-            epoch, self._last_observed
-        )
+        if self.placement is None:
+            return True
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.policy_decision", epoch=epoch, policy=self.policy.name
+        ) as span:
+            fire = self.policy.should_reoptimize(epoch, self._last_observed)
+            if tracer.enabled:
+                span.set(fire=fire)
+                score = getattr(self.policy, "last_score", None)
+                if score is not None:
+                    get_metrics().gauge(
+                        "engine.drift_score", policy=self.policy.name
+                    ).set(score)
+        return fire
 
     def settle(
         self,
@@ -384,24 +403,35 @@ class OnlineTieringEngine:
         """
         epoch = batch.epoch
         self._validate_epoch(epoch)
-        # The compiled placement answers step_month queries with vectorized
-        # gathers; it is invalidated whenever a re-optimization moves data.
-        if self._compiled is None:
-            self._compiled = self.simulator.compile_placement(
-                self._arrays, self.placement
-            )
-        step = self._compiled.step(batch.events)
+        tracer = get_tracer()
+        with tracer.span("engine.settle", epoch=epoch):
+            # The compiled placement answers step_month queries with
+            # vectorized gathers; it is invalidated whenever a
+            # re-optimization moves data.
+            if self._compiled is None:
+                self._compiled = self.simulator.compile_placement(
+                    self._arrays, self.placement
+                )
+            with tracer.span("engine.ingest") as ingest_span:
+                step = self._compiled.step(batch.events)
+                ingest_span.set(events=len(batch.events))
 
-        observed = batch.reads_by_partition()
-        self.feature_store.observe(batch)
-        self.forecaster.update(epoch, observed)
-        MigrationExecutor.tick(self.months_in_tier, list(self._by_name))
-        self._last_observed = observed
-        self._last_epoch = epoch
-        # A forecast built for this epoch is stale once the epoch settles; if
-        # a solve failed between build_problem and here, dropping it keeps the
-        # apply_assignment guard honest for later epochs.
-        self._pending_forecast = None
+            observed = batch.reads_by_partition()
+            with tracer.span("engine.feature_store"):
+                self.feature_store.observe(batch)
+                self.forecaster.update(epoch, observed)
+            MigrationExecutor.tick(self.months_in_tier, list(self._by_name))
+            self._last_observed = observed
+            self._last_epoch = epoch
+            # A forecast built for this epoch is stale once the epoch
+            # settles; if a solve failed between build_problem and here,
+            # dropping it keeps the apply_assignment guard honest for later
+            # epochs.
+            self._pending_forecast = None
+            if tracer.enabled:
+                get_metrics().gauge("engine.window_fill").set(
+                    self.feature_store.window_fill
+                )
 
         return EpochRecord(
             epoch=epoch,
@@ -417,7 +447,7 @@ class OnlineTieringEngine:
             moved_gb=migration.moved_gb if migration else 0.0,
             access_count=step.access_count,
             latency_violations=step.latency_violations,
-            wall_clock_s=time.perf_counter() - started if started is not None else 0.0,
+            wall_clock_s=monotonic_s() - started if started is not None else 0.0,
         )
 
     def tier_usage_gb(self) -> np.ndarray:
@@ -457,7 +487,18 @@ class OnlineTieringEngine:
         remembered so that :meth:`apply_assignment` can hand it to the policy.
         """
         config = self.config
-        predicted_monthly = self.forecast_monthly(epoch)
+        tracer = get_tracer()
+        with tracer.span("engine.build_problem", epoch=epoch):
+            with tracer.span("engine.forecast"):
+                predicted_monthly = self.forecast_monthly(epoch)
+            problem = self._assemble_problem(epoch, predicted_monthly)
+        self._pending_forecast = predicted_monthly
+        return problem
+
+    def _assemble_problem(
+        self, epoch: int, predicted_monthly: Mapping[str, float]
+    ) -> OptAssignProblem:
+        config = self.config
         horizon_partitions = [
             replace(
                 partition,
@@ -486,7 +527,6 @@ class OnlineTieringEngine:
             # the data actually lives today, so staying put is free and every
             # move must earn back its own cost over the horizon.
             problem = problem.with_current_placement(self.placement)
-        self._pending_forecast = predicted_monthly
         return problem
 
     def apply_assignment(
@@ -508,15 +548,18 @@ class OnlineTieringEngine:
                 "this re-optimization (the policy must be notified with the "
                 "forecast the applied placement was planned from)"
             )
-        migration = self.executor.apply(
-            self._partitions,
-            self.placement,
-            dict(new_placement),
-            self.months_in_tier,
-            epoch=epoch,
-        )
+        with get_tracer().span("engine.migrate", epoch=epoch) as span:
+            migration = self.executor.apply(
+                self._partitions,
+                self.placement,
+                dict(new_placement),
+                self.months_in_tier,
+                epoch=epoch,
+            )
+            span.set(num_moved=migration.num_moved)
         self.placement = dict(new_placement)
         self._compiled = None
         self.policy.notify_reoptimized(epoch, self._pending_forecast)
         self._pending_forecast = None
+        get_metrics().counter("engine.reoptimizations").add()
         return migration

@@ -29,6 +29,7 @@ from typing import Mapping, MutableMapping, Sequence
 from ..cloud import DataPartition, PlacementDecision, TierCatalog
 from ..cloud.objects import NO_COMPRESSION
 from ..cloud.tiers import NEW_DATA_TIER
+from ..obs import get_metrics
 
 __all__ = ["MigrationRecord", "MigrationReport", "MigrationExecutor"]
 
@@ -197,7 +198,17 @@ class MigrationExecutor:
             scheme = new.profile.scheme
             partition.current_codec = None if scheme == NO_COMPRESSION else scheme
             months_in_tier[name] = 0.0
-        return MigrationReport(epoch=epoch, moves=moves)
+        report = MigrationReport(epoch=epoch, moves=moves)
+        metrics = get_metrics()
+        if metrics.enabled and report.num_moved:
+            metrics.counter("migration.moves").add(report.num_moved)
+            metrics.counter("migration.moved_gb").add(report.moved_gb)
+            metrics.counter("migration.cost_cents").add(report.migration_cost)
+            metrics.counter("migration.egress_cents").add(report.egress_cost)
+            metrics.counter("migration.early_deletion_cents").add(
+                report.early_deletion_penalty
+            )
+        return report
 
     @staticmethod
     def tick(months_in_tier: MutableMapping[str, float], names: Sequence[str]) -> None:

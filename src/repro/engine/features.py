@@ -88,6 +88,15 @@ class FeatureStore:
         """The most recent epoch observed (-1 before any observation)."""
         return self._epoch
 
+    @property
+    def window_fill(self) -> float:
+        """Fraction of the sliding window backed by elapsed epochs (0..1).
+
+        Below 1.0 the window is still warming up — forecasts lean on priors;
+        the engine exports this as the ``engine.window_fill`` gauge.
+        """
+        return min(self.window_months, self._epoch + 1) / self.window_months
+
     # -- ingestion -------------------------------------------------------------
     def observe(self, batch: EpochBatch) -> None:
         """Fold one epoch's events in.  Epochs must be non-decreasing."""
@@ -289,6 +298,11 @@ class ScalarFeatureStore:
     def current_epoch(self) -> int:
         """The most recent epoch observed (-1 before any observation)."""
         return self._epoch
+
+    @property
+    def window_fill(self) -> float:
+        """Fraction of the sliding window backed by elapsed epochs (0..1)."""
+        return min(self.window_months, self._epoch + 1) / self.window_months
 
     # -- ingestion -------------------------------------------------------------
     def observe(self, batch: EpochBatch) -> None:

@@ -31,13 +31,14 @@ beats carving the pool into static per-tenant slices (see
 from __future__ import annotations
 
 import math
-import time
 from typing import Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
 from concurrent.futures import ThreadPoolExecutor
 
 from ..cloud import PoolSet, TierCatalog
+from ..obs import get_metrics, get_tracer
+from ..obs.clock import monotonic_s
 from ..core.optassign import (
     TENANT_SEPARATOR,
     DeltaSolver,
@@ -243,71 +244,98 @@ class FleetScheduler:
         epoch = epochs.pop()
         order = [spec.name for spec in self.tenants]
 
-        firing = [
-            name for name in order if self.engines[name].begin_epoch(epoch)
-        ]
-        solve_started = time.perf_counter()
-        migrations: dict[str, object] = {}
-        if firing:
-            problems = dict(
-                zip(
-                    firing,
-                    self._map(
-                        lambda name: self.engines[name].build_problem(epoch),
-                        firing,
-                    ),
+        tracer = get_tracer()
+        with tracer.span("fleet.epoch", epoch=epoch) as epoch_span:
+            # Per-tenant work below may run on thread-pool workers, whose
+            # span stacks start empty — pin their parentage explicitly so the
+            # epoch's span tree survives the thread hop.
+            epoch_span_id = tracer.current_span_id
+
+            firing = [
+                name for name in order if self.engines[name].begin_epoch(epoch)
+            ]
+            solve_started = monotonic_s()
+            migrations: dict[str, object] = {}
+            if firing:
+
+                def build(name: str):
+                    with tracer.span(
+                        "fleet.build_problem", parent_id=epoch_span_id, tenant=name
+                    ):
+                        return self.engines[name].build_problem(epoch)
+
+                problems = dict(zip(firing, self._map(build, firing)))
+                with tracer.span("fleet.stack", tenants=len(firing)):
+                    stacked = StackedProblem.stack(problems)
+                reserved = None
+                if self.pools is not None:
+                    firing_set = set(firing)
+                    standing = [name for name in order if name not in firing_set]
+                    reserved = self.pools.usage(self._fleet_tier_usage(standing))
+                with tracer.span("fleet.solve", tenants=len(firing)):
+                    if self._delta is not None:
+                        assignment = self._solve_delta(stacked, firing, reserved)
+                    else:
+                        assignment = self._solve_arbitrated(
+                            stacked.problem, reserved
+                        )
+                placements = stacked.split_placements(assignment)
+                for name in firing:
+                    with tracer.span("fleet.apply", tenant=name):
+                        migrations[name] = self.engines[name].apply_assignment(
+                            epoch, placements[name]
+                        )
+            solve_seconds = monotonic_s() - solve_started
+
+            def settle(name: str):
+                started = monotonic_s()
+                with tracer.span(
+                    "fleet.settle", parent_id=epoch_span_id, tenant=name
+                ):
+                    return self.engines[name].settle(
+                        batches[name],
+                        migration=migrations.get(name),
+                        reoptimized=name in migrations,
+                        started=started,
+                    )
+
+            for name, record in zip(order, self._map(settle, order)):
+                self._records[name].append(record)
+
+            # The per-epoch record always carries the stacked-solve telemetry
+            # (solve wall clock is invisible to per-tenant settle timings);
+            # the pool columns are empty for a pool-less fleet.
+            used = (
+                self.pools.usage_by_name(self._fleet_tier_usage(order))
+                if self.pools is not None
+                else {}
+            )
+            capacity = (
+                {pool.name: pool.capacity_gb for pool in self.pools}
+                if self.pools is not None
+                else {}
+            )
+            if tracer.enabled:
+                epoch_span.set(num_reoptimized=len(firing))
+                metrics = get_metrics()
+                for pool_name, used_gb in used.items():
+                    metrics.gauge("fleet.pool.used_gb", pool=pool_name).set(
+                        used_gb
+                    )
+                    budget = capacity[pool_name]
+                    if math.isfinite(budget) and budget > 0:
+                        metrics.gauge(
+                            "fleet.pool.utilization", pool=pool_name
+                        ).set(used_gb / budget)
+            self._pool_records.append(
+                PoolUsageRecord(
+                    epoch=epoch,
+                    used_gb=used,
+                    capacity_gb=capacity,
+                    num_reoptimized=len(firing),
+                    solve_wall_clock_s=solve_seconds,
                 )
             )
-            stacked = StackedProblem.stack(problems)
-            reserved = None
-            if self.pools is not None:
-                firing_set = set(firing)
-                standing = [name for name in order if name not in firing_set]
-                reserved = self.pools.usage(self._fleet_tier_usage(standing))
-            if self._delta is not None:
-                assignment = self._solve_delta(stacked, firing, reserved)
-            else:
-                assignment = self._solve_arbitrated(stacked.problem, reserved)
-            placements = stacked.split_placements(assignment)
-            for name in firing:
-                migrations[name] = self.engines[name].apply_assignment(
-                    epoch, placements[name]
-                )
-        solve_seconds = time.perf_counter() - solve_started
-
-        def settle(name: str):
-            started = time.perf_counter()
-            return self.engines[name].settle(
-                batches[name],
-                migration=migrations.get(name),
-                reoptimized=name in migrations,
-                started=started,
-            )
-
-        for name, record in zip(order, self._map(settle, order)):
-            self._records[name].append(record)
-
-        # The per-epoch record always carries the stacked-solve telemetry
-        # (solve wall clock is invisible to per-tenant settle timings); the
-        # pool columns are empty for a pool-less fleet.
-        used = (
-            self.pools.usage_by_name(self._fleet_tier_usage(order))
-            if self.pools is not None
-            else {}
-        )
-        self._pool_records.append(
-            PoolUsageRecord(
-                epoch=epoch,
-                used_gb=used,
-                capacity_gb=(
-                    {pool.name: pool.capacity_gb for pool in self.pools}
-                    if self.pools is not None
-                    else {}
-                ),
-                num_reoptimized=len(firing),
-                solve_wall_clock_s=solve_seconds,
-            )
-        )
 
     # -- the run loop ------------------------------------------------------------
     def run(self, num_epochs: int | None = None) -> FleetReport:

@@ -1,0 +1,162 @@
+"""Dependency-free observability: tracing spans, metrics, exporters.
+
+The subsystem is off by default and globally switched: instrumented code in
+the engine, solver and fleet scheduler asks :func:`get_tracer` /
+:func:`get_metrics` at call time and receives shared no-op singletons unless
+a run has been explicitly enabled — so the instrumentation costs two
+dictionary lookups and a no-op call per site when disabled, and the billed
+results are identical either way (telemetry never feeds back into decisions).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed() as run:                 # enable for one run
+        report = engine.run(stream)
+    snap = obs.snapshot(run.tracer, run.metrics)
+    print(obs.render_summary(snap))             # human summary table
+    path.write_text(obs.to_jsonl(snap))         # lossless JSONL dump
+    print(obs.to_prometheus(snap))              # /metrics scrape body
+
+or imperatively with :func:`enable` / :func:`disable`.  ``enable`` while
+already enabled returns the live handle unchanged (nested ``observed``
+blocks therefore share one tracer, and only the outermost disables).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .clock import monotonic_s
+from .export import (
+    MetricSample,
+    ObsSnapshot,
+    parse_jsonl,
+    phase_totals,
+    render_span_tree,
+    render_summary,
+    render_table,
+    snapshot,
+    span_tree,
+    to_jsonl,
+    to_prometheus,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+    NOOP_METRICS,
+    NoopMetricsRegistry,
+)
+from .trace import NOOP_TRACER, NoopSpan, NoopTracer, Span, SpanRecord, Tracer
+
+__all__ = [
+    # clock
+    "monotonic_s",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NOOP_METRICS",
+    "DEFAULT_TIME_BUCKETS_S",
+    # tracing
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "NoopSpan",
+    "NoopTracer",
+    "NOOP_TRACER",
+    # exporters
+    "MetricSample",
+    "ObsSnapshot",
+    "snapshot",
+    "to_jsonl",
+    "parse_jsonl",
+    "to_prometheus",
+    "phase_totals",
+    "span_tree",
+    "render_span_tree",
+    "render_summary",
+    "render_table",
+    # global switch
+    "Observability",
+    "enable",
+    "disable",
+    "observed",
+    "is_enabled",
+    "get_tracer",
+    "get_metrics",
+]
+
+
+@dataclass
+class Observability:
+    """Handle to one enabled run's live tracer + registry."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    def snapshot(self) -> ObsSnapshot:
+        return snapshot(self.tracer, self.metrics)
+
+
+_active: Observability | None = None
+
+
+def enable(
+    track_memory: bool = False, max_label_sets: int = 64
+) -> Observability:
+    """Switch observability on process-wide; idempotent while enabled."""
+    global _active
+    if _active is None:
+        _active = Observability(
+            tracer=Tracer(track_memory=track_memory),
+            metrics=MetricsRegistry(max_label_sets=max_label_sets),
+        )
+    return _active
+
+
+def disable() -> None:
+    """Switch back to the no-op singletons (instrumentation goes free)."""
+    global _active
+    if _active is not None:
+        _active.tracer.close()
+    _active = None
+
+
+def is_enabled() -> bool:
+    return _active is not None
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    """The live tracer, or the shared no-op when disabled."""
+    active = _active
+    return active.tracer if active is not None else NOOP_TRACER
+
+
+def get_metrics() -> MetricsRegistry | NoopMetricsRegistry:
+    """The live registry, or the shared no-op when disabled."""
+    active = _active
+    return active.metrics if active is not None else NOOP_METRICS
+
+
+@contextmanager
+def observed(
+    track_memory: bool = False, max_label_sets: int = 64
+) -> Iterator[Observability]:
+    """Enable for the duration of a block; outermost exit disables."""
+    was_enabled = is_enabled()
+    handle = enable(track_memory=track_memory, max_label_sets=max_label_sets)
+    try:
+        yield handle
+    finally:
+        if not was_enabled:
+            disable()

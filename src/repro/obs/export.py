@@ -1,0 +1,417 @@
+"""Exporters: JSONL dumps, Prometheus text format, and summary tables.
+
+Three consumers, three formats, one snapshot:
+
+* :func:`to_jsonl` / :func:`parse_jsonl` — a lossless line-per-record dump
+  (``{"type": "span", ...}`` and ``{"type": "metric", ...}`` lines) for
+  post-hoc analysis and golden tests.  The pair is a strict round trip:
+  ``to_jsonl(parse_jsonl(text)) == text`` for any text this module produced
+  (keys are emitted in a canonical order for exactly this reason).
+* :func:`to_prometheus` — the Prometheus/OpenMetrics text exposition format
+  (``# TYPE`` headers, cumulative ``le`` histogram buckets, ``+Inf``,
+  ``_sum``/``_count``), ready for the control plane's ``/metrics`` endpoint.
+* :func:`render_summary` / :func:`render_span_tree` / :func:`render_table` —
+  human-readable output for examples and run footers.
+
+:func:`phase_totals` aggregates a span list into per-phase-name totals; the
+benchmark suite and the CI regression gate share it so bench JSON and live
+telemetry report identical phase names.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import SpanRecord, Tracer
+
+__all__ = [
+    "MetricSample",
+    "ObsSnapshot",
+    "snapshot",
+    "to_jsonl",
+    "parse_jsonl",
+    "to_prometheus",
+    "phase_totals",
+    "span_tree",
+    "render_span_tree",
+    "render_table",
+    "render_summary",
+]
+
+
+@dataclass
+class MetricSample:
+    """One metric series, decoupled from its live instrument."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float | None = None  # counters and gauges
+    sum: float | None = None  # histograms
+    count: int | None = None
+    edges: list[float] | None = None
+    counts: list[int] | None = None  # non-cumulative, +Inf bucket last
+
+
+@dataclass
+class ObsSnapshot:
+    """Everything one run produced: finished spans plus metric samples."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: list[MetricSample] = field(default_factory=list)
+
+
+def snapshot(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> ObsSnapshot:
+    """Freeze a tracer and/or registry into an exportable snapshot."""
+    snap = ObsSnapshot()
+    if tracer is not None:
+        snap.spans = tracer.records()
+    if metrics is not None:
+        for name, labels, instrument in metrics.collect():
+            if isinstance(instrument, Histogram):
+                snap.metrics.append(
+                    MetricSample(
+                        name=name,
+                        kind="histogram",
+                        labels=labels,
+                        sum=instrument.sum,
+                        count=instrument.count,
+                        edges=list(instrument.edges),
+                        counts=list(instrument.counts),
+                    )
+                )
+            elif isinstance(instrument, (Counter, Gauge)):
+                snap.metrics.append(
+                    MetricSample(
+                        name=name,
+                        kind=instrument.kind,
+                        labels=labels,
+                        value=instrument.value,
+                    )
+                )
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def _span_to_obj(record: SpanRecord) -> dict[str, Any]:
+    obj: dict[str, Any] = {
+        "type": "span",
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "name": record.name,
+        "start_s": record.start_s,
+        "duration_s": record.duration_s,
+        "attrs": record.attrs,
+    }
+    if record.memory_peak_kb is not None:
+        obj["memory_peak_kb"] = record.memory_peak_kb
+    if record.error is not None:
+        obj["error"] = record.error
+    return obj
+
+
+def _metric_to_obj(sample: MetricSample) -> dict[str, Any]:
+    obj: dict[str, Any] = {
+        "type": "metric",
+        "kind": sample.kind,
+        "name": sample.name,
+        "labels": sample.labels,
+    }
+    if sample.kind == "histogram":
+        obj["sum"] = sample.sum
+        obj["count"] = sample.count
+        obj["edges"] = sample.edges
+        obj["counts"] = sample.counts
+    else:
+        obj["value"] = sample.value
+    return obj
+
+
+def to_jsonl(snap: ObsSnapshot) -> str:
+    """Serialize a snapshot, one JSON object per line, spans then metrics."""
+    lines = [json.dumps(_span_to_obj(record), sort_keys=False) for record in snap.spans]
+    lines.extend(
+        json.dumps(_metric_to_obj(sample), sort_keys=False) for sample in snap.metrics
+    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> ObsSnapshot:
+    """Inverse of :func:`to_jsonl`; raises ValueError on malformed lines."""
+    snap = ObsSnapshot()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {lineno}: not JSON: {error}") from error
+        record_type = obj.get("type")
+        if record_type == "span":
+            snap.spans.append(
+                SpanRecord(
+                    span_id=obj["span_id"],
+                    parent_id=obj["parent_id"],
+                    name=obj["name"],
+                    start_s=obj["start_s"],
+                    duration_s=obj["duration_s"],
+                    attrs=obj.get("attrs", {}),
+                    memory_peak_kb=obj.get("memory_peak_kb"),
+                    error=obj.get("error"),
+                )
+            )
+        elif record_type == "metric":
+            snap.metrics.append(
+                MetricSample(
+                    name=obj["name"],
+                    kind=obj["kind"],
+                    labels=obj.get("labels", {}),
+                    value=obj.get("value"),
+                    sum=obj.get("sum"),
+                    count=obj.get("count"),
+                    edges=obj.get("edges"),
+                    counts=obj.get("counts"),
+                )
+            )
+        else:
+            raise ValueError(f"line {lineno}: unknown record type {record_type!r}")
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize to the Prometheus name charset ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    sanitized = "".join(
+        char if (char.isalnum() and char.isascii()) or char in "_:" else "_"
+        for char in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized or "_"
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_prom_name(key)}="{_prom_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def to_prometheus(snap: ObsSnapshot) -> str:
+    """Render metric samples in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in snap.metrics:
+        name = _prom_name(sample.name)
+        if name not in seen_headers:
+            lines.append(f"# TYPE {name} {sample.kind}")
+            seen_headers.add(name)
+        if sample.kind == "histogram":
+            edges = sample.edges or []
+            counts = sample.counts or []
+            cumulative = 0
+            for edge, count in zip(edges, counts):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket{_prom_labels(sample.labels, {'le': _format_value(edge)})}"
+                    f" {cumulative}"
+                )
+            total = cumulative + (counts[-1] if len(counts) > len(edges) else 0)
+            lines.append(
+                f"{name}_bucket{_prom_labels(sample.labels, {'le': '+Inf'})} {total}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(sample.labels)} {_format_value(sample.sum or 0.0)}"
+            )
+            lines.append(f"{name}_count{_prom_labels(sample.labels)} {total}")
+        else:
+            lines.append(
+                f"{name}{_prom_labels(sample.labels)} {_format_value(sample.value or 0.0)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Aggregation + human-readable rendering
+# ---------------------------------------------------------------------------
+
+def phase_totals(spans: Iterable[SpanRecord]) -> dict[str, dict[str, float]]:
+    """Aggregate spans by name: call count, total/mean/max duration.
+
+    This is the shared vocabulary between live telemetry and the benchmark
+    JSON — ``check_bench_regression.py`` compares these totals per phase.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for record in spans:
+        entry = totals.setdefault(
+            record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += record.duration_s
+        entry["max_s"] = max(entry["max_s"], record.duration_s)
+    for entry in totals.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+    return totals
+
+
+def span_tree(
+    spans: Iterable[SpanRecord],
+) -> list[tuple[SpanRecord, list]]:
+    """Nest spans into ``(record, children)`` trees, roots in id order.
+
+    A span whose parent never finished (or was recorded by another tracer)
+    is promoted to a root rather than dropped.
+    """
+    records = sorted(spans, key=lambda record: record.span_id)
+    nodes: dict[int, tuple[SpanRecord, list]] = {
+        record.span_id: (record, []) for record in records
+    }
+    roots: list[tuple[SpanRecord, list]] = []
+    for record in records:
+        if record.parent_id is not None and record.parent_id in nodes:
+            nodes[record.parent_id][1].append(nodes[record.span_id])
+        else:
+            roots.append(nodes[record.span_id])
+    return roots
+
+
+def render_span_tree(spans: Iterable[SpanRecord]) -> str:
+    """Indented text rendering of the span forest with durations."""
+    lines: list[str] = []
+
+    def _walk(node: tuple[SpanRecord, list], depth: int) -> None:
+        record, children = node
+        indent = "  " * depth
+        suffix = ""
+        if record.memory_peak_kb is not None:
+            suffix += f"  peak={record.memory_peak_kb:,.0f}KiB"
+        if record.error is not None:
+            suffix += f"  ERROR({record.error})"
+        attrs = ""
+        if record.attrs:
+            inner = ", ".join(
+                f"{key}={value}" for key, value in sorted(record.attrs.items())
+            )
+            attrs = f"  [{inner}]"
+        lines.append(
+            f"{indent}{record.name:<{max(1, 40 - len(indent))}}"
+            f" {record.duration_s * 1e3:10.3f} ms{attrs}{suffix}"
+        )
+        for child in children:
+            _walk(child, depth + 1)
+
+    for root in span_tree(spans):
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Plain aligned text table (the examples' shared table renderer).
+
+    Columns with ``align_right[i]`` true are right-aligned; by default every
+    column except the first is right-aligned (label left, numbers right).
+    """
+    if align_right is None:
+        align_right = [False] + [True] * (len(headers) - 1)
+    cells = [[str(header) for header in headers]]
+    cells.extend([str(cell) for cell in row] for row in rows)
+    widths = [
+        max(len(row[column]) for row in cells) for column in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(cells):
+        rendered = "  ".join(
+            cell.rjust(width) if right else cell.ljust(width)
+            for cell, width, right in zip(row, widths, align_right)
+        )
+        lines.append(rendered.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_summary(snap: ObsSnapshot, top: int | None = None) -> str:
+    """Per-run summary: phase-timing table plus counter/gauge totals."""
+    sections: list[str] = []
+    if snap.spans:
+        totals = phase_totals(snap.spans)
+        ordered = sorted(
+            totals.items(), key=lambda item: item[1]["total_s"], reverse=True
+        )
+        if top is not None:
+            ordered = ordered[:top]
+        rows = [
+            (
+                name,
+                int(entry["count"]),
+                f"{entry['total_s'] * 1e3:.3f}",
+                f"{entry['mean_s'] * 1e3:.3f}",
+                f"{entry['max_s'] * 1e3:.3f}",
+            )
+            for name, entry in ordered
+        ]
+        sections.append(
+            "phase timings\n"
+            + render_table(("phase", "calls", "total ms", "mean ms", "max ms"), rows)
+        )
+    scalar_rows = []
+    histogram_rows = []
+    for sample in snap.metrics:
+        label_text = (
+            "{" + ", ".join(f"{k}={v}" for k, v in sorted(sample.labels.items())) + "}"
+            if sample.labels
+            else ""
+        )
+        if sample.kind == "histogram":
+            mean = (sample.sum or 0.0) / sample.count if sample.count else 0.0
+            histogram_rows.append(
+                (
+                    sample.name + label_text,
+                    sample.count or 0,
+                    f"{sample.sum or 0.0:.6g}",
+                    f"{mean:.6g}",
+                )
+            )
+        else:
+            scalar_rows.append(
+                (sample.name + label_text, sample.kind, f"{sample.value or 0.0:.6g}")
+            )
+    if scalar_rows:
+        sections.append(
+            "metrics\n" + render_table(("metric", "kind", "value"), scalar_rows)
+        )
+    if histogram_rows:
+        sections.append(
+            "histograms\n"
+            + render_table(("metric", "count", "sum", "mean"), histogram_rows)
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,269 @@
+"""A dependency-free metrics registry: counters, gauges and histograms.
+
+Metrics are keyed by *name* plus a *label set* (sorted ``key=value`` pairs),
+Prometheus-style: ``registry.counter("migration.moved_gb", tenant="hot")``
+returns the counter for that exact (name, labels) series, creating it on
+first use.  A name is bound to one metric kind forever (asking for a gauge
+under a counter's name raises), and every name enforces a configurable cap on
+the number of distinct label sets — an unbounded label (a partition name, a
+timestamp) would otherwise grow the registry without limit, which is the
+classic production metrics footgun.
+
+Histograms use fixed upper-inclusive bucket edges (``value <= edge``), the
+``le`` semantics of the Prometheus text format, plus an implicit ``+Inf``
+overflow bucket; per-bucket counts are stored non-cumulative and rendered
+cumulative at export time.
+
+The registry is thread-safe (the fleet scheduler settles tenants from a
+thread pool); individual ``add``/``set``/``observe`` calls take a lock only
+on series creation, not on every update — float updates are atomic enough
+under the GIL for telemetry purposes.
+
+When observability is disabled, :data:`NOOP_METRICS` stands in: every method
+returns a shared no-op instrument whose updates do nothing, so instrumented
+code pays one method call and no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "NOOP_METRICS",
+    "DEFAULT_TIME_BUCKETS_S",
+]
+
+#: Default histogram edges for wall-clock observations, in seconds:
+#: half-decade log spacing from 1 ms to 60 s (plus the +Inf overflow bucket).
+DEFAULT_TIME_BUCKETS_S: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Labels canonicalized to a hashable identity: sorted (key, value) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class LabelCardinalityError(RuntimeError):
+    """A metric name exceeded its registry's cap on distinct label sets."""
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing total."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (got {amount})")
+        self.value += amount
+
+    inc = add
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with upper-inclusive (``le``) edges."""
+
+    __slots__ = ("edges", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"bucket edges must be strictly increasing: {edges}")
+        self.edges = tuple(float(edge) for edge in edges)
+        # counts[i] covers (edges[i-1], edges[i]]; counts[-1] is the +Inf
+        # overflow bucket.  Stored non-cumulative; exporters cumulate.
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        position = len(self.edges)
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                position = index
+                break
+        self.counts[position] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_counts(self) -> list[int]:
+        """Counts as the Prometheus text format wants them: ``le``-cumulative."""
+        total = 0
+        cumulative = []
+        for count in self.counts:
+            total += count
+            cumulative.append(total)
+        return cumulative
+
+
+class MetricsRegistry:
+    """All live metric series, keyed by name + label set."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        max_label_sets: int = 64,
+        default_buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS_S,
+    ) -> None:
+        if max_label_sets <= 0:
+            raise ValueError("max_label_sets must be positive")
+        self.max_label_sets = max_label_sets
+        self.default_buckets = tuple(default_buckets)
+        self._series: dict[str, dict[LabelKey, object]] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument accessors ---------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._instrument(name, "counter", labels, lambda: Counter())
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._instrument(name, "gauge", labels, lambda: Gauge())
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        edges = tuple(buckets) if buckets is not None else self.default_buckets
+        instrument = self._instrument(
+            name, "histogram", labels, lambda: Histogram(edges)
+        )
+        if instrument.edges != edges and buckets is not None:
+            raise ValueError(
+                f"histogram {name!r} already exists with edges "
+                f"{instrument.edges}, not {edges}"
+            )
+        return instrument
+
+    def _instrument(self, name: str, kind: str, labels, factory):
+        key = _label_key(labels)
+        series = self._series.get(name)
+        if series is not None:
+            existing = series.get(key)
+            if existing is not None:
+                if self._kinds[name] != kind:
+                    raise ValueError(
+                        f"metric {name!r} is a {self._kinds[name]}, not a {kind}"
+                    )
+                return existing
+        with self._lock:
+            bound = self._kinds.setdefault(name, kind)
+            if bound != kind:
+                raise ValueError(f"metric {name!r} is a {bound}, not a {kind}")
+            series = self._series.setdefault(name, {})
+            instrument = series.get(key)
+            if instrument is None:
+                if len(series) >= self.max_label_sets:
+                    raise LabelCardinalityError(
+                        f"metric {name!r} would exceed {self.max_label_sets} "
+                        f"label sets (offending labels: {dict(key)}); an "
+                        "unbounded label does not belong on a metric"
+                    )
+                instrument = series[key] = factory()
+            return instrument
+
+    # -- introspection ----------------------------------------------------------
+    def collect(self) -> Iterator[tuple[str, dict[str, str], object]]:
+        """Every (name, labels, instrument), sorted by name then labels."""
+        for name in sorted(self._series):
+            for key in sorted(self._series[name]):
+                yield name, dict(key), self._series[name][key]
+
+    def kind_of(self, name: str) -> str | None:
+        return self._kinds.get(name)
+
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._series.values())
+
+    def reset(self) -> None:
+        """Drop every series (a fresh run's registry)."""
+        with self._lock:
+            self._series.clear()
+            self._kinds.clear()
+
+
+class _NoopInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    inc = add
+    set = add
+    observe = add
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetricsRegistry:
+    """The disabled-observability stand-in: allocation-free, does nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None, **labels: object) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def collect(self) -> Iterator:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+NOOP_METRICS = NoopMetricsRegistry()

@@ -1,0 +1,13 @@
+"""Obs-suite hygiene: never leak an enabled global tracer between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Every test starts and ends with observability off."""
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,185 @@
+"""Exporters: JSONL round trips, Prometheus text format, summary rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MetricsRegistry,
+    ObsSnapshot,
+    SpanRecord,
+    Tracer,
+    parse_jsonl,
+    phase_totals,
+    render_span_tree,
+    render_summary,
+    render_table,
+    snapshot,
+    span_tree,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+def build_snapshot() -> ObsSnapshot:
+    """A snapshot exercising every record shape the exporters handle."""
+    tracer = Tracer()
+    with tracer.span("engine.epoch", epoch=3):
+        with tracer.span("engine.solve", mode="drift"):
+            pass
+        with pytest.raises(ValueError):
+            with tracer.span("engine.migrate"):
+                raise ValueError("tier full")
+    registry = MetricsRegistry()
+    registry.counter("migration.moves", tenant="hot").add(4)
+    registry.gauge("fleet.pool.utilization", pool="perf").set(0.8125)
+    histogram = registry.histogram("solve.latency", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 5.0):
+        histogram.observe(value)
+    snap = snapshot(tracer, registry)
+    snap.spans[1].memory_peak_kb = 123.5  # exercise the optional field
+    return snap
+
+
+class TestJsonl:
+    def test_round_trip_is_byte_exact(self):
+        snap = build_snapshot()
+        text = to_jsonl(snap)
+        assert to_jsonl(parse_jsonl(text)) == text
+
+    def test_round_trip_preserves_structure(self):
+        snap = build_snapshot()
+        parsed = parse_jsonl(to_jsonl(snap))
+        assert [r.name for r in parsed.spans] == [r.name for r in snap.spans]
+        assert [r.parent_id for r in parsed.spans] == [
+            r.parent_id for r in snap.spans
+        ]
+        assert parsed.spans[1].memory_peak_kb == 123.5
+        assert parsed.spans[2].error == "ValueError: tier full"
+        # Samples come out sorted by metric name (collect() order).
+        assert [s.kind for s in parsed.metrics] == ["gauge", "counter", "histogram"]
+        [histogram] = [s for s in parsed.metrics if s.kind == "histogram"]
+        assert histogram.edges == [0.01, 0.1, 1.0]
+        assert histogram.counts == [1, 2, 0, 1]
+        # The parsed span forest is the same tree.
+        original = span_tree(snap.spans)
+        recovered = span_tree(parsed.spans)
+        assert [root.name for root, _ in recovered] == [
+            root.name for root, _ in original
+        ]
+
+    def test_empty_snapshot(self):
+        assert to_jsonl(ObsSnapshot()) == ""
+        parsed = parse_jsonl("")
+        assert parsed.spans == [] and parsed.metrics == []
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            parse_jsonl("{nope")
+        with pytest.raises(ValueError, match="unknown record type"):
+            parse_jsonl('{"type": "mystery"}')
+
+    def test_blank_lines_ignored(self):
+        snap = build_snapshot()
+        text = to_jsonl(snap)
+        padded = "\n" + text.replace("\n", "\n\n")
+        assert to_jsonl(parse_jsonl(padded)) == text
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(build_snapshot())
+        assert '# TYPE migration_moves counter' in text
+        assert 'migration_moves{tenant="hot"} 4.0' in text
+        assert 'fleet_pool_utilization{pool="perf"} 0.8125' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(build_snapshot())
+        assert 'solve_latency_bucket{le="0.01"} 1' in text
+        assert 'solve_latency_bucket{le="0.1"} 3' in text
+        assert 'solve_latency_bucket{le="1.0"} 3' in text
+        assert 'solve_latency_bucket{le="+Inf"} 4' in text
+        assert "solve_latency_sum 5.105" in text
+        assert "solve_latency_count 4" in text
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("9weird.name-with spaces").add()
+        text = to_prometheus(snapshot(metrics=registry))
+        assert "_9weird_name_with_spaces 1.0" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a\\b"c\nd').add()
+        text = to_prometheus(snapshot(metrics=registry))
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_type_header_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("moves", tenant="a").add()
+        registry.counter("moves", tenant="b").add()
+        text = to_prometheus(snapshot(metrics=registry))
+        assert text.count("# TYPE moves counter") == 1
+
+
+class TestAggregation:
+    def test_phase_totals(self):
+        spans = [
+            SpanRecord(0, None, "solve", 0.0, 0.2),
+            SpanRecord(1, 0, "greedy", 0.0, 0.15),
+            SpanRecord(2, None, "solve", 1.0, 0.4),
+        ]
+        totals = phase_totals(spans)
+        assert totals["solve"]["count"] == 2
+        assert totals["solve"]["total_s"] == pytest.approx(0.6)
+        assert totals["solve"]["max_s"] == pytest.approx(0.4)
+        assert totals["solve"]["mean_s"] == pytest.approx(0.3)
+        assert totals["greedy"]["count"] == 1
+
+    def test_span_tree_promotes_orphans(self):
+        spans = [
+            SpanRecord(5, 99, "orphan", 0.0, 0.1),  # parent never recorded
+            SpanRecord(6, None, "root", 0.0, 0.1),
+            SpanRecord(7, 6, "child", 0.0, 0.1),
+        ]
+        roots = span_tree(spans)
+        assert [record.name for record, _ in roots] == ["orphan", "root"]
+        assert [record.name for record, _ in roots[1][1]] == ["child"]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        table = render_table(("name", "ms"), [("greedy", "1.5"), ("repair", "12.0")])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].endswith(" 1.5")
+        assert lines[3].endswith("12.0")
+
+    def test_render_span_tree_indents_children(self):
+        snap = build_snapshot()
+        rendered = render_span_tree(snap.spans)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("engine.epoch")
+        assert lines[1].startswith("  engine.solve")
+        assert "ERROR(ValueError: tier full)" in lines[2]
+        assert "peak=" in lines[1] or "peak=" in rendered
+
+    def test_render_summary_sections(self):
+        summary = render_summary(build_snapshot())
+        assert "phase timings" in summary
+        assert "metrics" in summary
+        assert "histograms" in summary
+        assert "engine.epoch" in summary
+        assert "fleet.pool.utilization{pool=perf}" in summary
+
+    def test_render_summary_top_limits_phases(self):
+        summary = render_summary(build_snapshot(), top=1)
+        # Only the slowest phase row survives; epoch encloses the others.
+        assert "engine.epoch" in summary
+        assert "engine.solve" not in summary.split("metrics")[0]
+
+    def test_module_level_convenience_exports(self):
+        # The public surface used throughout examples and benchmarks.
+        for name in ("snapshot", "to_jsonl", "parse_jsonl", "to_prometheus",
+                     "phase_totals", "render_summary", "observed"):
+            assert hasattr(obs, name)

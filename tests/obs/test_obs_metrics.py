@@ -1,0 +1,157 @@
+"""Metrics registry: kinds, label identity, histogram edges, cardinality."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS_S,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+    NOOP_METRICS,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("engine.reoptimizations")
+        counter.add()
+        counter.add(2.5)
+        counter.inc()
+        assert counter.value == 4.5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.add(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("engine.window_fill")
+        gauge.set(0.5)
+        gauge.add(-0.25)
+        assert gauge.value == 0.25
+
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("moves", tenant="hot", pool="perf")
+        b = registry.counter("moves", pool="perf", tenant="hot")  # order-free
+        assert a is b
+        registry.counter("moves", tenant="cold").add(3)
+        assert len(registry) == 2
+
+    def test_kind_is_bound_to_name(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter, not a gauge"):
+            registry.gauge("x")
+        assert registry.kind_of("x") == "counter"
+        assert registry.kind_of("unknown") is None
+
+
+class TestHistogram:
+    def test_edges_are_upper_inclusive(self):
+        histogram = Histogram((1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            histogram.observe(value)
+        # (<=1.0): 0.5, 1.0 | (1.0, 2.0]: 1.5, 2.0 | +Inf overflow: 99.0
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.cumulative_counts() == [2, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(104.0)
+        assert histogram.mean == pytest.approx(104.0 / 5)
+
+    def test_empty_histogram(self):
+        histogram = Histogram((1.0,))
+        assert histogram.mean == 0.0
+        assert histogram.cumulative_counts() == [0, 0]
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram((1.0, 1.0))
+
+    def test_registry_default_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        assert histogram.edges == DEFAULT_TIME_BUCKETS_S
+
+    def test_registry_rejects_conflicting_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="already exists with edges"):
+            registry.histogram("latency", buckets=(0.5, 5.0))
+        # Omitting buckets returns the existing series unchanged.
+        assert registry.histogram("latency").edges == (0.1, 1.0)
+
+
+class TestCardinality:
+    def test_label_cardinality_guard(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        for index in range(3):
+            registry.counter("moves", tenant=f"t{index}")
+        with pytest.raises(LabelCardinalityError, match="unbounded label"):
+            registry.counter("moves", tenant="t3")
+        # Other names are unaffected; existing series stay reachable.
+        registry.counter("other")
+        assert registry.counter("moves", tenant="t0").value == 0.0
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_sets=0)
+
+
+class TestRegistry:
+    def test_collect_is_sorted_and_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.gauge("b.gauge", pool="z").set(1.0)
+        registry.gauge("b.gauge", pool="a").set(2.0)
+        registry.counter("a.counter").add(5)
+        collected = [(name, labels) for name, labels, _ in registry.collect()]
+        assert collected == [
+            ("a.counter", {}),
+            ("b.gauge", {"pool": "a"}),
+            ("b.gauge", {"pool": "z"}),
+        ]
+        registry.reset()
+        assert len(registry) == 0
+        # A reset registry may rebind a name to a different kind.
+        registry.gauge("a.counter")
+
+    def test_thread_safe_series_creation(self):
+        registry = MetricsRegistry(max_label_sets=256)
+        errors = []
+
+        def hammer(worker: int):
+            try:
+                for index in range(50):
+                    registry.counter("moves", shard=index % 8).add()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(registry) == 8
+        total = sum(
+            instrument.value for _, _, instrument in registry.collect()
+        )
+        assert total == 8 * 50
+
+
+class TestNoop:
+    def test_noop_registry_records_nothing(self):
+        NOOP_METRICS.counter("x", tenant="hot").add(5)
+        NOOP_METRICS.gauge("y").set(3)
+        NOOP_METRICS.histogram("z").observe(1.0)
+        assert len(NOOP_METRICS) == 0
+        assert list(NOOP_METRICS.collect()) == []
+        assert NOOP_METRICS.enabled is False
+        NOOP_METRICS.reset()  # no-op, must not raise

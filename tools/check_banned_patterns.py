@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Static lint: ban draws from the global RNG outside workload seeding.
+"""Static lint: ban global-RNG draws, and bare clocks inside ``src/repro``.
 
-The repro code must be deterministic per-seed: every random draw goes through
-an explicitly seeded ``numpy.random.default_rng(seed)`` (or a ``Generator``
-threaded in from one).  Bare module-level calls — ``np.random.uniform(...)``,
-``random.shuffle(...)`` — read the process-global RNG, which makes results
-depend on import order and test ordering; the RNG-leak audit fixture in
-``tests/conftest.py`` exists to catch state leaks, and this lint catches the
-draws themselves before they land.
+**RNG rule** — the repro code must be deterministic per-seed: every random
+draw goes through an explicitly seeded ``numpy.random.default_rng(seed)``
+(or a ``Generator`` threaded in from one).  Bare module-level calls —
+``np.random.uniform(...)``, ``random.shuffle(...)`` — read the
+process-global RNG, which makes results depend on import order and test
+ordering; the RNG-leak audit fixture in ``tests/conftest.py`` exists to
+catch state leaks, and this lint catches the draws themselves before they
+land.
 
 Allowed:
 
@@ -15,6 +16,15 @@ Allowed:
 * state *inspection* (``get_state`` / ``set_state`` / ``getstate`` /
   ``setstate``) — used only by the conftest leak-audit fixture;
 * ``random.Random(seed)`` instances (explicitly seeded).
+
+**Clock rule** — inside ``src/repro/`` (but not ``src/repro/obs/``, which
+owns the clock), wall-clock reads must go through the observability layer:
+a tracer span, or ``repro.obs.clock.monotonic_s`` for a raw duration.  Bare
+``time.time()`` / ``time.perf_counter()`` / ``time.monotonic()`` calls
+fragment the time base — phase timings stop matching the span exports that
+benchmarks and the CI regression gate compare.  Benchmarks, tests and
+examples are exempt (they time *around* the library, through the span API
+where it matters).
 
 The check is AST-based, so mentions in comments and docstrings don't trip it.
 
@@ -38,6 +48,19 @@ ALLOWED_NUMPY_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerato
                         "PCG64", "Philox", "get_state", "set_state"}
 ALLOWED_STDLIB_RANDOM = {"Random", "SystemRandom", "getstate", "setstate"}
 
+# Wall-clock reads banned in src/repro outside the obs package.
+BANNED_CLOCKS = {"time", "perf_counter", "monotonic", "perf_counter_ns",
+                 "monotonic_ns", "time_ns"}
+
+
+def _clock_rule_applies(path: Path) -> bool:
+    """True for files under ``src/repro/`` except ``src/repro/obs/``."""
+    try:
+        parts = path.resolve().relative_to(ROOT).parts
+    except ValueError:
+        parts = path.parts
+    return parts[:2] == ("src", "repro") and parts[:3] != ("src", "repro", "obs")
+
 
 def _dotted_name(node: ast.AST) -> str | None:
     """Render ``a.b.c`` attribute chains; None for anything non-trivial."""
@@ -60,6 +83,8 @@ def scan_file(path: Path) -> list[str]:
 
     numpy_aliases = {"numpy"}
     imports_stdlib_random = False
+    clock_rule = _clock_rule_applies(path)
+    violations: list[str] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -67,8 +92,17 @@ def scan_file(path: Path) -> list[str]:
                     numpy_aliases.add(alias.asname or "numpy")
                 elif alias.name == "random":
                     imports_stdlib_random = True
+        elif clock_rule and isinstance(node, ast.ImportFrom):
+            # `from time import perf_counter` dodges the attribute check.
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_CLOCKS:
+                        violations.append(
+                            f"{path}:{node.lineno}: bare clock import "
+                            f"`from time import {alias.name}` — use a tracer "
+                            f"span or repro.obs.clock.monotonic_s"
+                        )
 
-    violations: list[str] = []
     for node in ast.walk(tree):
         dotted = _dotted_name(node) if isinstance(node, ast.Attribute) else None
         if dotted is None:
@@ -89,6 +123,16 @@ def scan_file(path: Path) -> list[str]:
             violations.append(
                 f"{path}:{node.lineno}: bare global-RNG call `{dotted}` — "
                 f"use random.Random(seed) or a numpy Generator instead"
+            )
+        elif (
+            clock_rule
+            and len(parts) == 2
+            and parts[0] == "time"
+            and parts[1] in BANNED_CLOCKS
+        ):
+            violations.append(
+                f"{path}:{node.lineno}: bare clock `{dotted}` in src/repro — "
+                f"use a tracer span or repro.obs.clock.monotonic_s"
             )
     return violations
 
