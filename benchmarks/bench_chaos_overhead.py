@@ -1,0 +1,188 @@
+"""Chaos-attachment overhead benchmark: calm runs must stay calm.
+
+The fault-injection subsystem (:mod:`repro.chaos`) rides the engine's and
+fleet scheduler's pre-epoch hooks.  Its contract has a perf half: attaching
+an injector with an **empty** schedule must (a) leave every bill
+bit-identical to the bare run and (b) add only a negligible per-epoch
+constant (one dict lookup per epoch boundary — no solver, billing or
+migration work).  This benchmark measures both halves over a single-tenant
+engine run and a multi-tenant fleet run, and, for scale, times a disrupted
+run (outage + recovery + price shock) against its calm twin so the cost of
+*actual* chaos stays visible in the perf trajectory.
+
+Writes ``BENCH_chaos_overhead.json`` (skipped under ``--quick``).
+
+Run with:  PYTHONPATH=src python benchmarks/bench_chaos_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.chaos import (  # noqa: E402
+    ChaosInjector,
+    DisruptionSchedule,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+)
+from repro.cloud import PoolSet, multi_cloud_catalog  # noqa: E402
+from repro.engine import (  # noqa: E402
+    EngineConfig,
+    OnlineTieringEngine,
+    PeriodicReoptimize,
+    SeriesStream,
+)
+from repro.fleet import FleetConfig, FleetScheduler, TenantSpec  # noqa: E402
+from repro.workloads import generate_fleet_workload  # noqa: E402
+
+SEED = 2023
+SLACK = 1e9
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_chaos_overhead.json"
+CONFIG = EngineConfig(horizon_months=6.0, window_months=6)
+
+
+def storm_schedule() -> DisruptionSchedule:
+    return DisruptionSchedule(
+        [
+            ProviderOutage(epoch=2, provider="azure_blob"),
+            PriceShock(epoch=3, provider="aws_s3", storage_factor=2.0),
+            ProviderRecovery(epoch=4, provider="azure_blob"),
+        ]
+    )
+
+
+def run_engine(months: int, partitions: int, chaos: ChaosInjector | None):
+    catalog = multi_cloud_catalog()
+    tenant = generate_fleet_workload(1, partitions, months, seed=SEED)[0]
+    engine = OnlineTieringEngine(
+        tenant.partitions,
+        catalog,
+        PeriodicReoptimize(2),
+        CONFIG,
+        profiles=tenant.profiles,
+        latency_slo_s=tenant.workload.latency_slo_s,
+        chaos=chaos,
+    )
+    started = time.perf_counter()
+    report = engine.run(SeriesStream(tenant.series, num_epochs=months))
+    return report, time.perf_counter() - started
+
+
+def run_fleet(months: int, tenants: int, partitions: int,
+              chaos: ChaosInjector | None):
+    catalog = multi_cloud_catalog()
+    fleet = generate_fleet_workload(tenants, partitions, months, seed=SEED)
+    specs = [
+        TenantSpec(
+            name=tenant.name,
+            partitions=tenant.partitions,
+            policy=PeriodicReoptimize(2),
+            series=tenant.series,
+            profiles=tenant.profiles,
+            config=CONFIG,
+            latency_slo_s=tenant.workload.latency_slo_s,
+        )
+        for tenant in fleet
+    ]
+    pools = PoolSet.per_provider(
+        catalog, {name: SLACK for name in catalog.provider_names}
+    )
+    scheduler = FleetScheduler(
+        specs, catalog, pools=pools, config=FleetConfig(engine=CONFIG),
+        chaos=chaos,
+    )
+    started = time.perf_counter()
+    report = scheduler.run(num_epochs=months)
+    return report, time.perf_counter() - started
+
+
+def measure(label: str, runner, repeats: int) -> dict:
+    """Best-of-N for the calm pair, plus the disrupted run's bill and time."""
+    bare_s = calm_s = float("inf")
+    bare_bill = calm_bill = None
+    for _ in range(repeats):
+        report, elapsed = runner(None)
+        bare_s = min(bare_s, elapsed)
+        bare_bill = report.total_bill
+        report, elapsed = runner(ChaosInjector(DisruptionSchedule.empty()))
+        calm_s = min(calm_s, elapsed)
+        calm_bill = report.total_bill
+    assert calm_bill == bare_bill, (
+        f"{label}: empty-schedule run changed the bill "
+        f"({calm_bill!r} != {bare_bill!r})"
+    )
+    report, storm_s = runner(ChaosInjector(storm_schedule()))
+    overhead = calm_s / bare_s - 1.0
+    print(
+        f"{label:14s} bare={bare_s * 1e3:8.2f} ms  "
+        f"calm-attached={calm_s * 1e3:8.2f} ms ({overhead:+7.2%})  "
+        f"storm={storm_s * 1e3:8.2f} ms  "
+        f"storm bill premium={report.total_bill - bare_bill:+10.2f} c"
+    )
+    return {
+        "bare_s": bare_s,
+        "calm_attached_s": calm_s,
+        "calm_overhead_ratio": calm_s / bare_s,
+        "storm_s": storm_s,
+        "calm_bill_cents": bare_bill,
+        "storm_bill_cents": report.total_bill,
+        "bills_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, no JSON output (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    months = 6 if args.quick else 12
+    partitions = 4 if args.quick else 12
+    tenants = 2 if args.quick else 4
+    repeats = 2 if args.quick else 5
+
+    print(
+        f"chaos overhead: {months}-month runs, {partitions} partitions/tenant, "
+        f"{tenants}-tenant fleet, best of {repeats}"
+    )
+    engine_row = measure(
+        "engine", lambda chaos: run_engine(months, partitions, chaos), repeats
+    )
+    fleet_row = measure(
+        "fleet",
+        lambda chaos: run_fleet(months, tenants, partitions, chaos),
+        repeats,
+    )
+
+    if args.quick:
+        print("quick mode: calm-identity asserted, nothing written")
+        return
+
+    payload = {
+        "benchmark": "chaos_overhead",
+        "workload": {
+            "months": months,
+            "partitions_per_tenant": partitions,
+            "fleet_tenants": tenants,
+            "repeats": repeats,
+        },
+        "engine": engine_row,
+        "fleet": fleet_row,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

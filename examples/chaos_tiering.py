@@ -1,0 +1,193 @@
+"""Fault injection walkthrough: a disruption storm against a tiered fleet.
+
+:mod:`repro.chaos` replays *deterministic* disruptions — provider outages,
+price shocks, capacity squeezes, tenant churn — against the same engine and
+fleet scheduler a calm run uses.  The contract this example demonstrates:
+
+1. **Calm runs are untouched.**  The same fleet run twice, once bare and
+   once with an empty :class:`~repro.chaos.DisruptionSchedule` attached,
+   bills bit-identically.
+2. **Outages force evacuation, once.**  When ``azure_blob`` goes dark, every
+   partition resident on its tiers is moved off at the outage epoch — egress
+   billed exactly once, early-deletion penalties waived (the provider lost
+   the data; the tenant does not also pay the minimum-stay fine).
+3. **Shocks re-price the live catalog.**  A storage price hike lands at its
+   epoch boundary; delta-solve caches are selectively invalidated, so
+   incremental mode re-converges to the full solve's answer.
+4. **Unfixable events degrade, loudly.**  A capacity squeeze no arbitration
+   can satisfy walks the relaxation ladder (suspend pool budgets → freeze
+   placement) and records a structured
+   :class:`~repro.chaos.DegradationReport` instead of crashing the run.
+
+The disrupted run is traced end to end: the ``chaos.*`` spans and counters
+ride the same observability pipeline as the solver (JSONL export via
+``--out``; CI validates it against ``schemas/obs_export.schema.json``).
+
+Run with:  python examples/chaos_tiering.py [--quick] [--out chaos.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import obs
+from repro.chaos import (
+    ChaosInjector,
+    DisruptionSchedule,
+    PoolShock,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+)
+from repro.cloud import PoolSet, multi_cloud_catalog
+from repro.engine import EngineConfig, PeriodicReoptimize
+from repro.fleet import FleetConfig, FleetScheduler, TenantSpec
+from repro.workloads import generate_fleet_workload
+
+#: The chaos phases the traced storm must cover.
+REQUIRED_PHASES = ("chaos.apply", "chaos.event")
+
+SEED = 2023
+SLACK = 1e9
+
+
+def _banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def build_fleet(months: int, num_tenants: int, partitions: int,
+                chaos: ChaosInjector | None = None) -> FleetScheduler:
+    catalog = multi_cloud_catalog()
+    config = EngineConfig(horizon_months=6.0, window_months=6)
+    fleet = generate_fleet_workload(
+        num_tenants, partitions, months, seed=SEED
+    )
+    specs = [
+        TenantSpec(
+            name=tenant.name,
+            partitions=tenant.partitions,
+            policy=PeriodicReoptimize(2),
+            series=tenant.series,
+            profiles=tenant.profiles,
+            config=config,
+            latency_slo_s=tenant.workload.latency_slo_s,
+        )
+        for tenant in fleet
+    ]
+    pools = PoolSet.per_provider(
+        catalog, {name: SLACK for name in catalog.provider_names}
+    )
+    return FleetScheduler(
+        specs, catalog, pools=pools,
+        config=FleetConfig(engine=config), chaos=chaos,
+    )
+
+
+def build_storm(months: int) -> DisruptionSchedule:
+    """Outage -> price hike -> recovery -> unsatisfiable capacity squeeze."""
+    events = [
+        ProviderOutage(epoch=2, provider="azure_blob"),
+        PriceShock(epoch=3, provider="aws_s3", storage_factor=4.0),
+        ProviderRecovery(epoch=4, provider="azure_blob"),
+    ]
+    # Shrink every provider's budget to a few GB at the re-admission epoch
+    # (the forced evacuation at 2 reset the periodic clock, so the policy
+    # fires at 4): no arbitration can satisfy this, so the stacked solve must
+    # degrade gracefully rather than crash.
+    events.extend(
+        PoolShock(epoch=4, pool=name, capacity_gb=2.0)
+        for name in multi_cloud_catalog().provider_names
+    )
+    return DisruptionSchedule(events)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the traced run's JSONL export to this path",
+    )
+    args = parser.parse_args(argv)
+    months = 6 if args.quick else 8
+    num_tenants = 2 if args.quick else 3
+    partitions = 4 if args.quick else 6
+
+    _banner("1. Calm-run identity: an empty schedule changes nothing")
+    calm = build_fleet(months, num_tenants, partitions).run(num_epochs=months)
+    attached_injector = ChaosInjector(DisruptionSchedule.empty())
+    attached = build_fleet(
+        months, num_tenants, partitions, chaos=attached_injector
+    ).run(num_epochs=months)
+    assert attached.total_bill == calm.total_bill, "calm-run identity broke"
+    print(
+        f"\ncalm bill {calm.total_bill:,.2f} cents == attached-empty bill "
+        f"{attached.total_bill:,.2f} cents (bit-identical)"
+    )
+
+    _banner("2. The storm: outage -> price shock -> recovery -> pool squeeze")
+    schedule = build_storm(months)
+    for event in schedule:
+        print(f"  epoch {event.epoch}: {event.describe()}")
+
+    chaos = ChaosInjector(schedule)
+    with obs.observed() as run:
+        report = build_fleet(
+            months, num_tenants, partitions, chaos=chaos
+        ).run(num_epochs=months)
+    snap = run.snapshot()
+
+    print(
+        f"\ndisrupted bill {report.total_bill:,.2f} cents "
+        f"(calm was {calm.total_bill:,.2f}; chaos premium "
+        f"{report.total_bill - calm.total_bill:+,.2f})"
+    )
+
+    _banner("3. Degradation reports: what broke, what the engine did about it")
+    for degradation in chaos.reports:
+        print()
+        print(degradation.render())
+    summary = chaos.summary()
+    print(
+        f"\n{summary['events_applied']} events over "
+        f"{summary['epochs_affected']} epochs; actions "
+        f"{summary['actions_by_kind']}; attributed bill impact "
+        f"{summary['bill_impact_cents']:,.2f} cents"
+    )
+    assert summary["degraded_epochs"], "the squeeze should have degraded"
+
+    _banner("4. chaos.* phases in the standard observability exports")
+    chaos_spans = [r for r in snap.spans if r.name.startswith("chaos.")]
+    print(f"\n{len(chaos_spans)} chaos spans captured:\n")
+    print(obs.render_span_tree(chaos_spans))
+    chaos_metrics = [m for m in snap.metrics if m.name.startswith("chaos.")]
+    for metric in chaos_metrics:
+        print(f"  {metric.name}{metric.labels or ''} = {metric.value:g}")
+
+    jsonl = obs.to_jsonl(snap)
+    assert obs.to_jsonl(obs.parse_jsonl(jsonl)) == jsonl, "JSONL round trip broke"
+    print(f"\nJSONL export: {len(jsonl.splitlines())} lines (round trip verified)")
+    if args.out is not None:
+        args.out.write_text(jsonl)
+        print(f"wrote {args.out}")
+
+    covered = {record.name for record in snap.spans}
+    missing = [name for name in REQUIRED_PHASES if name not in covered]
+    assert not missing, f"span coverage is missing phases: {missing}"
+    print(
+        f"\ntraced {len(snap.spans)} spans / {len(snap.metrics)} metric "
+        f"series; all {len(REQUIRED_PHASES)} chaos phases covered; every "
+        f"disruption ended in a valid placement or a DegradationReport"
+    )
+
+
+if __name__ == "__main__":
+    main()

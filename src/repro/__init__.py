@@ -14,16 +14,30 @@ guarantees) and every substrate it needs to run on a laptop:
 * :mod:`repro.engine` — the online tiering engine: continuous SCOPe over
   streaming access logs with pluggable re-optimization policies;
 * :mod:`repro.fleet` — fleet-scale multi-tenant tiering: many engines
-  epoch-locked over shared capacity pools with stacked, arbitrated solves.
+  epoch-locked over shared capacity pools with stacked, arbitrated solves;
+* :mod:`repro.chaos` — deterministic fault injection (provider outages,
+  price/pool shocks, tenant churn) with graceful degradation reporting.
 
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-from . import cloud, compression, core, engine, fleet, ml, obs, tabular, workloads
+from . import (
+    chaos,
+    cloud,
+    compression,
+    core,
+    engine,
+    fleet,
+    ml,
+    obs,
+    tabular,
+    workloads,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "chaos",
     "cloud",
     "compression",
     "core",

@@ -1,0 +1,54 @@
+"""Deterministic fault injection and graceful degradation.
+
+The chaos subsystem answers one question about the tiering optimizer: *what
+happens when the cloud misbehaves mid-run?*  A
+:class:`DisruptionSchedule` — a validated, epoch-sorted list of typed events
+(provider outages and recoveries, price shocks, pool shocks, tenant churn)
+— is applied at epoch boundaries by a :class:`ChaosInjector` attached to an
+:class:`~repro.engine.OnlineTieringEngine` or
+:class:`~repro.fleet.FleetScheduler` via their ``chaos=`` parameter.
+
+Guarantees, pinned by tests:
+
+* a run with no injector (or an empty schedule) is bit-identical to the
+  pre-chaos code on every bill — all chaos paths are inert when unused;
+* an outage masks the dead provider's tiers infeasible and force-evacuates
+  residents exactly once (egress billed, early-deletion waived); recovered
+  providers are re-admitted only at the next policy-driven re-optimization;
+* a disruption the optimizer cannot absorb degrades gracefully through the
+  existing relaxation ladder instead of crashing, recording a structured
+  :class:`DegradationReport` (what was relaxed, which SLOs were violated,
+  what the disruption cost) — no unhandled
+  :class:`~repro.core.optassign.InfeasibleError` escapes the engine or the
+  fleet scheduler;
+* every disruption emits ``chaos.*`` spans and counters through
+  :mod:`repro.obs`.
+"""
+
+from .events import (
+    DisruptionEvent,
+    DisruptionSchedule,
+    PoolShock,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+    TenantJoin,
+    TenantLeave,
+)
+from .injector import ChaosInjector
+from .report import ACTION_KINDS, DegradationAction, DegradationReport
+
+__all__ = [
+    "ACTION_KINDS",
+    "ChaosInjector",
+    "DegradationAction",
+    "DegradationReport",
+    "DisruptionEvent",
+    "DisruptionSchedule",
+    "PoolShock",
+    "PriceShock",
+    "ProviderOutage",
+    "ProviderRecovery",
+    "TenantJoin",
+    "TenantLeave",
+]

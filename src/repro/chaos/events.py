@@ -1,0 +1,314 @@
+"""Typed disruption events and the schedule that sequences them.
+
+A :class:`DisruptionSchedule` is the chaos subsystem's *entire* input: a
+validated, epoch-sorted list of frozen event records describing what goes
+wrong and when.  The schedule itself is pure data — applying it to a live
+engine or fleet is the :class:`~repro.chaos.ChaosInjector`'s job — so the
+same schedule can be replayed against different policies, solver modes or
+fleet rosters and the runs stay deterministic and comparable.
+
+Six event types cover the disruption taxonomy:
+
+* :class:`ProviderOutage` / :class:`ProviderRecovery` — a cloud provider's
+  tiers go dark (masked infeasible, residents force-evacuated) and later
+  come back (re-admitted at the next policy-driven re-optimization, never
+  mid-epoch);
+* :class:`PriceShock` — a live catalog is re-priced in place (per provider,
+  per named tier, or across the board), so both the optimizer's candidate
+  costs and the simulator's bills change mid-run;
+* :class:`PoolShock` — a shared capacity pool shrinks (or grows) mid-run;
+* :class:`TenantJoin` / :class:`TenantLeave` — fleet roster churn.
+
+All events land at an *epoch boundary*: before the epoch's policy decisions,
+solves and billing.  Pairing rules (no recovery without a preceding outage,
+no double outage) are validated at schedule construction so a typo'd
+schedule fails loudly before any simulation runs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "DisruptionEvent",
+    "ProviderOutage",
+    "ProviderRecovery",
+    "PriceShock",
+    "PoolShock",
+    "TenantJoin",
+    "TenantLeave",
+    "DisruptionSchedule",
+]
+
+
+@dataclass(frozen=True)
+class DisruptionEvent:
+    """Base record: something happens at the start of ``epoch``."""
+
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise ValueError(f"event epoch must be non-negative, got {self.epoch}")
+
+    @property
+    def kind(self) -> str:
+        """Snake-case event-type tag (``provider_outage``, ``price_shock``…)."""
+        name = type(self).__name__
+        return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+    def describe(self) -> str:
+        """Human-readable one-liner for DegradationReports and logs."""
+        return f"{self.kind}@{self.epoch}"
+
+
+@dataclass(frozen=True)
+class ProviderOutage(DisruptionEvent):
+    """Every tier of ``provider`` becomes infeasible until recovery.
+
+    Residents of the dead tiers are force-evacuated at this epoch's solve
+    (their re-optimization cannot wait for policy drift), with egress billed
+    once and early-deletion penalties waived — an outage is not a voluntary
+    early deletion.
+    """
+
+    provider: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.provider:
+            raise ValueError("outage needs a provider name")
+
+    def describe(self) -> str:
+        return f"provider {self.provider!r} outage at epoch {self.epoch}"
+
+
+@dataclass(frozen=True)
+class ProviderRecovery(DisruptionEvent):
+    """``provider``'s tiers become feasible again.
+
+    Recovery un-bans the tiers and re-arms suspended residency pins but
+    never fires a solve itself: evacuated data moves home only when the
+    next policy-driven re-optimization decides to.
+    """
+
+    provider: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.provider:
+            raise ValueError("recovery needs a provider name")
+
+    def describe(self) -> str:
+        return f"provider {self.provider!r} recovery at epoch {self.epoch}"
+
+
+@dataclass(frozen=True)
+class PriceShock(DisruptionEvent):
+    """In-place catalog re-pricing: factors multiply the current rates.
+
+    Scope the shock with ``provider`` (that provider's tiers) or
+    ``tier_names`` (explicit catalog tier names), or neither for the whole
+    catalog; naming both is ambiguous and rejected.  Factors of 1.0 leave a
+    rate untouched; at least one factor must differ from 1.0.
+    """
+
+    storage_factor: float = 1.0
+    read_factor: float = 1.0
+    write_factor: float = 1.0
+    provider: str | None = None
+    tier_names: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for label, factor in (
+            ("storage_factor", self.storage_factor),
+            ("read_factor", self.read_factor),
+            ("write_factor", self.write_factor),
+        ):
+            if not math.isfinite(factor) or factor <= 0:
+                raise ValueError(f"{label} must be positive and finite, got {factor}")
+        if self.storage_factor == self.read_factor == self.write_factor == 1.0:
+            raise ValueError("a price shock must change at least one rate")
+        if self.provider is not None and self.tier_names is not None:
+            raise ValueError(
+                "scope a price shock by provider OR tier_names, not both"
+            )
+        if self.tier_names is not None:
+            object.__setattr__(self, "tier_names", tuple(self.tier_names))
+            if not self.tier_names:
+                raise ValueError("tier_names must name at least one tier")
+
+    @property
+    def decreased(self) -> bool:
+        """True when any rate goes *down* (delta caches must widen fully)."""
+        return min(self.storage_factor, self.read_factor, self.write_factor) < 1.0
+
+    def describe(self) -> str:
+        scope = (
+            f"provider {self.provider!r}"
+            if self.provider is not None
+            else f"tiers {list(self.tier_names)}"
+            if self.tier_names is not None
+            else "all tiers"
+        )
+        return (
+            f"price shock on {scope} at epoch {self.epoch} "
+            f"(storage ×{self.storage_factor:g}, read ×{self.read_factor:g}, "
+            f"write ×{self.write_factor:g})"
+        )
+
+
+@dataclass(frozen=True)
+class PoolShock(DisruptionEvent):
+    """A shared capacity pool is resized mid-run.
+
+    Give ``capacity_factor`` (multiplies the pool's current budget) or
+    ``capacity_gb`` (absolute new budget), exactly one.  Fleet-level only.
+    """
+
+    pool: str = ""
+    capacity_factor: float | None = None
+    capacity_gb: float | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.pool:
+            raise ValueError("pool shock needs a pool name")
+        if (self.capacity_factor is None) == (self.capacity_gb is None):
+            raise ValueError(
+                "give exactly one of capacity_factor or capacity_gb"
+            )
+        value = (
+            self.capacity_factor
+            if self.capacity_factor is not None
+            else self.capacity_gb
+        )
+        if not math.isfinite(value) or value <= 0:
+            raise ValueError(f"pool shock size must be positive and finite: {value}")
+
+    def describe(self) -> str:
+        change = (
+            f"×{self.capacity_factor:g}"
+            if self.capacity_factor is not None
+            else f"to {self.capacity_gb:g} GB"
+        )
+        return f"pool {self.pool!r} resized {change} at epoch {self.epoch}"
+
+
+@dataclass(frozen=True)
+class TenantJoin(DisruptionEvent):
+    """A tenant joins the fleet mid-run.  Fleet-level only.
+
+    ``spec`` is a :class:`repro.fleet.TenantSpec` (duck-typed here so the
+    chaos package imports without the fleet layer).  The injector builds the
+    tenant's epoch stream from the spec's series, re-tagged to start at the
+    join epoch.
+    """
+
+    spec: object = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.spec is None or not getattr(self.spec, "name", ""):
+            raise ValueError("tenant join needs a TenantSpec with a name")
+
+    def describe(self) -> str:
+        return f"tenant {self.spec.name!r} joins at epoch {self.epoch}"
+
+
+@dataclass(frozen=True)
+class TenantLeave(DisruptionEvent):
+    """A tenant leaves the fleet, releasing its pool reservations.
+    Fleet-level only."""
+
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tenant:
+            raise ValueError("tenant leave needs a tenant name")
+
+    def describe(self) -> str:
+        return f"tenant {self.tenant!r} leaves at epoch {self.epoch}"
+
+
+def _check_pairing(events: Sequence[DisruptionEvent]) -> None:
+    """Outage/recovery must alternate per provider, recovery strictly later."""
+    down_since: dict[str, int] = {}
+    for event in events:  # already epoch-sorted
+        if isinstance(event, ProviderOutage):
+            if event.provider in down_since:
+                raise ValueError(
+                    f"provider {event.provider!r} is already down at epoch "
+                    f"{event.epoch} (outage at epoch "
+                    f"{down_since[event.provider]} was never recovered)"
+                )
+            down_since[event.provider] = event.epoch
+        elif isinstance(event, ProviderRecovery):
+            started = down_since.pop(event.provider, None)
+            if started is None:
+                raise ValueError(
+                    f"recovery of provider {event.provider!r} at epoch "
+                    f"{event.epoch} has no preceding outage"
+                )
+            if event.epoch <= started:
+                raise ValueError(
+                    f"provider {event.provider!r} cannot recover at epoch "
+                    f"{event.epoch}, the same epoch as (or before) its outage"
+                )
+
+
+@dataclass(frozen=True)
+class DisruptionSchedule:
+    """A validated, epoch-sorted sequence of disruption events.
+
+    Events sharing an epoch keep their given order (stable sort), so e.g. a
+    price shock and an outage at the same epoch apply in the order written.
+    An empty schedule is valid — attaching one to an engine or fleet is the
+    calm run, bit-identical to running with no chaos at all (pinned by
+    test).
+    """
+
+    events: tuple[DisruptionEvent, ...] = ()
+    _by_epoch: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __init__(self, events: Iterable[DisruptionEvent] = ()):
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, DisruptionEvent):
+                raise TypeError(
+                    f"schedule entries must be DisruptionEvents, got {event!r}"
+                )
+        ordered = tuple(sorted(events, key=lambda event: event.epoch))
+        _check_pairing(ordered)
+        by_epoch: dict[int, tuple[DisruptionEvent, ...]] = {}
+        for event in ordered:
+            by_epoch[event.epoch] = by_epoch.get(event.epoch, ()) + (event,)
+        object.__setattr__(self, "events", ordered)
+        object.__setattr__(self, "_by_epoch", by_epoch)
+
+    @classmethod
+    def empty(cls) -> "DisruptionSchedule":
+        """The calm schedule: no events, every chaos path inert."""
+        return cls()
+
+    def at(self, epoch: int) -> tuple[DisruptionEvent, ...]:
+        """Events landing at the start of ``epoch`` (possibly empty)."""
+        return self._by_epoch.get(epoch, ())
+
+    @property
+    def final_epoch(self) -> int:
+        """Epoch of the last event, or -1 for an empty schedule."""
+        return self.events[-1].epoch if self.events else -1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DisruptionEvent]:
+        return iter(self.events)

@@ -18,7 +18,7 @@ accounting run on.  Tiers not covered by any pool stay pay-per-use
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -122,6 +122,30 @@ class PoolSet:
     def tiers_of(self, pool_index: int) -> np.ndarray:
         """Catalog tier indices belonging to the pool at ``pool_index``."""
         return np.flatnonzero(self.pool_of_tier == pool_index)
+
+    def set_capacity(self, pool_name: str, capacity_gb: float) -> float:
+        """Resize one pool's budget **in place**, preserving set identity.
+
+        Mid-run capacity shocks (the chaos subsystem's ``PoolShock``) must not
+        swap the :class:`PoolSet` object out from under the fleet scheduler —
+        the scheduler validates ``pools.catalog is tiers`` once at
+        construction and reads ``self.pools.capacities`` every epoch — so the
+        budget changes in place.  Tier membership is immutable; only the GB
+        budget moves.  Returns the previous capacity.
+        """
+        names = [pool.name for pool in self.pools]
+        try:
+            pool_index = names.index(pool_name)
+        except ValueError:
+            raise KeyError(f"unknown pool {pool_name!r} (pools: {names})") from None
+        previous = self.pools[pool_index].capacity_gb
+        # replace() re-runs CapacityPool's validation (positive, finite).
+        resized = replace(self.pools[pool_index], capacity_gb=capacity_gb)
+        self.pools = (
+            self.pools[:pool_index] + (resized,) + self.pools[pool_index + 1 :]
+        )
+        self.capacities[pool_index] = capacity_gb
+        return previous
 
     # -- aggregation ----------------------------------------------------------
     def usage(self, tier_usage_gb: np.ndarray) -> np.ndarray:

@@ -144,6 +144,11 @@ class TierCatalog:
         self._by_name = {tier.name: index for index, tier in enumerate(self._tiers)}
         self._cost_arrays: dict[str, np.ndarray] | None = None
         self._change_matrix: np.ndarray | None = None
+        #: Monotonic counter bumped by every in-place :meth:`reprice`.  Caches
+        #: keyed on catalog identity (``id(catalog)``) must also key on this
+        #: version, or an in-place re-pricing would go unnoticed (see
+        #: ``DeltaSolver._pricing_signature``).
+        self.pricing_version: int = 0
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -281,6 +286,56 @@ class TierCatalog:
                 [matrix, costs["write_cost"][None, :]]
             )
         return self._change_matrix
+
+    def reprice(
+        self,
+        tier_names: Iterable[str] | None = None,
+        *,
+        storage_factor: float = 1.0,
+        read_factor: float = 1.0,
+        write_factor: float = 1.0,
+    ) -> tuple[int, ...]:
+        """Re-price tiers **in place**, preserving catalog identity.
+
+        Live systems (the chaos subsystem's ``PriceShock`` in particular)
+        re-price mid-run while engines, pool sets and stacked solvers all hold
+        references to *this* catalog object — so the mutation happens in
+        place: tier names, ordering and latencies are untouched (tier indices
+        stay valid), the cached cost arrays and change matrix are dropped, and
+        :attr:`pricing_version` is bumped so price-keyed caches can detect the
+        change.  Returns the affected tier indices.
+
+        ``tier_names`` limits the re-pricing to those tiers (default: all).
+        Factors multiply the current prices and must be positive.
+        """
+        for label, factor in (
+            ("storage_factor", storage_factor),
+            ("read_factor", read_factor),
+            ("write_factor", write_factor),
+        ):
+            if not factor > 0:
+                raise ValueError(f"{label} must be positive, got {factor!r}")
+        if tier_names is None:
+            affected = set(range(len(self._tiers)))
+        else:
+            affected = {self.index_of(name) for name in tier_names}  # KeyError
+        if not affected:
+            raise ValueError("reprice needs at least one tier")
+        self._tiers = tuple(
+            replace(
+                tier,
+                storage_cost=tier.storage_cost * storage_factor,
+                read_cost=tier.read_cost * read_factor,
+                write_cost=tier.write_cost * write_factor,
+            )
+            if index in affected
+            else tier
+            for index, tier in enumerate(self._tiers)
+        )
+        self._cost_arrays = None
+        self._change_matrix = None
+        self.pricing_version += 1
+        return tuple(sorted(affected))
 
     def with_capacities(self, capacities: Sequence[float]) -> "TierCatalog":
         """Return a new catalog with per-tier reserved capacities (in GB)."""

@@ -164,6 +164,90 @@ class DeltaSolver:
         self._slo: dict[str, float] = {}
         self._affinity: dict[str, frozenset] = {}
         self._profiles: dict[str, dict] = {}
+        self._banned: frozenset[int] = frozenset()
+        self._forced: set[str] = set()
+
+    # -- selective invalidation ---------------------------------------------------
+    def invalidate(self, names: "set[str] | list[str] | tuple[str, ...]") -> None:
+        """Force the named rows to re-solve on their next appearance.
+
+        The chaos subsystem uses this for *selective* cache invalidation:
+        only the rows whose tier/price/pool context actually changed are
+        marked, everything else keeps its pin.  Names that never appear again
+        are harmless (and dropped once their tenant's instance re-solves).
+        """
+        self._forced.update(names)
+
+    def forget(self, names: "set[str] | list[str] | tuple[str, ...]") -> None:
+        """Drop the named rows from the cache entirely (tenant departure).
+
+        Unlike :meth:`invalidate` the rows do not re-solve — they stop
+        existing, so a departing tenant's rows no longer occupy the merge
+        path's arrays or leak into budget math if a same-named tenant later
+        joins.
+        """
+        wanted = set(names)
+        self._forced -= wanted
+        if self._names is None:
+            return
+        drop = wanted & set(self._names)
+        for name in wanted:
+            self._options.pop(name, None)
+            self._slo.pop(name, None)
+            self._affinity.pop(name, None)
+            self._profiles.pop(name, None)
+        if not drop:
+            return
+        keep = [i for i, name in enumerate(self._names) if name not in drop]
+        if not keep:
+            # Everything is gone; bootstrap fresh on the next solve.
+            self.reset()
+            return
+        rows = np.asarray(keep, dtype=np.int64)
+        self._features = {
+            key: column[rows] for key, column in self._features.items()
+        }
+        self._tier = self._tier[rows]
+        self._stored = self._stored[rows]
+        self._codec = tuple(self._codec[i] for i in keep)
+        self._names = tuple(self._names[i] for i in keep)
+        self._index = None
+
+    def note_repricing(
+        self,
+        tiers,
+        tier_indices: "set[int] | list[int] | tuple[int, ...] | None" = None,
+        decreased: bool = False,
+    ) -> None:
+        """Acknowledge an in-place catalog :meth:`~repro.cloud.TierCatalog.reprice`.
+
+        Updates the cached pricing signature to the catalog's new
+        ``pricing_version`` (so the next solve does *not* flush the whole
+        cache) and selectively invalidates the rows the re-pricing can
+        actually affect: rows currently pinned on a repriced tier.  When any
+        price *decreased* (or ``tier_indices`` is ``None``) every row is
+        invalidated — a cheaper tier can attract partitions pinned anywhere,
+        whereas a pure increase can only evict the rows sitting on it (a
+        pricier candidate never overtakes another row's standing argmin).
+
+        Without this acknowledgment the solver stays safe: the bumped
+        ``pricing_version`` changes the signature and the next solve falls
+        back to a full re-solve.
+        """
+        if self._pricing is None or self._pricing[0] != id(tiers):
+            return
+        self._pricing = (self._pricing[0], tiers.pricing_version) + self._pricing[2:]
+        if self._names is None:
+            return
+        if decreased or tier_indices is None:
+            self._forced.update(self._names)
+            return
+        affected = np.isin(
+            self._tier, np.fromiter(sorted(tier_indices), dtype=np.int64)
+        )
+        self._forced.update(
+            name for name, hit in zip(self._names, affected.tolist()) if hit
+        )
 
     # -- public entry point -----------------------------------------------------
     def solve(
@@ -310,9 +394,13 @@ class DeltaSolver:
 
     # -- change detection -------------------------------------------------------
     def _pricing_signature(self, problem: OptAssignProblem) -> tuple:
+        # pricing_version catches in-place catalog re-pricing, which keeps
+        # id(tiers) stable by design; chaos acknowledges the bump through
+        # note_repricing() to invalidate selectively instead of flushing.
         model = problem.cost_model
         return (
             id(model.tiers),
+            model.tiers.pricing_version,
             model.duration_months,
             model.compute_cost_per_s,
             model.weights,
@@ -402,6 +490,22 @@ class DeltaSolver:
             for i, name in enumerate(names):
                 if name in flagged:
                     changed[i] = True
+        if self._forced:
+            for i, name in enumerate(names):
+                if name in self._forced:
+                    changed[i] = True
+        banned = problem.banned_tiers
+        if self._banned - banned:
+            # Bans were lifted (provider recovery): a newly available tier
+            # can attract partitions pinned anywhere, so nothing stays pinned.
+            changed[:] = True
+        elif banned:
+            # A pinned row sitting on a banned tier must evacuate — checked
+            # unconditionally (not just against the ban *diff*) so rows whose
+            # instance skipped the epoch the ban landed still re-solve.
+            changed |= np.isin(
+                pinned_tier, np.fromiter(sorted(banned), dtype=np.int64)
+            )
         return changed, pinned_tier, pinned_stored
 
     def _name_index(self) -> dict[str, int]:
@@ -436,6 +540,7 @@ class DeltaSolver:
             for name in sub_arrays.names
             if (allowed := problem._provider_affinity.get(name)) is not None
         }
+        sub._banned_tiers = problem._banned_tiers
         sub._arrays = sub_arrays
         sub._profile_columns_cache = None
         sub._tensors = None
@@ -540,6 +645,10 @@ class DeltaSolver:
         ones by construction, so only features differ.
         """
         self._pricing = pricing
+        self._banned = problem.banned_tiers
+        # Rows covered by this instance were just (re-)solved; forced marks
+        # for names outside it stay armed until their tenant next fires.
+        self._forced -= set(arrays.names)
         features = {
             "size_gb": arrays.size_gb,
             "predicted_accesses": arrays.predicted_accesses,

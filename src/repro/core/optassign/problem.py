@@ -89,6 +89,11 @@ class OptAssignProblem:
         of provider names (data-residency pinning).  Names must exist in the
         cost model's catalog (``tiers.provider_names``); a plain
         single-provider catalog only knows ``"default"``.
+    banned_tiers:
+        Optional catalog tier indices that no partition may occupy — the
+        chaos subsystem masks a dead provider's tiers this way during an
+        outage.  Like SLO caps and affinity this is a hard tier-eligibility
+        constraint, never touched by latency relaxation.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class OptAssignProblem:
         profiles: ProfileTable | None = None,
         latency_slo_s: Mapping[str, float] | None = None,
         provider_affinity: Mapping[str, str | Iterable[str]] | None = None,
+        banned_tiers: Iterable[int] | None = None,
     ):
         arrays: PartitionArrays | None = None
         if isinstance(partitions, PartitionArrays):
@@ -153,6 +159,18 @@ class OptAssignProblem:
                     f"(catalog has {sorted(catalog_providers)})"
                 )
             self._provider_affinity[name] = allowed
+        self._banned_tiers: frozenset[int] = frozenset(
+            int(index) for index in (banned_tiers or ())
+        )
+        tier_count = len(cost_model.tiers)
+        out_of_range = [i for i in self._banned_tiers if i < 0 or i >= tier_count]
+        if out_of_range:
+            raise ValueError(
+                f"banned_tiers out of range for a {tier_count}-tier catalog: "
+                f"{sorted(out_of_range)}"
+            )
+        if len(self._banned_tiers) == tier_count:
+            raise ValueError("banned_tiers may not cover the whole catalog")
         self._arrays: PartitionArrays | None = arrays
         self._profile_columns_cache: (
             tuple[tuple[str, ...], np.ndarray, np.ndarray, np.ndarray] | None
@@ -183,6 +201,11 @@ class OptAssignProblem:
         """Provider names the partition may occupy, or ``None`` if unconstrained."""
         return self._provider_affinity.get(partition_name)
 
+    @property
+    def banned_tiers(self) -> frozenset[int]:
+        """Tier indices masked infeasible for every partition (empty if none)."""
+        return self._banned_tiers
+
     # -- candidate enumeration ----------------------------------------------------
     def options_for(
         self, partition: DataPartition, include_infeasible: bool = False
@@ -202,10 +225,14 @@ class OptAssignProblem:
             slo_feasible = (
                 slo_cap is None or tiers[tier_index].effective_slo_s <= slo_cap
             )
+            # A banned tier is reported through the provider_allowed flag:
+            # bans model provider-level faults (outages), and reusing the
+            # existing flag keeps CandidateOption's shape — and therefore the
+            # scalar/vectorized feasibility parity — unchanged.
             provider_allowed = (
                 allowed_providers is None
                 or tiers.provider_of(tier_index) in allowed_providers
-            )
+            ) and tier_index not in self._banned_tiers
             for scheme in self.schemes_for(partition):
                 profile = self._profiles[partition.name][scheme]
                 latency = model.access_latency_s(partition, tier_index, profile)
@@ -285,8 +312,13 @@ class OptAssignProblem:
         return caps
 
     def _tier_allowed_mask(self) -> np.ndarray | None:
-        """(N, T) provider-affinity mask, or ``None`` when unconstrained."""
-        if not self._provider_affinity:
+        """(N, T) affinity + banned-tier mask, or ``None`` when unconstrained.
+
+        Returning ``None`` (rather than an all-true mask) when there is no
+        affinity and no ban keeps the calm-run tensors byte-identical to the
+        pre-constraint code path.
+        """
+        if not self._provider_affinity and not self._banned_tiers:
             return None
         tiers = self.cost_model.tiers
         tier_provider = [tiers.provider_of(t) for t in range(self.tier_count)]
@@ -296,6 +328,8 @@ class OptAssignProblem:
             if allowed is None:
                 continue
             mask[n] = [provider in allowed for provider in tier_provider]
+        if self._banned_tiers:
+            mask[:, sorted(self._banned_tiers)] = False
         return mask
 
     def min_stored_gb(self) -> np.ndarray:
@@ -423,6 +457,7 @@ class OptAssignProblem:
             self._profiles,
             latency_slo_s=self._latency_slo,
             provider_affinity=self._provider_affinity,
+            banned_tiers=self._banned_tiers,
         )
 
     def relaxed(self, latency_factor: float) -> "OptAssignProblem":
@@ -452,11 +487,12 @@ class OptAssignProblem:
         problem.partitions = relaxed_partitions
         problem.cost_model = self.cost_model
         problem._profiles = self._profiles
-        # SLO caps and provider affinity are *hard* constraints: latency
-        # relaxation widens the SLA thresholds but never the tier-eligibility
-        # masks, so both carry over unchanged.
+        # SLO caps, provider affinity and banned tiers are *hard* constraints:
+        # latency relaxation widens the SLA thresholds but never the
+        # tier-eligibility masks, so all three carry over unchanged.
         problem._latency_slo = self._latency_slo
         problem._provider_affinity = self._provider_affinity
+        problem._banned_tiers = self._banned_tiers
         problem._arrays = None
         # The profile columns depend only on the (shared) profile table and
         # the partition order, so the relaxed copy can reuse them; the cost

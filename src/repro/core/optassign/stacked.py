@@ -132,6 +132,12 @@ class StackedProblem:
         stacked._profiles = profiles
         stacked._latency_slo = latency_slo
         stacked._provider_affinity = affinity
+        # Banned tiers describe the shared catalog's state (a provider
+        # outage), not any one tenant, so the union is the fleet's view; in
+        # practice every sub-problem carries the same set.
+        stacked._banned_tiers = frozenset().union(
+            *(problem.banned_tiers for problem in problems.values())
+        )
         stacked._arrays = None
         stacked._profile_columns_cache = None
         stacked._tensors = None

@@ -42,6 +42,7 @@ from ..cloud import (
 from ..core.access_predict import WindowedAccessForecaster
 from ..core.optassign import (
     DeltaSolver,
+    InfeasibleError,
     OptAssignProblem,
     ProfileTable,
     solve_optassign,
@@ -214,6 +215,12 @@ class OnlineTieringEngine:
         continuous *multi-cloud* tiering loop: drift-triggered
         re-optimizations may move partitions between providers, with the
         executor billing cross-provider egress on every such move.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosInjector` applying a
+        :class:`~repro.chaos.DisruptionSchedule` at epoch boundaries (provider
+        outages, price shocks).  Without one — the calm run — every chaos code
+        path is inert and the engine's bills are bit-identical to the
+        pre-chaos code.
     """
 
     def __init__(
@@ -227,6 +234,7 @@ class OnlineTieringEngine:
         forecaster: WindowedAccessForecaster | None = None,
         latency_slo_s: Mapping[str, float] | None = None,
         provider_affinity: Mapping[str, object] | None = None,
+        chaos: object | None = None,
     ):
         if not partitions:
             raise ValueError("at least one partition is required")
@@ -243,6 +251,9 @@ class OnlineTieringEngine:
         self._provider_affinity = (
             dict(provider_affinity) if provider_affinity else None
         )
+        self.chaos = chaos
+        self._banned_tiers: frozenset[int] = frozenset()
+        self._lifted_affinity: dict[str, object] = {}
         self.simulator = CloudStorageSimulator(
             tiers, compute_cost_per_s=self.config.compute_cost_per_s
         )
@@ -308,13 +319,31 @@ class OnlineTieringEngine:
         with get_tracer().span("engine.epoch", epoch=batch.epoch) as span:
             migration: MigrationReport | None = None
             reoptimized = False
-            if self.begin_epoch(batch.epoch):
+            force_fire = False
+            if self.chaos is not None:
+                force_fire = self.chaos.before_engine_epoch(self, batch.epoch)
+            if self.begin_epoch(batch.epoch) or force_fire:
                 problem = self.build_problem(batch.epoch)
-                assignment = self.solve_problem(problem)
-                migration = self.apply_assignment(
-                    batch.epoch, assignment.to_placement()
-                )
-                reoptimized = True
+                try:
+                    assignment = self.solve_problem(problem)
+                except InfeasibleError as error:
+                    # Graceful degradation is a chaos-run contract only: a calm
+                    # run keeps its loud fail-fast certificates.  With chaos
+                    # attached and a standing placement to fall back on, the
+                    # epoch is billed at the frozen layout and the failure is
+                    # recorded as a structured DegradationReport.
+                    if self.chaos is None or self.placement is None:
+                        raise
+                    self.chaos.record_frozen_placement(self, batch.epoch, error)
+                else:
+                    migration = self.apply_assignment(
+                        batch.epoch, assignment.to_placement()
+                    )
+                    reoptimized = True
+                    if self.chaos is not None:
+                        self.chaos.note_migration(
+                            batch.epoch, migration, self._banned_tiers
+                        )
             record = self.settle(
                 batch, migration=migration, reoptimized=reoptimized, started=started
             )
@@ -450,6 +479,80 @@ class OnlineTieringEngine:
             wall_clock_s=monotonic_s() - started if started is not None else 0.0,
         )
 
+    # -- chaos-facing state -------------------------------------------------------
+    # The chaos injector manipulates tier eligibility and residency pins
+    # through these methods only; with no injector attached none of them run
+    # and the engine behaves exactly as before the chaos subsystem existed.
+
+    @property
+    def banned_tiers(self) -> frozenset[int]:
+        """Tier indices masked infeasible at the next re-optimization."""
+        return self._banned_tiers
+
+    def set_banned_tiers(self, banned: Iterable[int]) -> None:
+        """Replace the banned-tier set (a provider outage's dead tiers)."""
+        self._banned_tiers = frozenset(int(index) for index in banned)
+
+    def invalidate_pricing(self) -> None:
+        """Drop price-derived caches after an in-place catalog re-pricing.
+
+        The compiled placement snapshots the catalog's price vectors at
+        compile time; recompiling against the live (just-repriced) catalog is
+        what makes the *next* settle bill at post-shock prices.
+        """
+        self._compiled = None
+
+    @property
+    def delta_solver(self) -> DeltaSolver | None:
+        """The persistent delta solver in ``reopt_mode="delta"`` (else None)."""
+        return self._delta
+
+    def partitions_on_tiers(self, tier_indices: Iterable[int]) -> list[str]:
+        """Names of partitions currently placed on any of the given tiers."""
+        wanted = set(int(index) for index in tier_indices)
+        if not wanted or self.placement is None:
+            return []
+        return [
+            name
+            for name, decision in self.placement.items()
+            if int(decision.tier_index) in wanted
+        ]
+
+    def lift_provider_affinity(self, names: Iterable[str]) -> list[str]:
+        """Suspend residency pins for ``names``; returns the names lifted.
+
+        Used during forced evacuation when a partition's pinned providers
+        have no live tier left: the pin is *suspended* (kept aside for
+        :meth:`restore_provider_affinity` at recovery) rather than deleted,
+        and the evacuation is recorded as an SLO violation by the injector.
+        """
+        if not self._provider_affinity:
+            return []
+        lifted = []
+        for name in names:
+            entry = self._provider_affinity.pop(name, None)
+            if entry is not None:
+                self._lifted_affinity[name] = entry
+                lifted.append(name)
+        return lifted
+
+    def restore_provider_affinity(self) -> list[str]:
+        """Re-arm every suspended residency pin; returns the restored names.
+
+        Restoring makes an evacuated partition's current placement violate
+        its affinity again, so the next policy-driven re-optimization — not
+        the recovery event itself — moves it home (re-admission happens at
+        reopt time, never mid-epoch).
+        """
+        if not self._lifted_affinity:
+            return []
+        if self._provider_affinity is None:
+            self._provider_affinity = {}
+        restored = list(self._lifted_affinity)
+        self._provider_affinity.update(self._lifted_affinity)
+        self._lifted_affinity.clear()
+        return restored
+
     def tier_usage_gb(self) -> np.ndarray:
         """Stored GB per catalog tier under the current placement.
 
@@ -521,6 +624,7 @@ class OnlineTieringEngine:
             profiles,
             latency_slo_s=self._latency_slo,
             provider_affinity=self._provider_affinity,
+            banned_tiers=self._banned_tiers or None,
         )
         if self.placement is not None:
             # Warm start: price the objective's tier-change term from where
@@ -549,12 +653,16 @@ class OnlineTieringEngine:
                 "forecast the applied placement was planned from)"
             )
         with get_tracer().span("engine.migrate", epoch=epoch) as span:
+            # Moves *off* a banned (dead) tier are forced evacuations, not
+            # voluntary early deletions — the minimum-residency penalty is
+            # waived for them.  Empty banned set (every calm run): no waiver.
             migration = self.executor.apply(
                 self._partitions,
                 self.placement,
                 dict(new_placement),
                 self.months_in_tier,
                 epoch=epoch,
+                waive_early_deletion_tiers=self._banned_tiers or None,
             )
             span.set(num_moved=migration.num_moved)
         self.placement = dict(new_placement)

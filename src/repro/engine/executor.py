@@ -101,6 +101,7 @@ class MigrationExecutor:
         new_placement: Mapping[str, PlacementDecision],
         months_in_tier: MutableMapping[str, float],
         epoch: int = 0,
+        waive_early_deletion_tiers: "frozenset[int] | set[int] | None" = None,
     ) -> MigrationReport:
         """Move every partition to its new placement and bill the moves.
 
@@ -109,6 +110,15 @@ class MigrationExecutor:
         Mutates each partition's ``current_tier`` and resets
         ``months_in_tier`` for moved partitions; unmoved partitions (same
         tier, same scheme) cost nothing.
+
+        ``waive_early_deletion_tiers`` names source tiers whose outbound
+        moves skip the early-deletion penalty.  A *forced evacuation* off a
+        dead provider's tiers is not a voluntary early deletion: charging the
+        remaining-months penalty there, on top of the evacuation move itself
+        (and a second migration if the partition later returns after
+        recovery), would double-bill the outage.  The residency clock still
+        resets — the waiver changes who eats the penalty, not where the data
+        is.
         """
         missing = [
             partition.name
@@ -170,7 +180,10 @@ class MigrationExecutor:
                     self.tiers.egress_cost_per_gb(from_tier, new.tier_index) * read_gb
                 )
                 penalty = 0.0
-                if from_tier != new.tier_index:
+                if from_tier != new.tier_index and not (
+                    waive_early_deletion_tiers
+                    and from_tier in waive_early_deletion_tiers
+                ):
                     resident = months_in_tier.get(name, float("inf"))
                     if resident < source.early_deletion_months:
                         penalty = source.storage_cost_for(

@@ -42,6 +42,7 @@ from ..obs.clock import monotonic_s
 from ..core.optassign import (
     TENANT_SEPARATOR,
     DeltaSolver,
+    InfeasibleError,
     StackedProblem,
     repair_pools,
     solve_optassign,
@@ -76,6 +77,12 @@ class FleetScheduler:
         their own.  All tenants must price placements identically (same
         horizon, objective weights and compute price) so their problems can
         be stacked into one solve.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosInjector` applying a
+        :class:`~repro.chaos.DisruptionSchedule` at epoch boundaries —
+        provider outages (with forced evacuation), price shocks, pool shocks
+        and tenant churn.  Without one every chaos code path is inert and
+        fleet bills are bit-identical to the pre-chaos code.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class FleetScheduler:
         tiers: TierCatalog,
         pools: PoolSet | None = None,
         config: FleetConfig | None = None,
+        chaos: object | None = None,
     ):
         if not tenants:
             raise ValueError("at least one tenant is required")
@@ -116,53 +124,122 @@ class FleetScheduler:
         self.tenants: tuple[TenantSpec, ...] = tuple(tenants)
         self.tiers = tiers
         self.pools = pools
+        self.chaos = chaos
 
-        shared = self.config.engine
-        pricing = {}
-        for spec in self.tenants:
-            engine_config = spec.config or shared
-            pricing[spec.name] = (
-                engine_config.horizon_months,
-                engine_config.compute_cost_per_s,
-                engine_config.weights,
-            )
-        first_name = self.tenants[0].name
-        for name, signature in pricing.items():
-            if signature != pricing[first_name]:
-                raise ValueError(
-                    f"tenants {first_name!r} and {name!r} price placements "
-                    "differently (horizon, compute price or weights); stacked "
-                    "fleet solves require identical pricing"
-                )
+        first = self.tenants[0]
+        self._pricing_reference: tuple[str, tuple] = (
+            first.name,
+            self._pricing_of(first),
+        )
+        for spec in self.tenants[1:]:
+            self._check_pricing(spec)
 
         self.engines: dict[str, OnlineTieringEngine] = {
-            spec.name: OnlineTieringEngine(
-                spec.partitions,
-                tiers,
-                spec.policy,
-                config=spec.config or shared,
-                profiles=spec.profiles,
-                latency_slo_s=spec.latency_slo_s,
-                provider_affinity=spec.provider_affinity,
-            )
-            for spec in self.tenants
+            spec.name: self._make_engine(spec) for spec in self.tenants
         }
         self._records: dict[str, list] = {spec.name: [] for spec in self.tenants}
+        # Policy names survive tenant departure so report() can still cover
+        # the epochs a since-departed tenant was billed for.
+        self._policy_names: dict[str, str] = {
+            spec.name: spec.policy.name for spec in self.tenants
+        }
+        # Streams for tenants joined mid-run (chaos TenantJoin): step_epoch
+        # pulls their batches itself since run()'s iterators predate them.
+        self._chaos_streams: dict[str, object] = {}
         self._pool_records: list[PoolUsageRecord] = []
         # Incremental fleet solves: one DeltaSolver across epochs, keyed by
         # tenant-tagged names so the varying firing subsets merge into a
         # single fleet-wide cache.  Governed by the *shared* engine config —
         # there is only one stacked solve to be incremental about, so
         # per-spec ``reopt_mode`` overrides are not consulted here.
-        shared_mode = shared.reopt_mode
+        shared_mode = self.config.engine.reopt_mode
         self._delta: DeltaSolver | None = (
-            DeltaSolver(drift_threshold=shared.delta_drift_threshold)
+            DeltaSolver(drift_threshold=self.config.engine.delta_drift_threshold)
             if shared_mode == "delta"
             else None
         )
         self.last_delta_report = None
+        self.last_solve_report = None
 
     # -- helpers ---------------------------------------------------------------
+    def _pricing_of(self, spec: TenantSpec) -> tuple:
+        engine_config = spec.config or self.config.engine
+        return (
+            engine_config.horizon_months,
+            engine_config.compute_cost_per_s,
+            engine_config.weights,
+        )
+
+    def _check_pricing(self, spec: TenantSpec) -> None:
+        first_name, reference = self._pricing_reference
+        if self._pricing_of(spec) != reference:
+            raise ValueError(
+                f"tenants {first_name!r} and {spec.name!r} price placements "
+                "differently (horizon, compute price or weights); stacked "
+                "fleet solves require identical pricing"
+            )
+
+    def _make_engine(self, spec: TenantSpec) -> OnlineTieringEngine:
+        return OnlineTieringEngine(
+            spec.partitions,
+            self.tiers,
+            spec.policy,
+            config=spec.config or self.config.engine,
+            profiles=spec.profiles,
+            latency_slo_s=spec.latency_slo_s,
+            provider_affinity=spec.provider_affinity,
+        )
+
+    # -- tenant churn ----------------------------------------------------------
+    def add_tenant(self, spec: TenantSpec, stream=None) -> OnlineTieringEngine:
+        """Admit a tenant mid-run (chaos ``TenantJoin`` or manual onboarding).
+
+        The spec is validated exactly as at construction (unique never-used
+        name, unshared policy, fleet-identical pricing).  ``stream`` supplies
+        the tenant's epoch batches when the fleet is driven through
+        :meth:`run` — its batches must continue the fleet's current epoch
+        numbering; callers driving :meth:`step_epoch` directly may instead
+        include the tenant in their own ``batches`` mapping.
+        """
+        if spec.name in self._records:
+            raise ValueError(
+                f"tenant name {spec.name!r} is (or was) already in the fleet"
+            )
+        if any(spec.policy is existing.policy for existing in self.tenants):
+            raise ValueError(
+                f"tenant {spec.name!r} shares a policy instance with an "
+                "existing tenant; policies are stateful"
+            )
+        self._check_pricing(spec)
+        engine = self._make_engine(spec)
+        self.tenants = self.tenants + (spec,)
+        self.engines[spec.name] = engine
+        self._records[spec.name] = []
+        self._policy_names[spec.name] = spec.policy.name
+        if stream is not None:
+            self._chaos_streams[spec.name] = iter(stream)
+        return engine
+
+    def remove_tenant(self, name: str) -> None:
+        """Retire a tenant mid-run (chaos ``TenantLeave``).
+
+        The engine is dropped, which releases its pool reservations on the
+        spot: shared-budget accounting (:meth:`_fleet_tier_usage`) always
+        iterates the live engines.  Billed history stays in the fleet report,
+        and the fleet delta cache forgets the tenant's rows so a later solve
+        never pins against departed state.
+        """
+        if name not in self.engines:
+            raise KeyError(f"unknown tenant {name!r}")
+        engine = self.engines.pop(name)
+        self.tenants = tuple(spec for spec in self.tenants if spec.name != name)
+        self._chaos_streams.pop(name, None)
+        if self._delta is not None:
+            prefix = f"{name}{TENANT_SEPARATOR}"
+            self._delta.forget(
+                {f"{prefix}{partition.name}" for partition in engine._partitions}
+            )
+
     def _map(self, function: Callable[[str], _T], names: Sequence[str]) -> list[_T]:
         """Apply ``function`` per tenant, threaded when configured.
 
@@ -197,9 +274,11 @@ class FleetScheduler:
             post_repair = lambda assignment: repair_pools(  # noqa: E731
                 assignment, self.pools, reserved_gb=reserved_gb
             )
-        return solve_optassign(
-            problem, prefer="greedy", post_repair=post_repair
-        ).assignment
+        report = solve_optassign(problem, prefer="greedy", post_repair=post_repair)
+        # Kept for the chaos injector's DegradationReport: how far the
+        # facade's relaxation ladder had to widen the latency SLAs.
+        self.last_solve_report = report
+        return report.assignment
 
     def _solve_delta(self, stacked: StackedProblem, firing, reserved_gb):
         """One incremental stacked solve: only drifted rows re-optimize.
@@ -230,19 +309,45 @@ class FleetScheduler:
         self.last_delta_report = report
         return report.assignment
 
+    def _last_relaxation(self) -> float:
+        """Latency-relaxation factor of the epoch's stacked solve (1.0 = none)."""
+        if self._delta is not None:
+            report = self.last_delta_report
+            full = report.full_report if report is not None else None
+            return full.latency_relaxation if full is not None else 1.0
+        report = self.last_solve_report
+        return report.latency_relaxation if report is not None else 1.0
+
     # -- one epoch -------------------------------------------------------------
     def step_epoch(self, batches: Mapping[str, EpochBatch]) -> None:
         """Advance every tenant one epoch (all batches must share the epoch)."""
-        missing = [spec.name for spec in self.tenants if spec.name not in batches]
-        if missing:
-            raise KeyError(f"batches missing tenants: {missing}")
+        if not batches:
+            raise ValueError("at least one tenant batch is required")
         epochs = {batch.epoch for batch in batches.values()}
         if len(epochs) != 1:
             raise ValueError(
                 f"fleet epochs are locked: got mixed epochs {sorted(epochs)}"
             )
         epoch = epochs.pop()
+        if self.chaos is not None:
+            # Disruptions land at the epoch boundary, before any policy
+            # decision or billing: churn changes the roster below, outages
+            # mask tiers and mark evacuating tenants for forced firing.
+            self.chaos.before_fleet_epoch(self, epoch)
         order = [spec.name for spec in self.tenants]
+        batches = dict(batches)
+        # Tenants joined mid-run feed from their own chaos streams; tenants
+        # that departed may still appear in the caller's mapping (run()'s
+        # original iterators keep yielding) and are simply ignored.
+        for name, iterator in list(self._chaos_streams.items()):
+            if name not in batches:
+                batch = next(iterator, None)
+                batches[name] = (
+                    batch if batch is not None else EpochBatch(epoch=epoch, events=())
+                )
+        missing = [name for name in order if name not in batches]
+        if missing:
+            raise KeyError(f"batches missing tenants: {missing}")
 
         tracer = get_tracer()
         with tracer.span("fleet.epoch", epoch=epoch) as epoch_span:
@@ -254,6 +359,14 @@ class FleetScheduler:
             firing = [
                 name for name in order if self.engines[name].begin_epoch(epoch)
             ]
+            if self.chaos is not None:
+                # Tenants with residents on a just-dead provider's tiers must
+                # re-solve this epoch regardless of what their policy said:
+                # forced evacuation cannot wait for drift.
+                forced = self.chaos.take_forced_tenants() & set(order)
+                if forced - set(firing):
+                    firing_set = set(firing) | forced
+                    firing = [name for name in order if name in firing_set]
             solve_started = monotonic_s()
             migrations: dict[str, object] = {}
             if firing:
@@ -273,18 +386,44 @@ class FleetScheduler:
                     standing = [name for name in order if name not in firing_set]
                     reserved = self.pools.usage(self._fleet_tier_usage(standing))
                 with tracer.span("fleet.solve", tenants=len(firing)):
-                    if self._delta is not None:
-                        assignment = self._solve_delta(stacked, firing, reserved)
-                    else:
-                        assignment = self._solve_arbitrated(
-                            stacked.problem, reserved
+                    try:
+                        if self._delta is not None:
+                            assignment = self._solve_delta(stacked, firing, reserved)
+                        else:
+                            assignment = self._solve_arbitrated(
+                                stacked.problem, reserved
+                            )
+                    except InfeasibleError as error:
+                        # Chaos runs degrade instead of crashing: retry with
+                        # pool budgets suspended, then freeze the standing
+                        # placements — either way a structured
+                        # DegradationReport records what gave.  Calm runs
+                        # keep their loud fail-fast certificates.
+                        if self.chaos is None:
+                            raise
+                        assignment = self.chaos.degrade_fleet_solve(
+                            self, stacked, reserved, error
                         )
-                placements = stacked.split_placements(assignment)
-                for name in firing:
-                    with tracer.span("fleet.apply", tenant=name):
-                        migrations[name] = self.engines[name].apply_assignment(
-                            epoch, placements[name]
-                        )
+                if assignment is not None:
+                    placements = stacked.split_placements(assignment)
+                    for name in firing:
+                        with tracer.span("fleet.apply", tenant=name):
+                            migrations[name] = self.engines[name].apply_assignment(
+                                epoch, placements[name]
+                            )
+                    if self.chaos is not None:
+                        for name in firing:
+                            self.chaos.note_migration(
+                                epoch,
+                                migrations[name],
+                                self.engines[name].banned_tiers,
+                                tenant=name,
+                            )
+                        self.chaos.note_relaxation(epoch, self._last_relaxation())
+                else:
+                    # Frozen placements: nothing applied, the firing engines'
+                    # pending forecasts are dropped by settle below.
+                    pass
             solve_seconds = monotonic_s() - solve_started
 
             def settle(name: str):
@@ -373,14 +512,18 @@ class FleetScheduler:
         return self.report()
 
     def report(self) -> FleetReport:
-        """The fleet report over everything consumed so far."""
+        """The fleet report over everything consumed so far.
+
+        Covers departed tenants too: their billed epochs (and policy names)
+        are retained when :meth:`remove_tenant` drops the live engine.
+        """
         return FleetReport(
             tenant_reports={
-                spec.name: EngineReport(
-                    policy=spec.policy.name,
-                    records=list(self._records[spec.name]),
+                name: EngineReport(
+                    policy=self._policy_names[name],
+                    records=list(records),
                 )
-                for spec in self.tenants
+                for name, records in self._records.items()
             },
             pool_usage=list(self._pool_records),
         )

@@ -87,6 +87,7 @@ def generate_fleet_workload(
     residency_providers: Sequence[str] | None = None,
     residency_fraction: float = 0.0,
     compression_schemes: bool = True,
+    name_offset: int = 0,
 ) -> list[TenantWorkload]:
     """Sample ``num_tenants`` independent tenant accounts.
 
@@ -97,6 +98,12 @@ def generate_fleet_workload(
     seed:
         Deterministic base seed; tenant ``i`` uses ``seed + i`` for both its
         account and its series, independently of every other tenant.
+    name_offset:
+        First tenant index; names and seeds run from ``name_offset``.  Lets
+        a later call mint *new* tenants (chaos ``TenantJoin`` joiners) that
+        neither collide with nor perturb an existing roster generated from
+        the same seed — tenant ``i`` is bit-identical whichever call range
+        produced it.
     classes:
         The SLO service-class mix (see :func:`generate_slo_workload`).
     drift_mixes, drift_weights:
@@ -111,6 +118,8 @@ def generate_fleet_workload(
     """
     if num_tenants <= 0:
         raise ValueError("num_tenants must be positive")
+    if name_offset < 0:
+        raise ValueError("name_offset must be non-negative")
     if months <= 0:
         raise ValueError("months must be positive")
     if not drift_mixes:
@@ -131,7 +140,7 @@ def generate_fleet_workload(
         weights = np.full(len(drift_mixes), 1.0 / len(drift_mixes))
 
     tenants: list[TenantWorkload] = []
-    for index in range(num_tenants):
+    for index in range(name_offset, name_offset + num_tenants):
         tenant_seed = seed + index
         account = generate_slo_workload(
             partitions_per_tenant,

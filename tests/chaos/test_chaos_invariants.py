@@ -1,0 +1,243 @@
+"""Hypothesis-driven chaos invariants.
+
+Four properties pin the disruption semantics across randomized workloads:
+
+1. **Dead tiers hold no data**: from the outage epoch until recovery, no
+   partition is ever placed on a banned tier.
+2. **Evacuation is billed exactly once**: each partition resident on a dead
+   tier is charged one move off it per outage window — never zero, never
+   twice — and the injector's bill attribution matches those moves to the
+   cent.
+3. **Re-admission waits for the policy**: recovery alone never fires a
+   solve; data returns to the recovered provider only at the next
+   reoptimization.
+4. **Departure releases reservations**: after a ``TenantLeave``, pool
+   accounting covers exactly the remaining tenants (slack-pool isolation
+   makes the remainder bill-identical to a fleet that never had the
+   departed tenant's later epochs).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    ChaosInjector,
+    DisruptionSchedule,
+    ProviderOutage,
+    ProviderRecovery,
+    TenantLeave,
+)
+from repro.cloud import PoolSet, multi_cloud_catalog
+from repro.engine import (
+    EngineConfig,
+    OnlineTieringEngine,
+    PeriodicReoptimize,
+    SeriesStream,
+)
+from repro.fleet import FleetConfig, FleetScheduler, TenantSpec
+from repro.workloads import generate_fleet_workload
+
+pytestmark = pytest.mark.slow
+
+MONTHS = 6
+CONFIG = EngineConfig(horizon_months=6.0, window_months=6)
+PROVIDERS = ("aws_s3", "azure_blob", "gcp_gcs")
+SLACK = 1e12
+
+#: One shared catalog object per example is required (pools and engines must
+#: price against the same instance), but reprice-free chaos never mutates it,
+#: so outage/churn examples may share this module-level one.
+CATALOG = multi_cloud_catalog()
+
+
+class RecordingInjector(ChaosInjector):
+    """ChaosInjector that remembers every move billed off a banned tier."""
+
+    def __init__(self, schedule):
+        super().__init__(schedule)
+        self.evacuation_moves = []
+
+    def note_migration(self, epoch, migration, banned_tiers, tenant=None):
+        if migration is not None:
+            for move in migration.moves:
+                if move.from_tier in banned_tiers:
+                    self.evacuation_moves.append((epoch, move))
+        super().note_migration(epoch, migration, banned_tiers, tenant=tenant)
+
+
+def make_engine(tenant, chaos):
+    return OnlineTieringEngine(
+        tenant.partitions,
+        CATALOG,
+        PeriodicReoptimize(2),
+        CONFIG,
+        profiles=tenant.profiles,
+        latency_slo_s=tenant.workload.latency_slo_s,
+        provider_affinity=tenant.workload.provider_affinity or None,
+        chaos=chaos,
+    )
+
+
+outage_cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "partitions": st.integers(min_value=2, max_value=5),
+        "provider": st.sampled_from(PROVIDERS),
+        "outage": st.integers(min_value=1, max_value=3),
+        "duration": st.integers(min_value=1, max_value=2),
+    }
+)
+
+
+def outage_schedule(case):
+    return DisruptionSchedule(
+        [
+            ProviderOutage(epoch=case["outage"], provider=case["provider"]),
+            ProviderRecovery(
+                epoch=case["outage"] + case["duration"],
+                provider=case["provider"],
+            ),
+        ]
+    )
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=outage_cases)
+def test_no_placement_on_dead_tiers_during_outage(case):
+    tenant = generate_fleet_workload(1, case["partitions"], MONTHS, seed=case["seed"])[0]
+    dead = set(CATALOG.tier_indices_of(case["provider"]))
+    chaos = ChaosInjector(outage_schedule(case))
+    engine = make_engine(tenant, chaos)
+    down = range(case["outage"], case["outage"] + case["duration"])
+    for epoch, batch in enumerate(SeriesStream(tenant.series, num_epochs=MONTHS)):
+        engine.step(batch)
+        if epoch in down:
+            on_dead = [
+                name
+                for name, decision in engine.placement.items()
+                if decision.tier_index in dead
+            ]
+            assert on_dead == [], f"epoch {epoch}: {on_dead} on dead tiers"
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=outage_cases)
+def test_evacuation_egress_billed_exactly_once(case):
+    tenant = generate_fleet_workload(1, case["partitions"], MONTHS, seed=case["seed"])[0]
+    dead = set(CATALOG.tier_indices_of(case["provider"]))
+    chaos = RecordingInjector(outage_schedule(case))
+    engine = make_engine(tenant, chaos)
+
+    residents = set()
+    for epoch, batch in enumerate(SeriesStream(tenant.series, num_epochs=MONTHS)):
+        if epoch == case["outage"]:
+            residents = {
+                name
+                for name, decision in engine.placement.items()
+                if decision.tier_index in dead
+            }
+        engine.step(batch)
+
+    evacuated = [move.partition for _, move in chaos.evacuation_moves]
+    # ...exactly once: every pre-outage resident moved off, nobody twice.
+    assert sorted(evacuated) == sorted(residents)
+    if residents:
+        billed = sum(
+            move.cost + move.egress_cost for _, move in chaos.evacuation_moves
+        )
+        report = next(r for r in chaos.reports if r.epoch == case["outage"])
+        assert report.bill_impact_cents == pytest.approx(billed)
+        # The forced-evacuation waiver: no early-deletion double charge.
+        assert all(
+            move.early_deletion_penalty == 0.0
+            for _, move in chaos.evacuation_moves
+        )
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=outage_cases)
+def test_readmission_waits_for_the_next_reoptimization(case):
+    tenant = generate_fleet_workload(1, case["partitions"], MONTHS, seed=case["seed"])[0]
+    dead = set(CATALOG.tier_indices_of(case["provider"]))
+    chaos = ChaosInjector(outage_schedule(case))
+    engine = make_engine(tenant, chaos)
+    recovery = case["outage"] + case["duration"]
+
+    placements = []
+    records = []
+    for batch in SeriesStream(tenant.series, num_epochs=MONTHS):
+        records.append(engine.step(batch))
+        placements.append(
+            {name: d.tier_index for name, d in engine.placement.items()}
+        )
+
+    for epoch in range(recovery, MONTHS):
+        if not records[epoch].reoptimized:
+            # No solve fired: the placement is frozen — nothing re-admitted.
+            assert placements[epoch] == placements[epoch - 1]
+        else:
+            break
+    # Before any post-recovery reoptimization, dead tiers stay empty.
+    for epoch in range(recovery, MONTHS):
+        if records[epoch].reoptimized:
+            break
+        assert not any(
+            tier in dead for tier in placements[epoch].values()
+        )
+
+
+churn_cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "num_tenants": st.integers(min_value=2, max_value=3),
+        "partitions": st.integers(min_value=2, max_value=4),
+        "leave_epoch": st.integers(min_value=1, max_value=4),
+        "who": st.integers(min_value=0, max_value=1),
+    }
+)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=churn_cases)
+def test_tenant_leave_releases_pool_reservations(case):
+    fleet = generate_fleet_workload(
+        case["num_tenants"], case["partitions"], MONTHS, seed=case["seed"]
+    )
+    departed = fleet[case["who"]].name
+    specs = [
+        TenantSpec(
+            name=tenant.name,
+            partitions=tenant.partitions,
+            policy=PeriodicReoptimize(2),
+            series=tenant.series,
+            profiles=tenant.profiles,
+            config=CONFIG,
+            latency_slo_s=tenant.workload.latency_slo_s,
+        )
+        for tenant in fleet
+    ]
+    pools = PoolSet.per_provider(CATALOG, {name: SLACK for name in PROVIDERS})
+    chaos = ChaosInjector(
+        DisruptionSchedule([TenantLeave(epoch=case["leave_epoch"], tenant=departed)])
+    )
+    scheduler = FleetScheduler(
+        specs, CATALOG, pools=pools, config=FleetConfig(engine=CONFIG), chaos=chaos
+    )
+    report = scheduler.run(num_epochs=MONTHS)
+
+    assert departed not in scheduler.engines
+    # The departed tenant stops being billed at its leave epoch...
+    assert report.tenant_reports[departed].num_epochs == case["leave_epoch"]
+    # ...and pool accounting from then on covers exactly the live engines:
+    # per-provider usage equals the sum of the remaining tenants' footprints.
+    usage = scheduler._fleet_tier_usage(list(scheduler.engines))
+    live_total = sum(
+        float(engine.tier_usage_gb().sum())
+        for engine in scheduler.engines.values()
+    )
+    assert float(usage.sum()) == pytest.approx(live_total)
+    final = report.pool_usage[-1]
+    assert sum(final.used_gb[name] for name in PROVIDERS) == pytest.approx(
+        live_total
+    )

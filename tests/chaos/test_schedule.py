@@ -1,0 +1,123 @@
+"""DisruptionSchedule and event validation: bad schedules fail before any run."""
+
+import pytest
+
+from repro.chaos import (
+    DisruptionSchedule,
+    PoolShock,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+    TenantJoin,
+    TenantLeave,
+)
+
+
+class TestEventValidation:
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProviderOutage(epoch=-1, provider="aws_s3")
+
+    def test_outage_needs_provider(self):
+        with pytest.raises(ValueError, match="provider"):
+            ProviderOutage(epoch=0, provider="")
+
+    def test_price_shock_must_change_something(self):
+        with pytest.raises(ValueError, match="at least one rate"):
+            PriceShock(epoch=1)
+
+    def test_price_shock_factors_positive_finite(self):
+        with pytest.raises(ValueError, match="storage_factor"):
+            PriceShock(epoch=1, storage_factor=0.0)
+        with pytest.raises(ValueError, match="read_factor"):
+            PriceShock(epoch=1, read_factor=float("inf"))
+
+    def test_price_shock_scope_is_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            PriceShock(
+                epoch=1,
+                storage_factor=2.0,
+                provider="aws_s3",
+                tier_names=("aws_s3/standard",),
+            )
+
+    def test_price_shock_decreased_flag(self):
+        assert PriceShock(epoch=0, read_factor=0.5).decreased
+        assert not PriceShock(epoch=0, read_factor=2.0).decreased
+
+    def test_pool_shock_needs_exactly_one_size(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            PoolShock(epoch=0, pool="p", capacity_factor=0.5, capacity_gb=10.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            PoolShock(epoch=0, pool="p")
+
+    def test_pool_shock_size_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            PoolShock(epoch=0, pool="p", capacity_factor=-1.0)
+
+    def test_tenant_join_needs_named_spec(self):
+        with pytest.raises(ValueError, match="TenantSpec"):
+            TenantJoin(epoch=0, spec=None)
+
+    def test_tenant_leave_needs_name(self):
+        with pytest.raises(ValueError, match="tenant name"):
+            TenantLeave(epoch=0, tenant="")
+
+    def test_kind_tags_are_snake_case(self):
+        assert ProviderOutage(epoch=0, provider="x").kind == "provider_outage"
+        assert PriceShock(epoch=0, read_factor=2.0).kind == "price_shock"
+        assert TenantLeave(epoch=0, tenant="t").kind == "tenant_leave"
+
+
+class TestScheduleValidation:
+    def test_events_sorted_by_epoch_stable(self):
+        early = PriceShock(epoch=1, read_factor=2.0)
+        late = ProviderOutage(epoch=3, provider="aws_s3")
+        also_early = PoolShock(epoch=1, pool="p", capacity_factor=0.5)
+        schedule = DisruptionSchedule([late, early, also_early])
+        assert schedule.events == (early, also_early, late)
+        assert schedule.at(1) == (early, also_early)
+        assert schedule.at(2) == ()
+        assert schedule.final_epoch == 3
+
+    def test_empty_schedule(self):
+        schedule = DisruptionSchedule.empty()
+        assert len(schedule) == 0
+        assert schedule.at(0) == ()
+        assert schedule.final_epoch == -1
+
+    def test_recovery_without_outage_rejected(self):
+        with pytest.raises(ValueError, match="no preceding outage"):
+            DisruptionSchedule([ProviderRecovery(epoch=2, provider="aws_s3")])
+
+    def test_recovery_must_be_strictly_later(self):
+        with pytest.raises(ValueError, match="same epoch"):
+            DisruptionSchedule(
+                [
+                    ProviderOutage(epoch=2, provider="aws_s3"),
+                    ProviderRecovery(epoch=2, provider="aws_s3"),
+                ]
+            )
+
+    def test_double_outage_rejected(self):
+        with pytest.raises(ValueError, match="already down"):
+            DisruptionSchedule(
+                [
+                    ProviderOutage(epoch=1, provider="aws_s3"),
+                    ProviderOutage(epoch=3, provider="aws_s3"),
+                ]
+            )
+
+    def test_outage_recovery_outage_is_fine(self):
+        schedule = DisruptionSchedule(
+            [
+                ProviderOutage(epoch=1, provider="aws_s3"),
+                ProviderRecovery(epoch=2, provider="aws_s3"),
+                ProviderOutage(epoch=4, provider="aws_s3"),
+            ]
+        )
+        assert len(schedule) == 3
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError, match="DisruptionEvent"):
+            DisruptionSchedule(["outage"])

@@ -23,6 +23,16 @@ import itertools
 
 import pytest
 
+from repro.chaos import (
+    ChaosInjector,
+    DisruptionSchedule,
+    PoolShock,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+    TenantJoin,
+    TenantLeave,
+)
 from repro.cloud import PoolSet, multi_cloud_catalog
 from repro.cloud.providers import aws_s3, azure_blob
 from repro.engine import DriftTriggered, EngineConfig, PeriodicReoptimize
@@ -66,7 +76,8 @@ def build_policy(policy: str):
 
 def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
                  azure_capacity: float = SLACK,
-                 engine_config: EngineConfig = ENGINE_CONFIG):
+                 engine_config: EngineConfig = ENGINE_CONFIG,
+                 chaos: ChaosInjector | None = None):
     catalog = build_catalog(provider_mix)
     fleet = generate_fleet_workload(
         NUM_TENANTS,
@@ -92,9 +103,70 @@ def run_scenario(drift: str, class_mix: str, provider_mix: str, policy: str,
     capacities["azure_blob"] = azure_capacity
     pools = PoolSet.per_provider(catalog, capacities)
     scheduler = FleetScheduler(
-        specs, catalog, pools=pools, config=FleetConfig(engine=engine_config)
+        specs, catalog, pools=pools, config=FleetConfig(engine=engine_config),
+        chaos=chaos,
     )
     return scheduler.run(num_epochs=MONTHS)
+
+
+def make_joiner(class_mix: str, drift: str, policy: str,
+                engine_config: EngineConfig = ENGINE_CONFIG):
+    """A deterministic mid-run tenant, minted past the base fleet's names."""
+    tenant = generate_fleet_workload(
+        1,
+        PARTITIONS_PER_TENANT,
+        MONTHS,
+        seed=SEED,
+        classes=CLASSES[class_mix],
+        drift_mixes=(drift, "stable"),
+        name_offset=10,
+    )[0]
+    return TenantSpec(
+        name=tenant.name,
+        partitions=tenant.partitions,
+        policy=build_policy(policy),
+        series=tenant.series,
+        profiles=tenant.profiles,
+        config=engine_config,
+        latency_slo_s=tenant.workload.latency_slo_s,
+    )
+
+
+def build_chaos_schedule(cell: str, class_mix: str = "latency",
+                         drift: str = "cooling", policy: str = "periodic",
+                         engine_config: EngineConfig = ENGINE_CONFIG):
+    if cell == "outage":
+        return DisruptionSchedule(
+            [
+                ProviderOutage(epoch=2, provider="azure_blob"),
+                ProviderRecovery(epoch=4, provider="azure_blob"),
+            ]
+        )
+    if cell == "price_shock":
+        return DisruptionSchedule(
+            [PriceShock(epoch=2, provider="aws_s3", storage_factor=3.0)]
+        )
+    if cell == "pool_shock":
+        return DisruptionSchedule(
+            [
+                PoolShock(
+                    epoch=2, pool="azure_blob", capacity_gb=CONTENDED_CAPACITY
+                )
+            ]
+        )
+    if cell == "churn":
+        return DisruptionSchedule(
+            [
+                TenantJoin(
+                    epoch=2,
+                    spec=make_joiner(
+                        class_mix, drift, policy, engine_config=engine_config
+                    ),
+                ),
+                TenantLeave(epoch=4, tenant="tenant_001"),
+            ]
+        )
+    raise KeyError(cell)
 
 
 # -- golden values ------------------------------------------------------------
@@ -125,6 +197,19 @@ CONTENDED_GOLDEN = {
     ("heating", "latency", "multi", "drift"): {"total_bill": 29239.514757333935},
 }
 CONTENDED_CAPACITY = 120.0
+
+#: Chaos cells: the baseline (cooling, latency, multi, periodic) scenario run
+#: under one disruption schedule each.  Pinning the disrupted bills catches
+#: regressions in evacuation billing, re-pricing and the degradation ladder
+#: the calm matrix cannot see.
+CHAOS_CELLS = ("outage", "price_shock", "pool_shock", "churn")
+CHAOS_BASE = ("cooling", "latency", "multi", "periodic")
+CHAOS_GOLDEN = {
+    "outage": {"total_bill": 37912.93285723216, "events": 2},
+    "price_shock": {"total_bill": 23706.29627654107, "events": 1},
+    "pool_shock": {"total_bill": 31553.40198967783, "events": 1},
+    "churn": {"total_bill": 31450.94561591627, "events": 2},
+}
 
 
 class TestScenarioMatrix:
@@ -219,6 +304,46 @@ class TestContendedScenarios:
         assert contended.total_bill >= slack.total_bill - 1e-9
 
 
+class TestChaosCells:
+    """Disruption-schedule golden regressions over the baseline scenario."""
+
+    def test_empty_schedule_is_bit_identical_to_chaos_free(self):
+        """An attached-but-empty injector must not move the bill one bit."""
+        calm = run_scenario(*CHAOS_BASE)
+        attached = run_scenario(
+            *CHAOS_BASE, chaos=ChaosInjector(DisruptionSchedule.empty())
+        )
+        assert attached.total_bill == calm.total_bill
+        assert attached.total_reoptimizations == calm.total_reoptimizations
+
+    @pytest.mark.parametrize("cell", CHAOS_CELLS)
+    def test_chaos_cell_bill_pinned(self, cell):
+        chaos = ChaosInjector(build_chaos_schedule(cell))
+        report = run_scenario(*CHAOS_BASE, chaos=chaos)
+        golden = CHAOS_GOLDEN[cell]
+        assert report.total_bill == pytest.approx(
+            golden["total_bill"], rel=COST_RTOL
+        )
+        assert chaos.summary()["events_applied"] == golden["events"]
+        assert report.num_epochs == MONTHS
+
+    def test_outage_cell_records_forced_evacuation(self):
+        chaos = ChaosInjector(build_chaos_schedule("outage"))
+        run_scenario(*CHAOS_BASE, chaos=chaos)
+        kinds = set().union(*(r.action_kinds for r in chaos.reports))
+        assert "forced_evacuation" in kinds
+
+    def test_chaos_cells_cost_at_least_the_calm_bill(self):
+        """Outages and price hikes can only lose money vs the calm run."""
+        calm = CHAOS_GOLDEN_BASELINE
+        for cell in ("outage", "price_shock", "pool_shock"):
+            assert CHAOS_GOLDEN[cell]["total_bill"] >= calm - 1e-9
+
+
+#: The calm baseline bill the chaos cells are compared against.
+CHAOS_GOLDEN_BASELINE = SCENARIO_GOLDEN[CHAOS_BASE]["total_bill"]
+
+
 if __name__ == "__main__":  # pragma: no cover - golden regeneration helper
     print("SCENARIO_GOLDEN = {")
     for key in itertools.product(DRIFTS, CLASS_MIXES, PROVIDER_MIXES, POLICIES):
@@ -232,4 +357,13 @@ if __name__ == "__main__":  # pragma: no cover - golden regeneration helper
     for key in sorted(CONTENDED_GOLDEN):
         report = run_scenario(*key, azure_capacity=CONTENDED_CAPACITY)
         print(f"    {key!r}: {{\"total_bill\": {report.total_bill!r}}},")
+    print("}")
+    print("CHAOS_GOLDEN = {")
+    for cell in CHAOS_CELLS:
+        chaos = ChaosInjector(build_chaos_schedule(cell))
+        report = run_scenario(*CHAOS_BASE, chaos=chaos)
+        print(
+            f"    {cell!r}: {{\"total_bill\": {report.total_bill!r}, "
+            f"\"events\": {chaos.summary()['events_applied']}}},"
+        )
     print("}")
