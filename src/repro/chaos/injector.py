@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Iterable, Iterator
 
-from ..core.optassign import InfeasibleError, solve_optassign
+from ..core.optassign import InfeasibleError
 from ..core.optassign.stacked import TENANT_SEPARATOR
 from ..engine.events import EpochBatch
 from ..obs import get_metrics, get_tracer
@@ -406,7 +406,9 @@ class ChaosInjector:
         with get_tracer().span("chaos.degradation", epoch=epoch):
             if scheduler.pools is not None:
                 try:
-                    retry = solve_optassign(stacked.problem, prefer="greedy")
+                    # Routed through the scheduler so a sharded fleet retries
+                    # on its worker pool (bill-identical either way).
+                    retry = scheduler.solve_unpooled(stacked.problem)
                 except InfeasibleError as second_error:
                     error = second_error
                 else:

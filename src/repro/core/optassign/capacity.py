@@ -29,7 +29,13 @@ from .ilp import solve_ilp
 from .problem import OptAssignProblem
 from .result import Assignment
 
-__all__ = ["solve_optassign", "repair_capacity", "repair_pools", "SolveReport"]
+__all__ = [
+    "solve_optassign",
+    "repair_capacity",
+    "repair_pools",
+    "check_fail_fast_certificates",
+    "SolveReport",
+]
 
 
 @dataclass
@@ -357,32 +363,7 @@ def solve_optassign(
     tracer = get_tracer()
     metrics = get_metrics()
     with tracer.span("optassign.solve", solver=solver) as solve_span:
-        # Fail fast on the two infeasibility classes latency relaxation can
-        # never fix, with pointed diagnostics instead of a misleading
-        # exhausted-rounds error: hard-mask-empty partitions (SLO/affinity/
-        # codec) and aggregate capacity shortfall.
-        masked_out = problem.hard_mask_empty_partitions()
-        if masked_out:
-            metrics.counter(
-                "optassign.infeasibility_certificates", kind="hard_mask"
-            ).add()
-            raise InfeasibleError(
-                "partitions have no (tier, scheme) candidate under their "
-                "never-relaxed constraints (tier SLO caps, provider affinity, "
-                f"codec pinning): {masked_out[:5]}"
-                f"{'...' if len(masked_out) > 5 else ''}; latency relaxation "
-                "cannot help — loosen those constraints or extend the catalog"
-            )
-        shortfall = _capacity_shortfall(problem)
-        if shortfall > 0.0:
-            metrics.counter(
-                "optassign.infeasibility_certificates", kind="capacity_shortfall"
-            ).add()
-            raise InfeasibleError(
-                "OPTASSIGN instance is capacity-infeasible regardless of latency "
-                f"relaxation: the partitions' minimum stored size exceeds the "
-                f"total reserved capacity by {shortfall:.3f} GB"
-            )
+        check_fail_fast_certificates(problem)
 
         factor = 1.0
         last_error: Exception | None = None
@@ -419,6 +400,41 @@ def solve_optassign(
         raise InfeasibleError(
             f"OPTASSIGN instance remained infeasible after relaxing latency "
             f"thresholds {max_relaxation_rounds} times (last error: {last_error})"
+        )
+
+
+def check_fail_fast_certificates(problem: OptAssignProblem) -> None:
+    """Fail fast on the two infeasibility classes latency relaxation can
+    never fix, with pointed diagnostics instead of a misleading
+    exhausted-rounds error: hard-mask-empty partitions (SLO/affinity/codec)
+    and aggregate capacity shortfall.
+
+    Shared by :func:`solve_optassign` and the sharded fleet solver
+    (:class:`repro.fleet.ShardedFleetSolver`), so both entry points raise
+    the same certificates — messages, metrics counters and all.
+    """
+    metrics = get_metrics()
+    masked_out = problem.hard_mask_empty_partitions()
+    if masked_out:
+        metrics.counter(
+            "optassign.infeasibility_certificates", kind="hard_mask"
+        ).add()
+        raise InfeasibleError(
+            "partitions have no (tier, scheme) candidate under their "
+            "never-relaxed constraints (tier SLO caps, provider affinity, "
+            f"codec pinning): {masked_out[:5]}"
+            f"{'...' if len(masked_out) > 5 else ''}; latency relaxation "
+            "cannot help — loosen those constraints or extend the catalog"
+        )
+    shortfall = _capacity_shortfall(problem)
+    if shortfall > 0.0:
+        metrics.counter(
+            "optassign.infeasibility_certificates", kind="capacity_shortfall"
+        ).add()
+        raise InfeasibleError(
+            "OPTASSIGN instance is capacity-infeasible regardless of latency "
+            f"relaxation: the partitions' minimum stored size exceeds the "
+            f"total reserved capacity by {shortfall:.3f} GB"
         )
 
 

@@ -138,6 +138,7 @@ class DeltaSolver:
         drift_threshold: float = 0.1,
         prefer: str = "greedy",
         tolerance: float = 1e-9,
+        full_solver=None,
     ):
         if drift_threshold < 0.0:
             raise ValueError("drift_threshold must be non-negative")
@@ -149,6 +150,12 @@ class DeltaSolver:
         self.drift_threshold = float(drift_threshold)
         self.prefer = prefer
         self.tolerance = float(tolerance)
+        #: Optional ``(problem, pool_set, reserved_gb) -> SolveReport``
+        #: override for bootstrap/fallback full solves.  The sharded fleet
+        #: solver plugs itself in here so even full epochs fan out across
+        #: worker processes; it must price identically to the facade (the
+        #: sharded solver's equivalence tests are what license this).
+        self.full_solver = full_solver
         self.reset()
 
     def reset(self) -> None:
@@ -519,32 +526,11 @@ class DeltaSolver:
     ) -> OptAssignProblem:
         """The changed rows as a standalone instance (shared profile tables).
 
-        Assembled through ``__new__`` like :meth:`OptAssignProblem.relaxed`
-        and :meth:`StackedProblem.stack`: every row was already validated by
-        the parent problem's constructor, so re-validation (and the per-
-        partition profile-table copies) would only burn the time the delta
-        path is trying to save.
+        Delegates to :meth:`OptAssignProblem.carve` — the shared carve used
+        here for changed rows and by the sharded fleet solver's reduce step.
         """
-        sub_arrays = arrays.take(rows)
-        sub = OptAssignProblem.__new__(OptAssignProblem)
-        sub.partitions = sub_arrays.to_partitions()
-        sub.cost_model = problem.cost_model
-        sub._profiles = {name: problem._profiles[name] for name in sub_arrays.names}
-        sub._latency_slo = {
-            name: cap
-            for name in sub_arrays.names
-            if (cap := problem._latency_slo.get(name)) is not None
-        }
-        sub._provider_affinity = {
-            name: allowed
-            for name in sub_arrays.names
-            if (allowed := problem._provider_affinity.get(name)) is not None
-        }
-        sub._banned_tiers = problem._banned_tiers
-        sub._arrays = sub_arrays
-        sub._profile_columns_cache = None
-        sub._tensors = None
-        return sub
+        del arrays  # the problem's cached arrays are the same object
+        return problem.carve(rows)
 
     def _budgets_violated(
         self,
@@ -596,12 +582,17 @@ class DeltaSolver:
         reserved_gb: np.ndarray | None,
         reason: str,
     ) -> DeltaSolveReport:
-        post_repair = None
-        if pool_set is not None:
-            post_repair = lambda assignment: repair_pools(  # noqa: E731
-                assignment, pool_set, reserved_gb=reserved_gb
+        if self.full_solver is not None:
+            report = self.full_solver(problem, pool_set, reserved_gb)
+        else:
+            post_repair = None
+            if pool_set is not None:
+                post_repair = lambda assignment: repair_pools(  # noqa: E731
+                    assignment, pool_set, reserved_gb=reserved_gb
+                )
+            report = solve_optassign(
+                problem, prefer=self.prefer, post_repair=post_repair
             )
-        report = solve_optassign(problem, prefer=self.prefer, post_repair=post_repair)
         arrays = problem.partition_arrays()
         tier, stored = self._vectors_from_choices(problem, report.assignment.choices)
         self._remember(

@@ -114,7 +114,7 @@ class OptAssignProblem:
             raise ValueError("partition names must be unique")
         if not partitions:
             raise ValueError("at least one partition is required")
-        self.partitions: list[DataPartition] = list(partitions)
+        self._partitions_list: list[DataPartition] | None = list(partitions)
         self.cost_model = cost_model
         self._profiles: dict[str, dict[str, CompressionProfile]] = {}
         for partition in self.partitions:
@@ -179,11 +179,27 @@ class OptAssignProblem:
 
     # -- accessors -------------------------------------------------------------
     @property
+    def partitions(self) -> list[DataPartition]:
+        """The placement units, materialised on demand.
+
+        Problems assembled from a :class:`PartitionArrays` (the stacked fleet
+        fast path, delta subproblems, relaxed copies) carry only the columnar
+        view; the :class:`DataPartition` objects are built lazily here, so
+        the vectorized solve paths — which read the columns directly — never
+        pay the per-row object construction at fleet scale.
+        """
+        if self._partitions_list is None:
+            self._partitions_list = self._arrays.to_partitions()
+        return self._partitions_list
+
+    @property
     def tier_count(self) -> int:
         return len(self.cost_model.tiers)
 
     @property
     def partition_names(self) -> list[str]:
+        if self._arrays is not None:
+            return list(self._arrays.names)
         return [partition.name for partition in self.partitions]
 
     def schemes_for(self, partition: DataPartition) -> list[str]:
@@ -283,16 +299,18 @@ class OptAssignProblem:
     ) -> tuple[tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
         """(schemes, ratio (N,K), decompression_s_per_gb (N,K), available (N,K))."""
         if self._profile_columns_cache is None:
+            names = self.partition_arrays().names
             schemes = tuple(
                 sorted({scheme for table in self._profiles.values() for scheme in table})
             )
             index = {scheme: k for k, scheme in enumerate(schemes)}
-            shape = (len(self.partitions), len(schemes))
+            shape = (len(names), len(schemes))
             ratio = np.ones(shape, dtype=np.float64)
             decompression = np.zeros(shape, dtype=np.float64)
             available = np.zeros(shape, dtype=bool)
-            for n, partition in enumerate(self.partitions):
-                for scheme, profile in self._profiles[partition.name].items():
+            profiles = self._profiles
+            for n, name in enumerate(names):
+                for scheme, profile in profiles[name].items():
                     k = index[scheme]
                     ratio[n, k] = profile.ratio
                     decompression[n, k] = profile.decompression_s_per_gb
@@ -304,11 +322,12 @@ class OptAssignProblem:
         """(N,) per-partition SLO caps (``inf`` = unconstrained), or ``None``."""
         if not self._latency_slo:
             return None
-        caps = np.full(len(self.partitions), np.inf, dtype=np.float64)
-        for n, partition in enumerate(self.partitions):
-            cap = self._latency_slo.get(partition.name)
-            if cap is not None:
-                caps[n] = cap
+        arrays = self.partition_arrays()
+        caps = np.full(len(arrays), np.inf, dtype=np.float64)
+        # Iterate the (typically sparse) SLO map, not every partition: at
+        # fleet scale the per-row dict probe is what dominated this build.
+        for name, cap in self._latency_slo.items():
+            caps[arrays.index_of(name)] = cap
         return caps
 
     def _tier_allowed_mask(self) -> np.ndarray | None:
@@ -322,12 +341,12 @@ class OptAssignProblem:
             return None
         tiers = self.cost_model.tiers
         tier_provider = [tiers.provider_of(t) for t in range(self.tier_count)]
-        mask = np.ones((len(self.partitions), self.tier_count), dtype=bool)
-        for n, partition in enumerate(self.partitions):
-            allowed = self._provider_affinity.get(partition.name)
-            if allowed is None:
-                continue
-            mask[n] = [provider in allowed for provider in tier_provider]
+        arrays = self.partition_arrays()
+        mask = np.ones((len(arrays), self.tier_count), dtype=bool)
+        for name, allowed in self._provider_affinity.items():
+            mask[arrays.index_of(name)] = [
+                provider in allowed for provider in tier_provider
+            ]
         if self._banned_tiers:
             mask[:, sorted(self._banned_tiers)] = False
         return mask
@@ -359,7 +378,8 @@ class OptAssignProblem:
         matter how far ``relaxed`` widens the latency SLAs, so the facade
         fails fast with a pointed error instead of burning relaxation rounds.
         """
-        tier_ok = np.ones((len(self.partitions), self.tier_count), dtype=bool)
+        arrays = self.partition_arrays()
+        tier_ok = np.ones((len(arrays), self.tier_count), dtype=bool)
         slo = self._slo_vector()
         if slo is not None:
             effective = self.cost_model.tiers.cost_arrays()["effective_slo_s"]
@@ -372,7 +392,7 @@ class OptAssignProblem:
             self.partition_arrays(), schemes
         )
         empty = ~tier_ok.any(axis=1) | ~scheme_ok.any(axis=1)
-        return [self.partitions[i].name for i in np.flatnonzero(empty)]
+        return [arrays.names[i] for i in np.flatnonzero(empty)]
 
     def batch_tensors(self) -> BatchCostTensors:
         """The full vectorized candidate evaluation (cached).
@@ -460,6 +480,41 @@ class OptAssignProblem:
             banned_tiers=self._banned_tiers,
         )
 
+    def carve(self, rows: Sequence[int] | np.ndarray) -> "OptAssignProblem":
+        """The given rows as a standalone instance (shared profile tables).
+
+        Assembled through ``__new__`` like :meth:`relaxed` and
+        :meth:`~repro.core.optassign.StackedProblem.stack`: every row was
+        already validated by this problem's constructor, so re-validation
+        (and the per-partition profile-table copies) would only burn the time
+        the carve exists to save.  Row order is preserved, and the carved
+        instance's (smaller) scheme union restricted to one partition's
+        available schemes keeps the sorted enumeration order — so vectorized
+        argmin tie-breaks on the carve match the full instance exactly.  Both
+        the incremental delta solver (changed rows) and the sharded fleet
+        solver's pool-arbitration reduce (rows in pooled tiers) rely on that.
+        """
+        sub_arrays = self.partition_arrays().take(rows)
+        sub = OptAssignProblem.__new__(OptAssignProblem)
+        sub._partitions_list = None
+        sub.cost_model = self.cost_model
+        sub._profiles = {name: self._profiles[name] for name in sub_arrays.names}
+        sub._latency_slo = {
+            name: cap
+            for name in sub_arrays.names
+            if (cap := self._latency_slo.get(name)) is not None
+        }
+        sub._provider_affinity = {
+            name: allowed
+            for name in sub_arrays.names
+            if (allowed := self._provider_affinity.get(name)) is not None
+        }
+        sub._banned_tiers = self._banned_tiers
+        sub._arrays = sub_arrays
+        sub._profile_columns_cache = None
+        sub._tensors = None
+        return sub
+
     def relaxed(self, latency_factor: float) -> "OptAssignProblem":
         """A copy of the problem with every latency threshold multiplied by ``latency_factor``.
 
@@ -469,22 +524,18 @@ class OptAssignProblem:
         """
         if latency_factor < 1.0:
             raise ValueError("latency_factor must be >= 1")
-        relaxed_partitions = [
-            DataPartition(
-                name=partition.name,
-                size_gb=partition.size_gb,
-                predicted_accesses=partition.predicted_accesses,
-                latency_threshold_s=partition.latency_threshold_s * latency_factor,
-                current_tier=partition.current_tier,
-                current_codec=partition.current_codec,
-                file_ids=partition.file_ids,
-                read_fraction=partition.read_fraction,
-                pushdown_fraction=partition.pushdown_fraction,
-            )
-            for partition in self.partitions
-        ]
+        # Scaling the one affected column of the arrays view (rather than
+        # copying every DataPartition) keeps relaxation O(N) numpy work; the
+        # partition objects materialise lazily if anything scalar asks.  The
+        # multiplication is the same float op the per-partition copy
+        # performed, so the relaxed tensors stay bit-identical.
+        arrays = self.partition_arrays()
+        relaxed_arrays = replace(
+            arrays,
+            latency_threshold_s=arrays.latency_threshold_s * latency_factor,
+        )
         problem = OptAssignProblem.__new__(OptAssignProblem)
-        problem.partitions = relaxed_partitions
+        problem._partitions_list = None
         problem.cost_model = self.cost_model
         problem._profiles = self._profiles
         # SLO caps, provider affinity and banned tiers are *hard* constraints:
@@ -493,7 +544,7 @@ class OptAssignProblem:
         problem._latency_slo = self._latency_slo
         problem._provider_affinity = self._provider_affinity
         problem._banned_tiers = self._banned_tiers
-        problem._arrays = None
+        problem._arrays = relaxed_arrays
         # The profile columns depend only on the (shared) profile table and
         # the partition order, so the relaxed copy can reuse them; the cost
         # tensors depend on the latency thresholds and must be recomputed.

@@ -23,10 +23,12 @@ into per-tenant placement maps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Mapping
 
-from ...cloud import DataPartition, PlacementDecision
+import numpy as np
+
+from ...cloud import PartitionArrays, PlacementDecision
 from .problem import CandidateOption, OptAssignProblem
 from .result import Assignment
 
@@ -74,6 +76,10 @@ class StackedProblem:
 
     problem: OptAssignProblem
     tenants: tuple[str, ...]
+    #: Per-tenant row spans ``(start, stop)`` in the stacked row order, one
+    #: per entry of ``tenants`` — what the sharded fleet solver aligns its
+    #: shard boundaries to.  Empty for hand-built instances.
+    tenant_spans: tuple[tuple[int, int], ...] = field(default=())
 
     @classmethod
     def stack(cls, problems: Mapping[str, OptAssignProblem]) -> "StackedProblem":
@@ -95,39 +101,62 @@ class StackedProblem:
                 )
         _check_cost_models(problems)
 
-        partitions = []
+        # The stacked instance is assembled *columnar*: per-tenant
+        # PartitionArrays are concatenated (numpy on the numeric columns,
+        # tuple joins on the object columns) and the combined problem carries
+        # only that view — DataPartition objects materialise lazily if a
+        # scalar path ever asks.  Every sub-problem already validated its
+        # partitions, profiles (the "none" scheme is present, pinned codecs
+        # have profiles) and SLO / affinity maps against this same catalog,
+        # and the tenant tags keep names unique across tenants, so
+        # OptAssignProblem.__init__'s re-validation (and its per-partition
+        # profile-table copies) is skipped — the same construction shortcut
+        # OptAssignProblem.relaxed uses.  At fleet scale this is what keeps
+        # stacking overhead below the solve itself.
         profiles: dict[str, dict] = {}
         latency_slo: dict[str, float] = {}
         affinity: dict[str, frozenset[str]] = {}
-        # Renamed copies are assembled through __dict__ instead of
-        # dataclasses.replace: the fields are already validated and replace()'s
-        # per-field getattr round trip dominates stacking time at fleet scale
-        # (same trick the vectorized greedy solver uses for CandidateOption).
-        new_partition = DataPartition.__new__
+        names: list[str] = []
+        codecs: list = []
+        file_ids: list = []
+        per_tenant: list[PartitionArrays] = []
+        spans: list[tuple[int, int]] = []
         for tenant, problem in problems.items():
-            for partition in problem.partitions:
-                tagged = f"{tenant}{TENANT_SEPARATOR}{partition.name}"
-                copy = new_partition(DataPartition)
-                copy.__dict__ = {**partition.__dict__, "name": tagged}
-                partitions.append(copy)
-                profiles[tagged] = problem._profiles[partition.name]
-                cap = problem.slo_cap_for(partition.name)
-                if cap is not None:
-                    latency_slo[tagged] = cap
-                allowed = problem.providers_allowed_for(partition.name)
-                if allowed is not None:
-                    affinity[tagged] = allowed
+            arrays = problem.partition_arrays()
+            prefix = f"{tenant}{TENANT_SEPARATOR}"
+            tagged_names = [f"{prefix}{name}" for name in arrays.names]
+            spans.append((len(names), len(names) + len(tagged_names)))
+            names.extend(tagged_names)
+            codecs.extend(arrays.current_codec)
+            file_ids.extend(arrays.file_ids)
+            per_tenant.append(arrays)
+            tenant_profiles = problem._profiles
+            for tagged, name in zip(tagged_names, arrays.names):
+                profiles[tagged] = tenant_profiles[name]
+            for name, cap in problem._latency_slo.items():
+                latency_slo[f"{prefix}{name}"] = cap
+            for name, allowed in problem._provider_affinity.items():
+                affinity[f"{prefix}{name}"] = allowed
+        stacked_arrays = PartitionArrays(
+            names=tuple(names),
+            size_gb=np.concatenate([a.size_gb for a in per_tenant]),
+            predicted_accesses=np.concatenate(
+                [a.predicted_accesses for a in per_tenant]
+            ),
+            latency_threshold_s=np.concatenate(
+                [a.latency_threshold_s for a in per_tenant]
+            ),
+            current_tier=np.concatenate([a.current_tier for a in per_tenant]),
+            read_fraction=np.concatenate([a.read_fraction for a in per_tenant]),
+            pushdown_fraction=np.concatenate(
+                [a.pushdown_fraction for a in per_tenant]
+            ),
+            current_codec=tuple(codecs),
+            file_ids=tuple(file_ids),
+        )
         model = next(iter(problems.values())).cost_model
-        # Every sub-problem already validated its partitions, profiles (the
-        # "none" scheme is present, pinned codecs have profiles) and SLO /
-        # affinity maps against this same catalog, and the tenant tags keep
-        # names unique across tenants — so the combined problem is assembled
-        # directly, skipping OptAssignProblem.__init__'s re-validation and
-        # per-partition profile-table copies (the same construction shortcut
-        # OptAssignProblem.relaxed uses).  At fleet scale this is what keeps
-        # stacking overhead below the solve itself.
         stacked = OptAssignProblem.__new__(OptAssignProblem)
-        stacked.partitions = partitions
+        stacked._partitions_list = None
         stacked.cost_model = model
         stacked._profiles = profiles
         stacked._latency_slo = latency_slo
@@ -138,10 +167,12 @@ class StackedProblem:
         stacked._banned_tiers = frozenset().union(
             *(problem.banned_tiers for problem in problems.values())
         )
-        stacked._arrays = None
+        stacked._arrays = stacked_arrays
         stacked._profile_columns_cache = None
         stacked._tensors = None
-        return cls(problem=stacked, tenants=tuple(problems))
+        return cls(
+            problem=stacked, tenants=tuple(problems), tenant_spans=tuple(spans)
+        )
 
     @staticmethod
     def untag(tagged_name: str) -> tuple[str, str]:

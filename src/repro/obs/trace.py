@@ -174,6 +174,59 @@ class Tracer:
         with self._lock:
             self.spans.append(record)
 
+    # -- cross-process handoff ---------------------------------------------------
+    def adopt(
+        self,
+        records: "list[SpanRecord]",
+        parent_id: int | None = None,
+    ) -> list[SpanRecord]:
+        """Fold spans recorded by *another* tracer into this one's trace.
+
+        The thread-hop pattern (capture ``current_span_id``, pass it as
+        ``parent_id=``) cannot cross a process boundary: a worker process has
+        its own tracer whose spans — and their ids — die with it.  Instead the
+        worker runs a private :class:`Tracer`, ships its (picklable)
+        :class:`SpanRecord` list back, and the parent adopts them here:
+        every record gets a fresh id from this tracer's sequence (keeping
+        exports deterministic), intra-batch parent links are remapped to the
+        fresh ids, and records that were roots in the worker are re-parented
+        under ``parent_id`` — so the exported tree shows the worker's spans
+        exactly where the dispatch happened.
+
+        Records are adopted in the order given; call once per worker, in a
+        deterministic worker order, for reproducible exports.  Returns the
+        adopted (re-based) records.
+        """
+        if not records:
+            return []
+        with self._lock:
+            base = self._next_id
+            self._next_id += len(records)
+        remap = {
+            record.span_id: base + offset
+            for offset, record in enumerate(records)
+        }
+        adopted = [
+            SpanRecord(
+                span_id=remap[record.span_id],
+                parent_id=(
+                    remap[record.parent_id]
+                    if record.parent_id in remap
+                    else parent_id
+                ),
+                name=record.name,
+                start_s=record.start_s,
+                duration_s=record.duration_s,
+                attrs=dict(record.attrs),
+                memory_peak_kb=record.memory_peak_kb,
+                error=record.error,
+            )
+            for record in records
+        ]
+        with self._lock:
+            self.spans.extend(adopted)
+        return adopted
+
     # -- introspection ----------------------------------------------------------
     def records(self) -> list[SpanRecord]:
         """Finished spans, ordered by span_id (creation order)."""
@@ -227,6 +280,11 @@ class NoopTracer:
 
     def span(self, name: str, parent_id: int | None = None, **attrs: Any) -> NoopSpan:
         return NOOP_SPAN
+
+    def adopt(
+        self, records: "list[SpanRecord]", parent_id: int | None = None
+    ) -> list[SpanRecord]:
+        return []
 
     def records(self) -> list[SpanRecord]:
         return []

@@ -1,0 +1,162 @@
+"""PR 8's golden disruption cells re-run under a sharded fleet solve: every
+chaos scenario must bill exactly what the single-process solve bills —
+sharding is a wall-clock decision, never a placement decision, even while
+providers die, prices shock, pools shrink and tenants churn."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosInjector,
+    DisruptionSchedule,
+    PoolShock,
+    PriceShock,
+    ProviderOutage,
+    ProviderRecovery,
+    TenantJoin,
+    TenantLeave,
+)
+from repro.cloud import PoolSet, multi_cloud_catalog
+from repro.engine import EngineConfig
+from repro.engine.policies import PeriodicReoptimize
+from repro.fleet import FleetConfig, FleetScheduler, TenantSpec
+from repro.workloads import generate_fleet_workload
+
+MONTHS = 6
+SEED = 7
+SLACK = 1e9
+SHARDS = 4
+
+FULL_CONFIG = EngineConfig(horizon_months=6.0, window_months=6)
+DELTA_CONFIG = EngineConfig(
+    horizon_months=6.0,
+    window_months=6,
+    reopt_mode="delta",
+    delta_drift_threshold=0.0,
+)
+
+
+def make_specs(num=2, offset=0, config=FULL_CONFIG):
+    fleet = generate_fleet_workload(num, 4, MONTHS, seed=SEED, name_offset=offset)
+    return [
+        TenantSpec(
+            name=tenant.name,
+            partitions=tenant.partitions,
+            policy=PeriodicReoptimize(2),
+            series=tenant.series,
+            profiles=tenant.profiles,
+            config=config,
+            latency_slo_s=tenant.workload.latency_slo_s,
+        )
+        for tenant in fleet
+    ]
+
+
+def run_fleet(schedule, config=FULL_CONFIG, capacities=None, shards=None):
+    catalog = multi_cloud_catalog()
+    chaos = ChaosInjector(schedule) if schedule is not None else None
+    caps = {name: SLACK for name in catalog.provider_names}
+    caps.update(capacities or {})
+    pool_set = PoolSet.per_provider(catalog, caps)
+    with FleetScheduler(
+        make_specs(config=config),
+        catalog,
+        pools=pool_set,
+        config=FleetConfig(engine=config, shards=shards),
+        chaos=chaos,
+    ) as scheduler:
+        report = scheduler.run(num_epochs=MONTHS)
+    return scheduler, chaos, report
+
+
+def assert_shard_equivalent(schedule_builder, config=FULL_CONFIG, **kwargs):
+    _, oracle_chaos, oracle = run_fleet(
+        schedule_builder(), config=config, shards=None, **kwargs
+    )
+    _, sharded_chaos, sharded = run_fleet(
+        schedule_builder(), config=config, shards=SHARDS, **kwargs
+    )
+    assert sharded.total_bill == oracle.total_bill
+    if oracle_chaos is not None:
+        assert len(sharded_chaos.reports) == len(oracle_chaos.reports)
+
+
+class TestGoldenCellsUnderSharding:
+    def test_calm_fleet(self):
+        assert_shard_equivalent(DisruptionSchedule.empty)
+
+    def test_outage_and_evacuation(self):
+        assert_shard_equivalent(
+            lambda: DisruptionSchedule(
+                [
+                    ProviderOutage(epoch=2, provider="azure_blob"),
+                    ProviderRecovery(epoch=4, provider="azure_blob"),
+                ]
+            )
+        )
+
+    def test_price_shock(self):
+        assert_shard_equivalent(
+            lambda: DisruptionSchedule(
+                [PriceShock(epoch=2, provider="aws_s3", storage_factor=5.0)]
+            )
+        )
+
+    def test_pool_shock(self):
+        assert_shard_equivalent(
+            lambda: DisruptionSchedule(
+                [PoolShock(epoch=2, pool="azure_blob", capacity_factor=0.5)]
+            )
+        )
+
+    def test_tenant_churn(self):
+        def schedule():
+            joiner = make_specs(1, offset=10)[0]
+            return DisruptionSchedule(
+                [
+                    TenantJoin(epoch=2, spec=joiner),
+                    TenantLeave(epoch=4, tenant="tenant_001"),
+                ]
+            )
+
+        assert_shard_equivalent(schedule)
+
+    def test_combined_storm(self):
+        def schedule():
+            joiner = make_specs(1, offset=11)[0]
+            return DisruptionSchedule(
+                [
+                    ProviderOutage(epoch=1, provider="azure_blob"),
+                    TenantJoin(epoch=2, spec=joiner),
+                    PriceShock(epoch=3, provider="aws_s3", storage_factor=3.0),
+                    ProviderRecovery(epoch=4, provider="azure_blob"),
+                    TenantLeave(epoch=4, tenant="tenant_000"),
+                ]
+            )
+
+        assert_shard_equivalent(schedule)
+
+    def test_outage_under_delta_mode(self):
+        assert_shard_equivalent(
+            lambda: DisruptionSchedule(
+                [
+                    ProviderOutage(epoch=2, provider="azure_blob"),
+                    ProviderRecovery(epoch=4, provider="azure_blob"),
+                ]
+            ),
+            config=DELTA_CONFIG,
+        )
+
+    def test_degradation_ladder_under_sharding(self):
+        """A brutal pool shock walks the degradation ladder (unpooled retry,
+        then freeze) — the sharded fleet must degrade to the same bill."""
+
+        def schedule():
+            catalog = multi_cloud_catalog()
+            return DisruptionSchedule(
+                [
+                    PoolShock(epoch=2, pool=name, capacity_gb=2.0)
+                    for name in catalog.provider_names
+                ]
+            )
+
+        assert_shard_equivalent(schedule)

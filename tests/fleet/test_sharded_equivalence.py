@@ -1,0 +1,342 @@
+"""The sharding oracle lock: the multiprocess sharded solve must reproduce
+the single-process stacked solve choice for choice and bill for bill — at
+every shard count, under relaxation, under pool arbitration, with reserved
+budgets, and across warm-started and delta-mode fleet epochs."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CompressionProfile,
+    CostModel,
+    DataPartition,
+    PoolSet,
+    multi_cloud_catalog,
+)
+from repro.core.optassign import (
+    InfeasibleError,
+    OptAssignProblem,
+    StackedProblem,
+    solve_optassign,
+)
+from repro.core.optassign.capacity import repair_pools
+from repro.engine import EngineConfig
+from repro.engine.policies import PeriodicReoptimize
+from repro.fleet import (
+    FleetConfig,
+    FleetScheduler,
+    ShardedFleetSolver,
+    TenantSpec,
+    plan_row_shards,
+    plan_tenant_shards,
+)
+from repro.workloads import generate_fleet_workload
+
+SHARD_COUNTS = (1, 2, 4, 3)  # 3 is deliberately odd vs the 4-tenant fleets
+
+
+def tenant_problem(model, seed, count=30):
+    rng = np.random.default_rng(seed)
+    thresholds = [1.0, 60.0, 7200.0]
+    partitions = [
+        DataPartition(
+            name=f"p{i:03d}",
+            size_gb=float(rng.uniform(1.0, 500.0)),
+            predicted_accesses=float(rng.lognormal(1.0, 2.0)),
+            latency_threshold_s=float(rng.choice(thresholds)),
+            current_tier=int(rng.integers(-1, 3)),
+        )
+        for i in range(count)
+    ]
+    profiles = {
+        partition.name: {
+            "gzip": CompressionProfile(
+                "gzip",
+                ratio=float(rng.uniform(2.0, 6.0)),
+                decompression_s_per_gb=float(rng.uniform(0.5, 2.0)),
+            ),
+            "zstd": CompressionProfile(
+                "zstd",
+                ratio=float(rng.uniform(1.5, 4.0)),
+                decompression_s_per_gb=float(rng.uniform(0.1, 1.0)),
+            ),
+        }
+        for partition in partitions
+    }
+    slo = {partitions[0].name: 3600.0, partitions[1].name: 7200.0}
+    affinity = {partitions[2].name: "aws_s3"}
+    return OptAssignProblem(
+        partitions, model, profiles, latency_slo_s=slo, provider_affinity=affinity
+    )
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return multi_cloud_catalog()
+
+
+@pytest.fixture(scope="module")
+def stacked(catalog):
+    model = CostModel(catalog, duration_months=6.0)
+    problems = {f"t{j}": tenant_problem(model, j) for j in range(4)}
+    return StackedProblem.stack(problems)
+
+
+@pytest.fixture(scope="module")
+def oracle(stacked):
+    return solve_optassign(stacked.problem, prefer="greedy")
+
+
+def assert_same_assignment(report, oracle_report):
+    assert report.latency_relaxation == oracle_report.latency_relaxation
+    assert set(report.assignment.choices) == set(oracle_report.assignment.choices)
+    for name, expected in oracle_report.assignment.choices.items():
+        actual = report.assignment.choices[name]
+        assert actual.tier_index == expected.tier_index, name
+        assert actual.scheme == expected.scheme, name
+        assert actual.objective == expected.objective, name
+        assert actual.latency_s == expected.latency_s, name
+        assert actual.breakdown == expected.breakdown, name
+
+
+class TestShardCounts:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_identical_at_every_shard_count(self, stacked, oracle, shards):
+        with ShardedFleetSolver(shards=shards) as solver:
+            report = solver.solve(stacked.problem)
+        assert report.solver == "greedy+shards"
+        assert_same_assignment(report, oracle)
+
+    def test_tenant_aligned_plan_identical(self, stacked, oracle):
+        plan = plan_tenant_shards(stacked.tenant_spans, 3)
+        assert len(plan) == 3
+        with ShardedFleetSolver(shards=3) as solver:
+            report = solver.solve(stacked.problem, plan=plan)
+        assert_same_assignment(report, oracle)
+
+    def test_explicit_row_index_plan_identical(self, stacked, oracle):
+        total = len(stacked.problem.partition_arrays())
+        rng = np.random.default_rng(0)
+        rows = rng.permutation(total)
+        plan = [rows[: total // 2], rows[total // 2 :]]
+        with ShardedFleetSolver(shards=2) as solver:
+            report = solver.solve(stacked.problem, plan=plan)
+        assert_same_assignment(report, oracle)
+
+
+class TestRelaxation:
+    def test_relaxed_instance_identical(self, catalog):
+        import dataclasses
+
+        model = CostModel(catalog, duration_months=6.0)
+        problems = {}
+        for j in range(3):
+            base = tenant_problem(model, j)
+            # Tighten every threshold below the best latency ANY available
+            # (tier, scheme) achieves: round 0 is infeasible, one doubling
+            # (0.6 * 2 = 1.2x the minimum) fixes it — the relaxation ladder
+            # must fire identically on both paths.
+            tensors = base.batch_tensors()
+            available = base._profile_columns()[3]
+            latency = np.where(
+                available[:, None, :], tensors.latency_s, np.inf
+            )
+            min_latency = latency.min(axis=(1, 2))
+            partitions = [
+                dataclasses.replace(
+                    partition,
+                    latency_threshold_s=(
+                        0.6 * float(min_latency[i])
+                        if np.isfinite(min_latency[i]) and min_latency[i] > 0
+                        else partition.latency_threshold_s
+                    ),
+                )
+                for i, partition in enumerate(base.partitions)
+            ]
+            problems[f"t{j}"] = OptAssignProblem(
+                partitions, model, base._profiles
+            )
+        stacked = StackedProblem.stack(problems)
+        oracle = solve_optassign(stacked.problem, prefer="greedy")
+        assert oracle.latency_relaxation > 1.0  # the ladder actually fired
+        with ShardedFleetSolver(shards=4) as solver:
+            report = solver.solve(stacked.problem)
+        assert_same_assignment(report, oracle)
+
+
+class TestPoolArbitration:
+    def pools_forcing_repair(self, catalog, stacked, oracle):
+        """Budgets at 80% of the heaviest pool's unpooled usage."""
+        slack = PoolSet.per_provider(
+            catalog, {name: 1e12 for name in catalog.provider_names}
+        )
+        usage = np.zeros(len(catalog))
+        arrays = stacked.problem.partition_arrays()
+        sizes = dict(zip(arrays.names, arrays.size_gb.tolist()))
+        for name, option in oracle.assignment.choices.items():
+            ratio = stacked.problem._profiles[name][option.scheme].ratio
+            usage[option.tier_index] += sizes[name] / ratio
+        per_pool = slack.usage(usage)
+        budgets = {
+            provider: float(used * 0.8) if used == per_pool.max() else 1e9
+            for provider, used in zip(catalog.provider_names, per_pool)
+        }
+        return PoolSet.per_provider(catalog, budgets)
+
+    def test_arbitrated_solve_identical(self, catalog, stacked, oracle):
+        pools = self.pools_forcing_repair(catalog, stacked, oracle)
+        oracle_pooled = solve_optassign(
+            stacked.problem,
+            prefer="greedy",
+            post_repair=lambda a: repair_pools(a, pools),
+        )
+        assert oracle_pooled.assignment.solver.endswith("+pools")
+        with ShardedFleetSolver(shards=4) as solver:
+            report = solver.solve(stacked.problem, pool_set=pools)
+        assert report.assignment.solver == "greedy+shards+pools"
+        assert_same_assignment(report, oracle_pooled)
+
+    def test_reserved_budget_identical(self, catalog, stacked, oracle):
+        pools = self.pools_forcing_repair(catalog, stacked, oracle)
+        reserved = np.zeros(len(pools.pools))
+        reserved[0] = 50.0
+        oracle_pooled = solve_optassign(
+            stacked.problem,
+            prefer="greedy",
+            post_repair=lambda a: repair_pools(a, pools, reserved_gb=reserved),
+        )
+        with ShardedFleetSolver(shards=2) as solver:
+            report = solver.solve(
+                stacked.problem, pool_set=pools, reserved_gb=reserved
+            )
+        assert_same_assignment(report, oracle_pooled)
+
+
+class TestFailureParity:
+    def test_infeasible_raises_like_the_oracle(self, catalog):
+        model = CostModel(catalog, duration_months=6.0)
+        partitions = [
+            DataPartition(
+                name="impossible",
+                size_gb=10.0,
+                predicted_accesses=5.0,
+                latency_threshold_s=1.0,
+                current_tier=-1,
+            )
+        ]
+        # An SLO no tier can meet is a hard certificate: both paths must
+        # fail fast with the same diagnostic, without burning rounds.
+        problem = OptAssignProblem(
+            partitions, model, latency_slo_s={"impossible": 1e-12}
+        )
+        with pytest.raises(InfeasibleError) as oracle_error:
+            solve_optassign(problem, prefer="greedy")
+        with ShardedFleetSolver(shards=2) as solver:
+            with pytest.raises(InfeasibleError) as sharded_error:
+                solver.solve(problem)
+        assert str(sharded_error.value) == str(oracle_error.value)
+
+    def test_finite_capacity_rejected(self):
+        from repro.cloud import azure_tier_catalog
+
+        base = azure_tier_catalog()
+        capped = azure_tier_catalog(capacities=[100.0] * len(base))
+        model = CostModel(capped, duration_months=6.0)
+        problem = OptAssignProblem(
+            [
+                DataPartition(
+                    name="p0",
+                    size_gb=10.0,
+                    predicted_accesses=5.0,
+                    latency_threshold_s=7200.0,
+                    current_tier=-1,
+                )
+            ],
+            model,
+        )
+        with ShardedFleetSolver(shards=2) as solver:
+            with pytest.raises(ValueError, match="uncapacitated"):
+                solver.solve(problem)
+
+    def test_bad_plans_rejected(self, stacked):
+        total = len(stacked.problem.partition_arrays())
+        with ShardedFleetSolver(shards=2) as solver:
+            with pytest.raises(ValueError, match="twice"):
+                solver.solve(stacked.problem, plan=[(0, total), (0, 1)])
+            with pytest.raises(ValueError, match="misses"):
+                solver.solve(stacked.problem, plan=[(0, total - 1)])
+            with pytest.raises(ValueError, match="out of bounds"):
+                solver.solve(stacked.problem, plan=[(0, total + 1)])
+
+
+class TestFleetEpochs:
+    """Warm-started and delta-mode epochs through the scheduler itself."""
+
+    MONTHS = 6
+
+    def run_fleet(self, config, shards):
+        catalog = multi_cloud_catalog()
+        fleet = generate_fleet_workload(3, 4, self.MONTHS, seed=7)
+        specs = [
+            TenantSpec(
+                name=tenant.name,
+                partitions=tenant.partitions,
+                policy=PeriodicReoptimize(2),
+                series=tenant.series,
+                profiles=tenant.profiles,
+                config=config,
+                latency_slo_s=tenant.workload.latency_slo_s,
+            )
+            for tenant in fleet
+        ]
+        pools = PoolSet.per_provider(
+            catalog, {name: 1e9 for name in catalog.provider_names}
+        )
+        with FleetScheduler(
+            specs,
+            catalog,
+            pools=pools,
+            config=FleetConfig(engine=config, shards=shards),
+        ) as scheduler:
+            return scheduler.run(num_epochs=self.MONTHS)
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_warm_started_epochs_bill_identical(self, shards):
+        config = EngineConfig(horizon_months=6.0, window_months=6)
+        baseline = self.run_fleet(config, shards=None)
+        sharded = self.run_fleet(config, shards=shards)
+        assert sharded.total_bill == baseline.total_bill
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_delta_epochs_bill_identical(self, shards):
+        config = EngineConfig(
+            horizon_months=6.0,
+            window_months=6,
+            reopt_mode="delta",
+            delta_drift_threshold=0.0,
+        )
+        baseline = self.run_fleet(config, shards=None)
+        sharded = self.run_fleet(config, shards=shards)
+        assert sharded.total_bill == baseline.total_bill
+
+
+class TestPlanners:
+    def test_row_plan_covers_and_balances(self):
+        assert plan_row_shards(10, 3) == [(0, 3), (3, 7), (7, 10)]
+        assert plan_row_shards(2, 4) == [(0, 1), (1, 2)]  # never empty shards
+        assert plan_row_shards(0, 2) == []
+        with pytest.raises(ValueError):
+            plan_row_shards(10, 0)
+
+    def test_tenant_plan_respects_boundaries(self):
+        spans = ((0, 10), (10, 12), (12, 30), (30, 40))
+        for shards in (1, 2, 3, 4, 9):
+            plan = plan_tenant_shards(spans, shards)
+            assert plan[0][0] == 0 and plan[-1][1] == 40
+            boundaries = {start for start, _ in spans} | {40}
+            for start, stop in plan:
+                assert start in boundaries and stop in boundaries
+            # contiguous, no gaps
+            for (_, stop), (start, _) in zip(plan, plan[1:]):
+                assert stop == start
+            assert len(plan) == min(shards, len(spans))

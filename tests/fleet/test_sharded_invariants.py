@@ -1,0 +1,183 @@
+"""Properties of the sharded fleet solve: pool budgets hold after the
+cross-shard reduce, results are independent of worker count and shard plan,
+and shared-memory segments never leak — not even when a worker dies."""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import (
+    CompressionProfile,
+    CostModel,
+    DataPartition,
+    PoolSet,
+    multi_cloud_catalog,
+)
+from repro.core.optassign import InfeasibleError, OptAssignProblem, StackedProblem
+from repro.fleet import ShardedFleetSolver, plan_row_shards, plan_tenant_shards
+
+CATALOG = multi_cloud_catalog()
+MODEL = CostModel(CATALOG, duration_months=6.0)
+
+
+def build_stacked(num_tenants, rows_per_tenant, seed):
+    rng = np.random.default_rng(seed)
+    problems = {}
+    for j in range(num_tenants):
+        partitions = [
+            DataPartition(
+                name=f"p{i:03d}",
+                size_gb=float(rng.uniform(1.0, 400.0)),
+                predicted_accesses=float(rng.lognormal(1.0, 2.0)),
+                latency_threshold_s=float(rng.choice([1.0, 60.0, 7200.0])),
+                current_tier=int(rng.integers(-1, 3)),
+            )
+            for i in range(rows_per_tenant)
+        ]
+        profiles = {
+            partition.name: {
+                "gzip": CompressionProfile(
+                    "gzip",
+                    ratio=float(rng.uniform(2.0, 6.0)),
+                    decompression_s_per_gb=float(rng.uniform(0.5, 2.0)),
+                )
+            }
+            for partition in partitions
+        }
+        problems[f"t{j}"] = OptAssignProblem(partitions, MODEL, profiles)
+    return StackedProblem.stack(problems)
+
+
+def pool_usage_of(problem, assignment, pools):
+    usage = np.zeros(len(CATALOG))
+    arrays = problem.partition_arrays()
+    sizes = dict(zip(arrays.names, arrays.size_gb.tolist()))
+    for name, option in assignment.choices.items():
+        ratio = problem._profiles[name][option.scheme].ratio
+        usage[option.tier_index] += sizes[name] / ratio
+    return pools.usage(usage)
+
+
+def leaked_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        pytest.skip("/dev/shm not available")
+    return glob.glob("/dev/shm/reproshard*")
+
+
+@given(
+    num_tenants=st.integers(1, 4),
+    rows=st.integers(2, 12),
+    seed=st.integers(0, 1000),
+    shards=st.integers(1, 6),
+    budget_factor=st.floats(0.5, 1.5),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pool_budgets_hold_after_reduce(
+    num_tenants, rows, seed, shards, budget_factor
+):
+    stacked = build_stacked(num_tenants, rows, seed)
+    with ShardedFleetSolver(shards=shards) as solver:
+        unpooled = solver.solve(stacked.problem)
+        slack = PoolSet.per_provider(
+            CATALOG, {name: 1e12 for name in CATALOG.provider_names}
+        )
+        per_pool = pool_usage_of(stacked.problem, unpooled.assignment, slack)
+        budgets = {
+            provider: float(max(used * budget_factor, 1.0))
+            for provider, used in zip(CATALOG.provider_names, per_pool)
+        }
+        pools = PoolSet.per_provider(CATALOG, budgets)
+        try:
+            report = solver.solve(stacked.problem, pool_set=pools)
+        except InfeasibleError:
+            return  # nothing fit even after the full relaxation ladder
+    usage = pool_usage_of(stacked.problem, report.assignment, pools)
+    assert (usage <= pools.capacities + 1e-6).all(), (usage, pools.capacities)
+
+
+@given(
+    num_tenants=st.integers(1, 3),
+    rows=st.integers(2, 10),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_worker_count_and_plan_do_not_change_results(num_tenants, rows, seed):
+    stacked = build_stacked(num_tenants, rows, seed)
+    total = len(stacked.problem.partition_arrays())
+    rng = np.random.default_rng(seed)
+    permuted = rng.permutation(total)
+    plans = [
+        None,  # default balanced row plan
+        plan_row_shards(total, 2),
+        plan_tenant_shards(stacked.tenant_spans, 3),
+        [permuted[: total // 2], permuted[total // 2 :]],
+    ]
+    reference = None
+    for workers, plan in zip((1, 2, 1, 2), plans):
+        with ShardedFleetSolver(shards=4, workers=workers) as solver:
+            report = solver.solve(stacked.problem, plan=plan)
+        key = sorted(
+            (name, option.tier_index, option.scheme, option.objective)
+            for name, option in report.assignment.choices.items()
+        )
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference
+
+
+class TestSharedMemoryLifecycle:
+    def test_no_leaks_after_solves(self):
+        stacked = build_stacked(3, 8, seed=1)
+        with ShardedFleetSolver(shards=3) as solver:
+            for _ in range(3):
+                solver.solve(stacked.problem)
+        assert leaked_segments() == []
+
+    def test_no_leaks_after_worker_fault(self):
+        stacked = build_stacked(2, 6, seed=2)
+        with ShardedFleetSolver(shards=2) as solver:
+            solver._inject_fault = "raise"
+            with pytest.raises(RuntimeError, match="injected shard fault"):
+                solver.solve(stacked.problem)
+            assert leaked_segments() == []
+            # The worker pool survives an ordinary task exception: clearing
+            # the fault makes the very next solve succeed on the same pool.
+            solver._inject_fault = None
+            report = solver.solve(stacked.problem)
+            assert report.assignment.choices
+        assert leaked_segments() == []
+
+    def test_close_is_idempotent_and_reusable_pattern(self):
+        stacked = build_stacked(1, 4, seed=3)
+        solver = ShardedFleetSolver(shards=2)
+        try:
+            solver.solve(stacked.problem)
+        finally:
+            solver.close()
+            solver.close()
+        assert leaked_segments() == []
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ShardedFleetSolver(shards=0)
+        with pytest.raises(ValueError):
+            ShardedFleetSolver(shards=2, workers=0)
+        with pytest.raises(ValueError):
+            ShardedFleetSolver(shards=2, relaxation_step=1.0)
+
+    def test_fleet_config_rejects_bad_knobs(self):
+        from repro.fleet import FleetConfig
+
+        with pytest.raises(ValueError):
+            FleetConfig(shards=0)
+        with pytest.raises(ValueError):
+            FleetConfig(shard_workers=2)  # requires shards
+        with pytest.raises(ValueError):
+            FleetConfig(shards=2, shard_workers=0)

@@ -1,0 +1,142 @@
+"""Spans across the process hop: worker-side ``fleet.shard.*`` spans must
+land in the parent trace under the dispatch span (the PR 7 thread-hop
+pattern, extended to processes via ``Tracer.adopt``), survive the JSONL
+round trip, and keep deterministic ids."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud import CompressionProfile, CostModel, DataPartition, multi_cloud_catalog
+from repro.core.optassign import OptAssignProblem, StackedProblem
+from repro.fleet import ShardedFleetSolver
+from repro.obs import parse_jsonl, snapshot, span_tree, to_jsonl
+from repro.obs.trace import SpanRecord, Tracer
+
+
+def build_stacked(num_tenants=2, rows=6):
+    catalog = multi_cloud_catalog()
+    model = CostModel(catalog, duration_months=6.0)
+    rng = np.random.default_rng(0)
+    problems = {}
+    for j in range(num_tenants):
+        partitions = [
+            DataPartition(
+                name=f"p{i}",
+                size_gb=float(rng.uniform(1.0, 100.0)),
+                predicted_accesses=float(rng.lognormal(1.0, 1.0)),
+                latency_threshold_s=7200.0,
+                current_tier=-1,
+            )
+            for i in range(rows)
+        ]
+        profiles = {
+            partition.name: {
+                "gzip": CompressionProfile("gzip", ratio=3.0, decompression_s_per_gb=1.0)
+            }
+            for partition in partitions
+        }
+        problems[f"t{j}"] = OptAssignProblem(partitions, model, profiles)
+    return StackedProblem.stack(problems)
+
+
+def tree_names(nodes):
+    return {record.name: children for record, children in nodes}
+
+
+class TestWorkerSpanAdoption:
+    def test_exported_tree_shows_shards_under_dispatch(self):
+        stacked = build_stacked()
+        with obs.observed() as handle:
+            with ShardedFleetSolver(shards=2) as solver:
+                solver.solve(stacked.problem)
+            snap = handle.snapshot()
+
+        roots = span_tree(snap.spans)
+        assert [record.name for record, _ in roots] == ["fleet.sharded_solve"]
+        _, solve_children = roots[0]
+        dispatch = [
+            node for node in solve_children if node[0].name == "fleet.shard.dispatch"
+        ]
+        assert len(dispatch) == 1
+        shard_solves = [
+            node for node in dispatch[0][1] if node[0].name == "fleet.shard.solve"
+        ]
+        assert len(shard_solves) == 2  # one adopted root per shard
+        for shard_record, shard_children in shard_solves:
+            child_names = [record.name for record, _ in shard_children]
+            assert child_names == ["fleet.shard.tensors", "fleet.shard.argmin"]
+            assert "shard" in shard_record.attrs
+        compose = [
+            node for node in solve_children if node[0].name == "fleet.shard.compose"
+        ]
+        assert len(compose) == 1
+
+        # The tree must survive the JSONL round trip byte-for-byte.
+        parsed = parse_jsonl(to_jsonl(snap))
+        assert [
+            (record.span_id, record.parent_id, record.name)
+            for record in parsed.spans
+        ] == [
+            (record.span_id, record.parent_id, record.name)
+            for record in snap.spans
+        ]
+
+    def test_shard_attrs_identify_their_shard(self):
+        stacked = build_stacked()
+        with obs.observed() as handle:
+            with ShardedFleetSolver(shards=3) as solver:
+                solver.solve(stacked.problem)
+            snap = handle.snapshot()
+        shard_ids = sorted(
+            record.attrs["shard"]
+            for record in snap.spans
+            if record.name == "fleet.shard.solve"
+        )
+        assert shard_ids == [0, 1, 2]
+
+    def test_disabled_observability_records_nothing(self):
+        stacked = build_stacked()
+        with ShardedFleetSolver(shards=2) as solver:
+            report = solver.solve(stacked.problem)
+        assert report.assignment.choices  # solved fine without a tracer
+
+
+class TestAdoptPrimitive:
+    def test_remaps_ids_and_reparents_roots(self):
+        parent = Tracer()
+        with parent.span("host.root") as root:
+            anchor = root.span_id
+        worker = Tracer()
+        with worker.span("worker.outer"):
+            with worker.span("worker.inner"):
+                pass
+        adopted = parent.adopt(worker.records(), parent_id=anchor)
+        assert [record.name for record in adopted] == [
+            "worker.outer",
+            "worker.inner",
+        ]
+        by_name = {record.name: record for record in adopted}
+        # fresh ids from the parent's sequence, old intra-batch link kept
+        assert by_name["worker.inner"].parent_id == by_name["worker.outer"].span_id
+        assert by_name["worker.outer"].parent_id == anchor
+        assert all(record.span_id > anchor for record in adopted)
+
+    def test_adopt_empty_is_noop(self):
+        tracer = Tracer()
+        assert tracer.adopt([]) == []
+        assert len(tracer) == 0
+
+    def test_adopted_records_are_copies(self):
+        parent = Tracer()
+        original = SpanRecord(
+            span_id=0,
+            parent_id=None,
+            name="w",
+            start_s=0.0,
+            duration_s=1.0,
+            attrs={"k": 1},
+        )
+        (adopted,) = parent.adopt([original])
+        adopted.attrs["k"] = 2
+        assert original.attrs["k"] == 1
