@@ -414,6 +414,9 @@ def sharded_sweep(
                 "total_partitions": total,
                 "shards": SHARDS,
                 "workers": workers,
+                # Per-row so the regression gate can tell whether *this*
+                # timing is reproducible on the current machine.
+                "cores_available": os.cpu_count(),
                 "single_solve_s": single_s,
                 "sharded_solve_s": sharded_s,
                 "speedup": single_s / sharded_s if sharded_s else None,

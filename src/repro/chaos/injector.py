@@ -41,6 +41,7 @@ marks, accumulated reports): attach a fresh one per run.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Iterable, Iterator
 
@@ -297,6 +298,33 @@ class ChaosInjector:
                     metrics.counter("chaos.events", kind=event.kind).add(1)
         return force
 
+    @staticmethod
+    def _epochs_in_window(start_month: float, end_month: float) -> range:
+        """Integer schedule epochs falling inside ``[start_month, end_month)``.
+
+        Disruption schedules stay keyed by integer (month) epochs; on the
+        epoch-free timeline a disruption fires in whichever window's span
+        covers its month mark.  Half-open windows apply each mark exactly
+        once, and month-aligned windows recover the dense ordering exactly.
+        """
+        return range(math.ceil(start_month), math.ceil(end_month))
+
+    def before_engine_window(
+        self, engine, index: int, start_month: float, end_month: float
+    ) -> bool:
+        """Event-time disruption triggering: the windowed twin of
+        :meth:`before_engine_epoch`.
+
+        Applies every scheduled disruption whose integer epoch mark lies
+        inside the window's ``[start_month, end_month)`` span, in mark order.
+        Returns True when any of them forces a re-optimization (a pending
+        evacuation cannot wait for policy drift).
+        """
+        force = False
+        for epoch in self._epochs_in_window(start_month, end_month):
+            force = self.before_engine_epoch(engine, epoch) or force
+        return force
+
     def record_frozen_placement(self, engine, epoch: int, error) -> None:
         """The engine's solve failed; the epoch bills at the frozen layout."""
         self._record_action(
@@ -323,6 +351,21 @@ class ChaosInjector:
                     self._apply_fleet_event(scheduler, epoch, event)
                 if metrics.enabled:
                     metrics.counter("chaos.events", kind=event.kind).add(1)
+
+    def before_fleet_window(
+        self, scheduler, index: int, start_month: float, end_month: float
+    ) -> None:
+        """Event-time disruption triggering for the fleet host.
+
+        Applies every scheduled disruption whose integer epoch mark lies in
+        ``[start_month, end_month)``, in mark order — the windowed twin of
+        :meth:`before_fleet_epoch`.  ``TenantJoin`` specs carry dense epoch
+        streams; on the windowed timeline the joiner is admitted with no
+        stream and settles empty windows until its own events arrive (the
+        scheduler's windowed path documents this contract).
+        """
+        for epoch in self._epochs_in_window(start_month, end_month):
+            self.before_fleet_epoch(scheduler, epoch)
 
     def _apply_fleet_event(
         self, scheduler, epoch: int, event: DisruptionEvent

@@ -41,6 +41,7 @@ from .simulator import (
     CompiledPlacement,
     PlacementDecision,
     SimulationResult,
+    TimedEvent,
     percent_cost_benefit,
 )
 from .tiers import (
@@ -80,6 +81,7 @@ __all__ = [
     "CompiledPlacement",
     "PlacementDecision",
     "SimulationResult",
+    "TimedEvent",
     "percent_cost_benefit",
     "NEW_DATA_TIER",
     "StorageTier",

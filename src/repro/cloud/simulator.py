@@ -54,6 +54,41 @@ class AccessEvent:
 
 
 @dataclass(frozen=True)
+class TimedEvent:
+    """:class:`AccessEvent`'s continuous-time sibling: one access at time ``t``.
+
+    ``t`` is a virtual wall clock measured in (fractional) months, the same
+    unit every price in the catalog is quoted against; ``t = 2.5`` is the
+    middle of billing month 2.  Continuous workload generators
+    (:mod:`repro.workloads.streams`) yield these on the fly, and the
+    epoch-free trigger windows (:mod:`repro.engine.events`) group them into
+    billable batches without ever materializing a schedule.  The billing fast
+    path (:meth:`CompiledPlacement.step`) accepts either event type — it only
+    reads ``partition`` and ``reads``.
+
+    ``tenant`` optionally attributes the event to a fleet tenant; merged
+    multi-tenant streams use it to split shared trigger windows back into
+    per-tenant batches.
+    """
+
+    t: float
+    partition: str
+    reads: float = 1.0
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be non-negative")
+        if self.reads < 0:
+            raise ValueError("reads must be non-negative")
+
+    @property
+    def month(self) -> int:
+        """The billing month this event falls into (``floor(t)``)."""
+        return int(self.t)
+
+
+@dataclass(frozen=True)
 class PlacementDecision:
     """Where a partition is stored and with what compression scheme."""
 
@@ -197,8 +232,8 @@ class CloudStorageSimulator:
         ``access_events`` may carry any ``month`` value; they are interpreted
         as "the accesses that happened during this epoch".
         """
-        if storage_months <= 0:
-            raise ValueError("storage_months must be positive")
+        if storage_months < 0:
+            raise ValueError("storage_months must be non-negative")
         by_name = {partition.name: partition for partition in partitions}
         missing = [name for name in by_name if name not in placement]
         if missing:
@@ -421,8 +456,8 @@ class CompiledPlacement:
         Python object per partition per epoch is exactly what this fast path
         exists to avoid).
         """
-        if storage_months <= 0:
-            raise ValueError("storage_months must be positive")
+        if storage_months < 0:
+            raise ValueError("storage_months must be non-negative")
         indices: list[int] = []
         reads: list[float] = []
         rounded: list[int] = []

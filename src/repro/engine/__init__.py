@@ -21,8 +21,27 @@ drifting workload and ``benchmarks/bench_engine_online.py`` for the
 end-to-end bill / wall-clock benchmark.
 """
 
-from .engine import EngineConfig, EngineReport, EpochRecord, OnlineTieringEngine
-from .events import EpochBatch, ReplayStream, SeriesStream, stream_from_catalog
+from .engine import (
+    EngineConfig,
+    EngineReport,
+    EpochRecord,
+    OnlineTieringEngine,
+    WindowRecord,
+)
+from .events import (
+    AnyTrigger,
+    CountTrigger,
+    DriftTrigger,
+    EpochBatch,
+    ReplayStream,
+    SeriesStream,
+    StreamWindow,
+    TimeTrigger,
+    TriggerWindow,
+    monthly_batches,
+    stream_from_catalog,
+    windowed,
+)
 from .executor import MigrationExecutor, MigrationRecord, MigrationReport
 from .features import FeatureStore, PartitionFeatures, ScalarFeatureStore
 from .policies import (
@@ -38,11 +57,20 @@ __all__ = [
     "EngineConfig",
     "EngineReport",
     "EpochRecord",
+    "WindowRecord",
     "OnlineTieringEngine",
     "EpochBatch",
     "ReplayStream",
     "SeriesStream",
     "stream_from_catalog",
+    "StreamWindow",
+    "TriggerWindow",
+    "CountTrigger",
+    "TimeTrigger",
+    "DriftTrigger",
+    "AnyTrigger",
+    "windowed",
+    "monthly_batches",
     "MigrationExecutor",
     "MigrationRecord",
     "MigrationReport",

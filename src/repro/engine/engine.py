@@ -38,6 +38,7 @@ from ..cloud import (
     PartitionArrays,
     PlacementDecision,
     TierCatalog,
+    TimedEvent,
 )
 from ..core.access_predict import WindowedAccessForecaster
 from ..core.optassign import (
@@ -49,12 +50,18 @@ from ..core.optassign import (
 )
 from ..obs import get_metrics, get_tracer
 from ..obs.clock import monotonic_s
-from .events import EpochBatch
+from .events import EpochBatch, StreamWindow, TriggerWindow, windowed
 from .executor import MigrationExecutor, MigrationReport
 from .features import FeatureStore
 from .policies import TieringPolicy
 
-__all__ = ["EngineConfig", "EpochRecord", "EngineReport", "OnlineTieringEngine"]
+__all__ = [
+    "EngineConfig",
+    "EpochRecord",
+    "WindowRecord",
+    "EngineReport",
+    "OnlineTieringEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -128,6 +135,26 @@ class EpochRecord:
             + self.migration_cost
             + self.early_deletion_penalty
         )
+
+
+@dataclass
+class WindowRecord(EpochRecord):
+    """An :class:`EpochRecord` for one epoch-free trigger window.
+
+    ``epoch`` holds the window's ordinal index; ``start_month`` /
+    ``end_month`` locate it on the virtual wall clock and ``cause`` names the
+    trigger that closed it.  Extending :class:`EpochRecord` keeps windowed
+    runs first-class citizens of :class:`EngineReport` (totals, summaries and
+    comparisons work unchanged).
+    """
+
+    start_month: float = 0.0
+    end_month: float = 0.0
+    cause: str = ""
+
+    @property
+    def duration_months(self) -> float:
+        return self.end_month - self.start_month
 
 
 @dataclass
@@ -279,8 +306,11 @@ class OnlineTieringEngine:
             for partition in self._partitions
         }
         self._last_epoch = -1
+        self._last_window = -1
+        self._window_clock = 0.0
         self._last_observed: dict[str, float] | None = None
         self._pending_forecast: dict[str, float] | None = None
+        self._last_applied_forecast: dict[str, float] | None = None
         self._delta: DeltaSolver | None = (
             DeltaSolver(drift_threshold=self.config.delta_drift_threshold)
             if self.config.reopt_mode == "delta"
@@ -375,6 +405,234 @@ class OnlineTieringEngine:
             self.last_delta_report = report
             return report.assignment
 
+    # -- the epoch-free control loop ---------------------------------------------
+    # The windowed timeline generalizes the dense monthly grid: trigger
+    # windows (event-count / wall-clock / drift-score, see
+    # :mod:`repro.engine.events`) close batches at arbitrary points of
+    # virtual time.  An engine commits to one timeline on first use — mixing
+    # step() and step_window() raises, because residency clocks, feature
+    # epochs and forecast decay cannot straddle two clocks.  Month-aligned
+    # ``TimeTrigger(1.0)`` windows reproduce the dense path bit-exactly (the
+    # oracle lock in tests/engine/test_windows.py).
+
+    def run_stream(
+        self,
+        events: Iterable[TimedEvent],
+        trigger: TriggerWindow,
+        *,
+        start_month: float = 0.0,
+        horizon_months: float | None = None,
+    ) -> EngineReport:
+        """Consume a continuous timed-event stream under a trigger window.
+
+        The streaming analogue of :meth:`run`: cuts ``events`` (time-ordered
+        :class:`repro.cloud.TimedEvent`, e.g. a
+        :class:`repro.workloads.PoissonZipfStream`) into
+        :class:`~repro.engine.events.StreamWindow` batches with
+        :func:`~repro.engine.events.windowed` and steps each one.  Only the
+        open window is ever materialized, so RAM stays flat at millions of
+        events.  A :class:`~repro.engine.events.DriftTrigger` without a
+        ``baseline_provider`` (including inside an
+        :class:`~repro.engine.events.AnyTrigger`) is wired to this engine's
+        last *applied* forecast, closing the loop drift detection needs.
+        """
+        self._wire_drift_baseline(trigger)
+        records: list[EpochRecord] = [
+            self.step_window(window)
+            for window in windowed(
+                events,
+                trigger,
+                start_month=start_month,
+                horizon_months=horizon_months,
+            )
+        ]
+        return EngineReport(policy=self.policy.name, records=records)
+
+    def _wire_drift_baseline(self, trigger: TriggerWindow) -> None:
+        """Point baseline-less drift triggers at the last applied forecast."""
+
+        def provider() -> Mapping[str, float] | None:
+            return self._last_applied_forecast
+
+        members = [trigger, *getattr(trigger, "triggers", ())]
+        for member in members:
+            if (
+                hasattr(member, "baseline_provider")
+                and member.baseline_provider is None
+            ):
+                member.baseline_provider = provider
+
+    def step_window(self, window: StreamWindow) -> WindowRecord:
+        """Consume one closed trigger window: the epoch-free :meth:`step`.
+
+        A window whose ``cause`` is ``"drift"`` forces a re-optimization even
+        if the policy would not fire — the trigger has already detected drift
+        against the engine's own applied forecast, and closing the window
+        *was* the decision to react now rather than at the next grid point.
+        """
+        started = monotonic_s()
+        with get_tracer().span(
+            "engine.window", index=window.index, cause=window.cause
+        ) as span:
+            migration: MigrationReport | None = None
+            reoptimized = False
+            force_fire = window.cause == "drift"
+            if self.chaos is not None:
+                force_fire = (
+                    self.chaos.before_engine_window(
+                        self, window.index, window.start_month, window.end_month
+                    )
+                    or force_fire
+                )
+            if self.begin_window(window.index) or force_fire:
+                problem = self.build_problem(window.index)
+                try:
+                    assignment = self.solve_problem(problem)
+                except InfeasibleError as error:
+                    if self.chaos is None or self.placement is None:
+                        raise
+                    self.chaos.record_frozen_placement(self, window.index, error)
+                else:
+                    migration = self.apply_assignment(
+                        window.index, assignment.to_placement()
+                    )
+                    reoptimized = True
+                    if self.chaos is not None:
+                        self.chaos.note_migration(
+                            window.index, migration, self._banned_tiers
+                        )
+            record = self.settle_window(
+                window, migration=migration, reoptimized=reoptimized, started=started
+            )
+            span.set(reoptimized=reoptimized)
+        get_metrics().counter("engine.window_closes", cause=window.cause).add()
+        return record
+
+    def _validate_window(self, index: int) -> None:
+        """Raise unless ``index`` continues the windowed timeline."""
+        if self._last_epoch >= 0:
+            raise ValueError(
+                "this engine is on the dense monthly timeline (step was "
+                "called); epoch-free window stepping cannot be mixed in — "
+                "the two clocks would disagree"
+            )
+        if self._last_window >= 0 and index != self._last_window + 1:
+            raise ValueError(
+                f"stream windows must be consecutive (got window {index} "
+                f"after {self._last_window}); windowed() yields gap-free "
+                "indices"
+            )
+
+    def begin_window(self, index: int) -> bool:
+        """Validate the window and ask the policy whether to re-optimize.
+
+        The windowed twin of :meth:`begin_epoch`: the policy sees the window
+        ordinal as its epoch and the previous window's observed *monthly
+        rates* (counts scaled by window duration), so periodic policies tick
+        per window and drift policies compare rate against forecast rate.
+        """
+        self._validate_window(index)
+        if self.placement is None:
+            return True
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.policy_decision", window=index, policy=self.policy.name
+        ) as span:
+            fire = self.policy.should_reoptimize(index, self._last_observed)
+            if tracer.enabled:
+                span.set(fire=fire)
+                score = getattr(self.policy, "last_score", None)
+                if score is not None:
+                    get_metrics().gauge(
+                        "engine.drift_score", policy=self.policy.name
+                    ).set(score)
+        return fire
+
+    def settle_window(
+        self,
+        window: StreamWindow,
+        migration: MigrationReport | None = None,
+        reoptimized: bool = False,
+        started: float | None = None,
+    ) -> WindowRecord:
+        """Bill one trigger window and fold its events into the engine state.
+
+        Storage accrues for exactly ``window.duration_months``; reads are
+        billed per event in stream order (the identical arithmetic to a
+        dense epoch — a month-aligned window settles bit-exactly like
+        :meth:`settle`).  The feature store and forecaster receive observed
+        **monthly rates** — window counts divided by the window's duration —
+        so windows of different widths remain comparable; for the degenerate
+        zero-width flush window raw counts are folded as-is.  Residency
+        clocks advance by the window's fractional duration.
+        """
+        index = window.index
+        self._validate_window(index)
+        tracer = get_tracer()
+        duration = window.duration_months
+        with tracer.span(
+            "engine.settle", window=index, duration_months=duration
+        ):
+            if self._compiled is None:
+                self._compiled = self.simulator.compile_placement(
+                    self._arrays, self.placement
+                )
+            with tracer.span("engine.ingest") as ingest_span:
+                step = self._compiled.step(window.events, storage_months=duration)
+                ingest_span.set(events=len(window.events))
+
+            counts = window.reads_by_partition()
+            if duration > 0:
+                observed = {
+                    name: count / duration for name, count in counts.items()
+                }
+            else:
+                observed = counts
+            with tracer.span("engine.feature_store"):
+                self.feature_store.observe_counts(index, observed)
+                self.forecaster.update(index, observed)
+            MigrationExecutor.tick(
+                self.months_in_tier, list(self._by_name), months=duration
+            )
+            self._last_observed = observed
+            self._last_window = index
+            self._window_clock = window.end_month
+            self._pending_forecast = None
+            if tracer.enabled:
+                get_metrics().gauge("engine.window_fill").set(
+                    self.feature_store.window_fill
+                )
+
+        return WindowRecord(
+            epoch=index,
+            reoptimized=reoptimized,
+            storage_cost=step.bill.storage,
+            read_cost=step.bill.read,
+            decompression_cost=step.bill.decompression,
+            migration_cost=migration.migration_cost if migration else 0.0,
+            early_deletion_penalty=(
+                migration.early_deletion_penalty if migration else 0.0
+            ),
+            num_moved=migration.num_moved if migration else 0,
+            moved_gb=migration.moved_gb if migration else 0.0,
+            access_count=step.access_count,
+            latency_violations=step.latency_violations,
+            wall_clock_s=monotonic_s() - started if started is not None else 0.0,
+            start_month=window.start_month,
+            end_month=window.end_month,
+            cause=window.cause,
+        )
+
+    @property
+    def window_clock(self) -> float:
+        """Virtual time (months) the windowed timeline has settled through."""
+        return self._window_clock
+
+    @property
+    def last_applied_forecast(self) -> Mapping[str, float] | None:
+        """The monthly-rate forecast behind the most recent applied placement."""
+        return self._last_applied_forecast
+
     # -- external-scheduling hooks ----------------------------------------------
     # The fleet scheduler (:mod:`repro.fleet`) epoch-locks many engines and
     # replaces the per-engine solve with one stacked, pool-arbitrated solve.
@@ -385,6 +643,12 @@ class OnlineTieringEngine:
 
     def _validate_epoch(self, epoch: int) -> None:
         """Raise unless ``epoch`` continues the dense monthly timeline."""
+        if self._last_window >= 0:
+            raise ValueError(
+                "this engine is on the epoch-free windowed timeline "
+                "(step_window was called); dense epoch stepping cannot be "
+                "mixed in — the two clocks would disagree"
+            )
         if self._last_epoch >= 0 and epoch != self._last_epoch + 1:
             raise ValueError(
                 f"stream epochs must advance one month at a time (got "
@@ -668,6 +932,9 @@ class OnlineTieringEngine:
         self.placement = dict(new_placement)
         self._compiled = None
         self.policy.notify_reoptimized(epoch, self._pending_forecast)
+        # The forecast this placement was planned from doubles as the drift
+        # baseline for epoch-free DriftTriggers (see run_stream).
+        self._last_applied_forecast = dict(self._pending_forecast)
         self._pending_forecast = None
         get_metrics().counter("engine.reoptimizations").add()
         return migration

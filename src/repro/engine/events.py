@@ -7,7 +7,7 @@ an iterable of :class:`EpochBatch` objects with strictly increasing epochs —
 the engine never looks ahead, so any policy evaluated on a stream is causally
 honest.
 
-Three sources are provided:
+Three epoch-batch sources are provided:
 
 * :class:`ReplayStream` — replays a recorded flat trace (e.g. the one a batch
   simulation used), grouping events by month;
@@ -16,16 +16,48 @@ Three sources are provided:
   the drifting series built with ``generate_drifting_reads``);
 * :func:`stream_from_catalog` — wraps a :class:`repro.cloud.DatasetCatalog`'s
   recorded ``monthly_reads`` histories as a stream.
+
+**Epoch-free triggering** (ROADMAP item 2) generalizes the dense monthly
+grid: a continuous stream of :class:`repro.cloud.TimedEvent` (from
+:mod:`repro.workloads.streams`) is cut into :class:`StreamWindow` batches by
+a pluggable **trigger** —
+
+* :class:`CountTrigger` closes a window after a fixed number of events;
+* :class:`TimeTrigger` closes on a virtual wall-clock width (month-aligned
+  ``TimeTrigger(1.0)`` reproduces the dense-epoch grid bit-exactly — the
+  oracle lock in ``tests/engine/test_windows.py``);
+* :class:`DriftTrigger` closes when the observed access mix drifts past a
+  score threshold against a baseline forecast;
+* :class:`AnyTrigger` composes several (first to fire wins).
+
+:func:`windowed` is the lazy driver (O(window) memory) and
+:func:`monthly_batches` adapts a timed stream back onto the dense monthly
+grid for oracle comparisons.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, Sequence
 
-from ..cloud import AccessEvent, DatasetCatalog
+from ..cloud import AccessEvent, DatasetCatalog, TimedEvent
+from .policies import drift_score
 
-__all__ = ["EpochBatch", "ReplayStream", "SeriesStream", "stream_from_catalog"]
+__all__ = [
+    "EpochBatch",
+    "ReplayStream",
+    "SeriesStream",
+    "stream_from_catalog",
+    "StreamWindow",
+    "TriggerWindow",
+    "CountTrigger",
+    "TimeTrigger",
+    "DriftTrigger",
+    "AnyTrigger",
+    "windowed",
+    "monthly_batches",
+]
 
 
 @dataclass(frozen=True)
@@ -57,7 +89,11 @@ class ReplayStream:
     Events are grouped by their ``month`` field; epochs with no events still
     yield an (empty) batch so storage keeps accruing and periodic policies
     keep ticking.  ``num_epochs`` extends (or truncates) the horizon; by
-    default it runs through the last recorded event's month.
+    default it runs through the last recorded event's month.  Truncating
+    below the last recorded month drops the recorded events past the cutoff
+    — that is sometimes intentional (evaluate a shorter horizon) but easy to
+    hit by accident, so it raises a :class:`UserWarning` saying exactly how
+    many events were cut.
     """
 
     def __init__(self, events: Iterable[AccessEvent], num_epochs: int | None = None):
@@ -70,6 +106,17 @@ class ReplayStream:
             num_epochs = last + 1
         if num_epochs <= 0:
             raise ValueError("the stream needs at least one epoch")
+        if last >= num_epochs:
+            dropped = sum(
+                len(batch) for month, batch in by_epoch.items() if month >= num_epochs
+            )
+            warnings.warn(
+                f"num_epochs={num_epochs} truncates the recorded trace: "
+                f"{dropped} event(s) in months {num_epochs}..{last} will never "
+                "be replayed",
+                UserWarning,
+                stacklevel=2,
+            )
         self._by_epoch = by_epoch
         self.num_epochs = num_epochs
 
@@ -132,3 +179,397 @@ def stream_from_catalog(
         {dataset.name: dataset.monthly_reads for dataset in catalog},
         num_epochs=num_epochs,
     )
+
+
+# ---------------------------------------------------------------------------
+# Epoch-free trigger windows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """A closed trigger window: the timed events in ``[start_month, end_month)``.
+
+    The epoch-free analogue of :class:`EpochBatch`: ``index`` is the window's
+    ordinal (windows are consecutive and gap-free), ``cause`` names the
+    trigger that closed it (``"count"``, ``"time"``, ``"drift"``,
+    ``"horizon"`` or ``"flush"``).  Storage is billed for
+    ``duration_months``, reads for the events — the same arithmetic as a
+    dense epoch, just over an arbitrary-width slice of virtual time.
+    """
+
+    index: int
+    start_month: float
+    end_month: float
+    events: tuple[TimedEvent, ...]
+    cause: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("window index must be non-negative")
+        if self.end_month < self.start_month:
+            raise ValueError("window must not end before it starts")
+
+    @property
+    def duration_months(self) -> float:
+        return self.end_month - self.start_month
+
+    @property
+    def total_reads(self) -> float:
+        return float(sum(event.reads for event in self.events))
+
+    def reads_by_partition(self) -> dict[str, float]:
+        """Aggregated read counts per partition for this window."""
+        totals: dict[str, float] = {}
+        for event in self.events:
+            totals[event.partition] = totals.get(event.partition, 0.0) + event.reads
+        return totals
+
+
+class TriggerWindow(Protocol):
+    """Decides where a continuous event stream is cut into windows.
+
+    The :func:`windowed` driver calls ``open(start)`` when a window opens,
+    then for every event first drains time boundaries **strictly before** the
+    event (``boundary_before`` — lets a pure wall-clock trigger emit empty
+    windows across quiet stretches), appends the event, and asks
+    ``close_after`` whether the window ends **at** this event.  ``cause`` is
+    read right after a trigger fires and names it in the resulting
+    :class:`StreamWindow`.
+    """
+
+    cause: str
+
+    def open(self, start_month: float) -> None:
+        """A new window opens at ``start_month``; reset per-window state."""
+        ...
+
+    def boundary_before(self, t: float) -> float | None:
+        """The earliest boundary ``<= t`` the window must close at, if any.
+
+        Called before an event at time ``t`` joins the window (and once more
+        at the horizon).  Returning a boundary closes the current window at
+        that time — possibly empty — and re-opens from it.
+        """
+        ...
+
+    def close_after(self, event: TimedEvent) -> float | None:
+        """The close time if this just-appended event completes the window."""
+        ...
+
+
+class CountTrigger:
+    """Close a window after ``max_events`` events (cause ``"count"``).
+
+    Events sharing the closing event's exact timestamp stay in the same
+    window (the driver defers a close that would make a zero-width window),
+    so windows always advance the clock.
+    """
+
+    cause = "count"
+
+    def __init__(self, max_events: int) -> None:
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self._count = 0
+
+    def open(self, start_month: float) -> None:
+        self._count = 0
+
+    def boundary_before(self, t: float) -> float | None:
+        return None
+
+    def close_after(self, event: TimedEvent) -> float | None:
+        self._count += 1
+        if self._count >= self.max_events:
+            return event.t
+        return None
+
+
+class TimeTrigger:
+    """Close a window every ``width_months`` of virtual wall clock (``"time"``).
+
+    Boundaries are laid end to end from the stream's start: quiet stretches
+    emit empty windows, exactly like the dense monthly grid does.  With
+    ``width_months=1.0`` from ``start_month=0.0`` the boundaries are the
+    integers, and the windows reproduce dense epochs **bit-exactly** (adding
+    1.0 to an integral float is exact, and dividing counts by a duration of
+    exactly 1.0 is the identity).
+    """
+
+    cause = "time"
+
+    def __init__(self, width_months: float) -> None:
+        if width_months <= 0:
+            raise ValueError("width_months must be positive")
+        self.width_months = width_months
+        self._deadline = 0.0
+
+    def open(self, start_month: float) -> None:
+        self._deadline = start_month + self.width_months
+
+    def boundary_before(self, t: float) -> float | None:
+        if t >= self._deadline:
+            return self._deadline
+        return None
+
+    def close_after(self, event: TimedEvent) -> float | None:
+        return None
+
+
+class DriftTrigger:
+    """Close a window when the in-window access mix drifts from a baseline.
+
+    Accumulates per-partition read counts as events arrive and, every
+    ``check_every`` events once the window is at least ``min_width_months``
+    wide, scores the observed **rates** (counts / elapsed months) against
+    ``baseline`` with :func:`repro.engine.policies.drift_score`; at or above
+    ``threshold`` the window closes (cause ``"drift"``) so the policy can
+    react *now* instead of at the next grid point.
+
+    The baseline is what the engine last *planned against*:
+    :meth:`repro.engine.OnlineTieringEngine.run_stream` wires
+    ``baseline_provider`` to return its most recently applied forecast.
+    Without a baseline (e.g. before the first reoptimization) the trigger
+    never fires — pair it with a :class:`TimeTrigger` or
+    :class:`CountTrigger` via :class:`AnyTrigger` for a fallback cadence.
+    """
+
+    cause = "drift"
+
+    def __init__(
+        self,
+        threshold: float,
+        *,
+        min_width_months: float = 0.25,
+        check_every: int = 64,
+        baseline_provider: "Callable[[], Mapping[str, float] | None] | None" = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_width_months <= 0:
+            raise ValueError("min_width_months must be positive")
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        self.threshold = threshold
+        self.min_width_months = min_width_months
+        self.check_every = check_every
+        self.baseline_provider = baseline_provider
+        self.last_score: float | None = None
+        self._start = 0.0
+        self._counts: dict[str, float] = {}
+        self._since_check = 0
+
+    def open(self, start_month: float) -> None:
+        self._start = start_month
+        self._counts = {}
+        self._since_check = 0
+
+    def boundary_before(self, t: float) -> float | None:
+        return None
+
+    def close_after(self, event: TimedEvent) -> float | None:
+        self._counts[event.partition] = (
+            self._counts.get(event.partition, 0.0) + event.reads
+        )
+        self._since_check += 1
+        if self._since_check < self.check_every:
+            return None
+        self._since_check = 0
+        elapsed = event.t - self._start
+        if elapsed < self.min_width_months:
+            return None
+        baseline = self.baseline_provider() if self.baseline_provider else None
+        if not baseline:
+            return None
+        observed = {name: count / elapsed for name, count in self._counts.items()}
+        self.last_score = drift_score(baseline, observed)
+        if self.last_score >= self.threshold:
+            return event.t
+        return None
+
+
+class AnyTrigger:
+    """Compose triggers: the first one to fire closes the window.
+
+    Time boundaries take the earliest deadline across members;
+    ``close_after`` asks members in construction order and adopts the firing
+    member's ``cause``.
+    """
+
+    def __init__(self, *triggers: TriggerWindow) -> None:
+        if not triggers:
+            raise ValueError("at least one trigger is required")
+        self.triggers = triggers
+        self.cause = triggers[0].cause
+
+    def open(self, start_month: float) -> None:
+        for trigger in self.triggers:
+            trigger.open(start_month)
+
+    def boundary_before(self, t: float) -> float | None:
+        best: float | None = None
+        for trigger in self.triggers:
+            boundary = trigger.boundary_before(t)
+            if boundary is not None and (best is None or boundary < best):
+                best = boundary
+                self.cause = trigger.cause
+        return best
+
+    def close_after(self, event: TimedEvent) -> float | None:
+        close: float | None = None
+        for trigger in self.triggers:
+            fired = trigger.close_after(event)
+            if fired is not None and close is None:
+                close = fired
+                self.cause = trigger.cause
+        return close
+
+
+def windowed(
+    events: Iterable[TimedEvent],
+    trigger: TriggerWindow,
+    *,
+    start_month: float = 0.0,
+    horizon_months: float | None = None,
+) -> Iterator[StreamWindow]:
+    """Cut a time-ordered stream of timed events into trigger windows, lazily.
+
+    Yields consecutive, gap-free :class:`StreamWindow`\\ s covering
+    ``[start_month, ...)``.  Only the currently open window is held in
+    memory, so a million-event stream costs O(window) RAM.  Validates
+    time-ordering (raises on a backwards event) and that events do not
+    precede ``start_month``.
+
+    With ``horizon_months`` set, events at or past the horizon are ignored,
+    remaining time boundaries are drained (empty windows across the quiet
+    tail) and a final window closes exactly at the horizon (cause
+    ``"horizon"``).  Without it, a trailing partial window is flushed after
+    the stream ends (cause ``"flush"``, closing at the last event's time).
+
+    A close that would produce a zero-width window (e.g. a
+    :class:`CountTrigger` firing on a timestamp tie at the window's start) is
+    deferred until an event advances the clock — windows always advance
+    virtual time, which keeps rates (counts / duration) well-defined.
+    """
+    index = 0
+    start = start_month
+    pending: list[TimedEvent] = []
+    last_t = start_month
+    end = None if horizon_months is None else start_month + horizon_months
+    trigger.open(start)
+    for event in events:
+        if event.t < last_t:
+            raise ValueError(
+                f"events must be time-ordered: {event.t} after {last_t}"
+            )
+        last_t = event.t
+        if end is not None and event.t >= end:
+            break
+        while True:
+            boundary = trigger.boundary_before(event.t)
+            if boundary is None:
+                break
+            yield StreamWindow(
+                index=index,
+                start_month=start,
+                end_month=boundary,
+                events=tuple(pending),
+                cause=trigger.cause,
+            )
+            index += 1
+            start = boundary
+            pending = []
+            trigger.open(start)
+        pending.append(event)
+        close = trigger.close_after(event)
+        if close is not None and close > start:
+            yield StreamWindow(
+                index=index,
+                start_month=start,
+                end_month=close,
+                events=tuple(pending),
+                cause=trigger.cause,
+            )
+            index += 1
+            start = close
+            pending = []
+            trigger.open(start)
+    if end is not None:
+        while True:
+            boundary = trigger.boundary_before(end)
+            if boundary is None or boundary >= end:
+                break
+            yield StreamWindow(
+                index=index,
+                start_month=start,
+                end_month=boundary,
+                events=tuple(pending),
+                cause=trigger.cause,
+            )
+            index += 1
+            start = boundary
+            pending = []
+            trigger.open(start)
+        if pending or start < end:
+            yield StreamWindow(
+                index=index,
+                start_month=start,
+                end_month=end,
+                events=tuple(pending),
+                cause="horizon",
+            )
+    elif pending:
+        yield StreamWindow(
+            index=index,
+            start_month=start,
+            end_month=last_t,
+            events=tuple(pending),
+            cause="flush",
+        )
+
+
+def monthly_batches(
+    events: Iterable[TimedEvent], num_epochs: int | None = None
+) -> Iterator[EpochBatch]:
+    """Adapt a timed stream onto the dense monthly grid, lazily.
+
+    Each :class:`repro.cloud.TimedEvent` becomes one
+    :class:`repro.cloud.AccessEvent` in ``floor(t)``'s batch, **preserving
+    event order and without aggregating** — float summation order is exactly
+    what the bit-exact window-vs-epoch oracle tests compare, so this adapter
+    must not reassociate it.  Quiet months yield empty batches;
+    ``num_epochs`` pads (or cuts) the horizon.
+    """
+    if num_epochs is not None and num_epochs <= 0:
+        raise ValueError("the stream needs at least one epoch")
+    current = 0
+    pending: list[AccessEvent] = []
+    last_t = 0.0
+    saw_events = False
+    for event in events:
+        if event.t < last_t:
+            raise ValueError(
+                f"events must be time-ordered: {event.t} after {last_t}"
+            )
+        last_t = event.t
+        month = event.month
+        if num_epochs is not None and month >= num_epochs:
+            break
+        saw_events = True
+        while month > current:
+            yield EpochBatch(epoch=current, events=tuple(pending))
+            pending = []
+            current += 1
+        pending.append(
+            AccessEvent(month=month, partition=event.partition, reads=event.reads)
+        )
+    if num_epochs is None:
+        if not saw_events:
+            return
+        num_epochs = current + 1
+    while current < num_epochs:
+        yield EpochBatch(epoch=current, events=tuple(pending))
+        pending = []
+        current += 1

@@ -224,7 +224,17 @@ class MigrationExecutor:
         return report
 
     @staticmethod
-    def tick(months_in_tier: MutableMapping[str, float], names: Sequence[str]) -> None:
-        """Advance every partition's tier-residency clock by one month."""
+    def tick(
+        months_in_tier: MutableMapping[str, float],
+        names: Sequence[str],
+        months: float = 1.0,
+    ) -> None:
+        """Advance every partition's tier-residency clock by ``months``.
+
+        The dense epoch loop ticks one month at a time; the epoch-free
+        windowed loop ticks each window's fractional duration.
+        """
+        if months < 0:
+            raise ValueError("months must be non-negative")
         for name in names:
-            months_in_tier[name] = months_in_tier.get(name, 0.0) + 1.0
+            months_in_tier[name] = months_in_tier.get(name, 0.0) + months

@@ -99,11 +99,15 @@ class FeatureStore:
 
     # -- ingestion -------------------------------------------------------------
     def observe(self, batch: EpochBatch) -> None:
-        """Fold one epoch's events in.  Epochs must be non-decreasing."""
-        if batch.epoch < self._epoch:
-            raise ValueError(
-                f"epochs must be non-decreasing (got {batch.epoch} after {self._epoch})"
-            )
+        """Fold one epoch's *complete* batch in.  One batch per epoch.
+
+        Epochs must be strictly increasing: re-observing the current epoch
+        would silently double-fold its reads (the forecaster already rejects
+        the same mistake), so it raises.  Streaming callers that fold an
+        epoch in several partial batches must use :meth:`accumulate`, which
+        opts into same-epoch addition explicitly.
+        """
+        self._check_complete_batch(batch.epoch)
         self._advance(batch.epoch)
         self._add_many(
             batch.epoch,
@@ -113,6 +117,21 @@ class FeatureStore:
 
     def observe_counts(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
         """Like :meth:`observe` but from pre-aggregated per-partition counts."""
+        self._check_complete_batch(epoch)
+        self._advance(epoch)
+        self._add_many(
+            epoch, list(reads_by_partition), list(reads_by_partition.values())
+        )
+
+    def accumulate(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
+        """Fold a *partial* (sub-epoch) batch; same-epoch calls add up.
+
+        The explicit streaming path: a caller slicing one epoch into many
+        micro-batches calls this repeatedly with the same ``epoch`` and the
+        reads accumulate — the semantics :meth:`observe` deliberately rejects
+        so one-batch-per-epoch callers cannot double-fold by accident.
+        Epochs must still be non-decreasing.
+        """
         if epoch < self._epoch:
             raise ValueError(
                 f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
@@ -121,6 +140,19 @@ class FeatureStore:
         self._add_many(
             epoch, list(reads_by_partition), list(reads_by_partition.values())
         )
+
+    def _check_complete_batch(self, epoch: int) -> None:
+        """The observe/observe_counts contract: strictly increasing epochs."""
+        if epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
+            )
+        if epoch == self._epoch and self._epoch >= 0:
+            raise ValueError(
+                f"epoch {epoch} was already observed; observe()/observe_counts() "
+                "take one complete batch per epoch — use accumulate() to fold "
+                "sub-epoch partial batches"
+            )
 
     def _advance(self, epoch: int) -> None:
         """Slide the ring forward: zero the columns whose epochs expired."""
@@ -306,17 +338,29 @@ class ScalarFeatureStore:
 
     # -- ingestion -------------------------------------------------------------
     def observe(self, batch: EpochBatch) -> None:
-        """Fold one epoch's events in.  Epochs must be non-decreasing."""
-        if batch.epoch < self._epoch:
-            raise ValueError(
-                f"epochs must be non-decreasing (got {batch.epoch} after {self._epoch})"
-            )
+        """Fold one epoch's *complete* batch in.  One batch per epoch.
+
+        Mirrors :meth:`FeatureStore.observe`: strictly increasing epochs;
+        use :meth:`accumulate` for sub-epoch partial batches.
+        """
+        self._check_complete_batch(batch.epoch)
         self._epoch = batch.epoch
         for event in batch.events:
             self._add(event.partition, batch.epoch, event.reads)
 
     def observe_counts(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
         """Like :meth:`observe` but from pre-aggregated per-partition counts."""
+        self._check_complete_batch(epoch)
+        self._epoch = epoch
+        for name, reads in reads_by_partition.items():
+            self._add(name, epoch, reads)
+
+    def accumulate(self, epoch: int, reads_by_partition: Mapping[str, float]) -> None:
+        """Fold a *partial* (sub-epoch) batch; same-epoch calls add up.
+
+        Mirrors :meth:`FeatureStore.accumulate` (the explicit streaming
+        path); epochs must still be non-decreasing.
+        """
         if epoch < self._epoch:
             raise ValueError(
                 f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
@@ -324,6 +368,19 @@ class ScalarFeatureStore:
         self._epoch = epoch
         for name, reads in reads_by_partition.items():
             self._add(name, epoch, reads)
+
+    def _check_complete_batch(self, epoch: int) -> None:
+        """The observe/observe_counts contract: strictly increasing epochs."""
+        if epoch < self._epoch:
+            raise ValueError(
+                f"epochs must be non-decreasing (got {epoch} after {self._epoch})"
+            )
+        if epoch == self._epoch and self._epoch >= 0:
+            raise ValueError(
+                f"epoch {epoch} was already observed; observe()/observe_counts() "
+                "take one complete batch per epoch — use accumulate() to fold "
+                "sub-epoch partial batches"
+            )
 
     def _add(self, name: str, epoch: int, reads: float) -> None:
         if reads < 0:

@@ -30,13 +30,15 @@ beats carving the pool into static per-tenant slices (see
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Callable, Mapping, Sequence, TypeVar
+from dataclasses import replace
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
 import numpy as np
 from concurrent.futures import ThreadPoolExecutor
 
-from ..cloud import PoolSet, TierCatalog
+from ..cloud import PoolSet, TierCatalog, TimedEvent
 from ..obs import get_metrics, get_tracer
 from ..obs.clock import monotonic_s
 from ..core.optassign import (
@@ -47,7 +49,14 @@ from ..core.optassign import (
     repair_pools,
     solve_optassign,
 )
-from ..engine import EngineReport, EpochBatch, OnlineTieringEngine
+from ..engine import (
+    EngineReport,
+    EpochBatch,
+    OnlineTieringEngine,
+    StreamWindow,
+    TriggerWindow,
+    windowed,
+)
 from .report import FleetReport, PoolUsageRecord
 from .sharding import ShardedFleetSolver, plan_tenant_shards
 from .tenants import FleetConfig, TenantSpec
@@ -382,6 +391,76 @@ class FleetScheduler:
         report = self.last_solve_report
         return report.latency_relaxation if report is not None else 1.0
 
+    def _reoptimize(
+        self,
+        epoch: int,
+        firing: Sequence[str],
+        order: Sequence[str],
+        tracer,
+        epoch_span_id,
+    ) -> dict[str, object]:
+        """Build → stack → solve → apply for the firing tenants.
+
+        The shared middle of both timelines (dense :meth:`step_epoch` and
+        windowed :meth:`step_window`): identical stacking, pool arbitration,
+        delta/sharded routing and chaos degradation either way.  ``epoch`` is
+        the dense month or the window ordinal — the engines' hooks take
+        whichever their timeline uses.  Returns the per-tenant migration
+        reports of an applied solve (empty when placements froze).
+        """
+        migrations: dict[str, object] = {}
+
+        def build(name: str):
+            with tracer.span(
+                "fleet.build_problem", parent_id=epoch_span_id, tenant=name
+            ):
+                return self.engines[name].build_problem(epoch)
+
+        problems = dict(zip(firing, self._map(build, firing)))
+        with tracer.span("fleet.stack", tenants=len(firing)):
+            stacked = StackedProblem.stack(problems)
+        reserved = None
+        if self.pools is not None:
+            firing_set = set(firing)
+            standing = [name for name in order if name not in firing_set]
+            reserved = self.pools.usage(self._fleet_tier_usage(standing))
+        with tracer.span("fleet.solve", tenants=len(firing)):
+            try:
+                if self._delta is not None:
+                    assignment = self._solve_delta(stacked, firing, reserved)
+                else:
+                    assignment = self._solve_arbitrated(stacked, reserved)
+            except InfeasibleError as error:
+                # Chaos runs degrade instead of crashing: retry with
+                # pool budgets suspended, then freeze the standing
+                # placements — either way a structured
+                # DegradationReport records what gave.  Calm runs
+                # keep their loud fail-fast certificates.
+                if self.chaos is None:
+                    raise
+                assignment = self.chaos.degrade_fleet_solve(
+                    self, stacked, reserved, error
+                )
+        if assignment is not None:
+            placements = stacked.split_placements(assignment)
+            for name in firing:
+                with tracer.span("fleet.apply", tenant=name):
+                    migrations[name] = self.engines[name].apply_assignment(
+                        epoch, placements[name]
+                    )
+            if self.chaos is not None:
+                for name in firing:
+                    self.chaos.note_migration(
+                        epoch,
+                        migrations[name],
+                        self.engines[name].banned_tiers,
+                        tenant=name,
+                    )
+                self.chaos.note_relaxation(epoch, self._last_relaxation())
+        # else: frozen placements — nothing applied, the firing engines'
+        # pending forecasts are dropped by settle.
+        return migrations
+
     # -- one epoch -------------------------------------------------------------
     def step_epoch(self, batches: Mapping[str, EpochBatch]) -> None:
         """Advance every tenant one epoch (all batches must share the epoch)."""
@@ -434,58 +513,9 @@ class FleetScheduler:
             solve_started = monotonic_s()
             migrations: dict[str, object] = {}
             if firing:
-
-                def build(name: str):
-                    with tracer.span(
-                        "fleet.build_problem", parent_id=epoch_span_id, tenant=name
-                    ):
-                        return self.engines[name].build_problem(epoch)
-
-                problems = dict(zip(firing, self._map(build, firing)))
-                with tracer.span("fleet.stack", tenants=len(firing)):
-                    stacked = StackedProblem.stack(problems)
-                reserved = None
-                if self.pools is not None:
-                    firing_set = set(firing)
-                    standing = [name for name in order if name not in firing_set]
-                    reserved = self.pools.usage(self._fleet_tier_usage(standing))
-                with tracer.span("fleet.solve", tenants=len(firing)):
-                    try:
-                        if self._delta is not None:
-                            assignment = self._solve_delta(stacked, firing, reserved)
-                        else:
-                            assignment = self._solve_arbitrated(stacked, reserved)
-                    except InfeasibleError as error:
-                        # Chaos runs degrade instead of crashing: retry with
-                        # pool budgets suspended, then freeze the standing
-                        # placements — either way a structured
-                        # DegradationReport records what gave.  Calm runs
-                        # keep their loud fail-fast certificates.
-                        if self.chaos is None:
-                            raise
-                        assignment = self.chaos.degrade_fleet_solve(
-                            self, stacked, reserved, error
-                        )
-                if assignment is not None:
-                    placements = stacked.split_placements(assignment)
-                    for name in firing:
-                        with tracer.span("fleet.apply", tenant=name):
-                            migrations[name] = self.engines[name].apply_assignment(
-                                epoch, placements[name]
-                            )
-                    if self.chaos is not None:
-                        for name in firing:
-                            self.chaos.note_migration(
-                                epoch,
-                                migrations[name],
-                                self.engines[name].banned_tiers,
-                                tenant=name,
-                            )
-                        self.chaos.note_relaxation(epoch, self._last_relaxation())
-                else:
-                    # Frozen placements: nothing applied, the firing engines'
-                    # pending forecasts are dropped by settle below.
-                    pass
+                migrations = self._reoptimize(
+                    epoch, firing, order, tracer, epoch_span_id
+                )
             solve_seconds = monotonic_s() - solve_started
 
             def settle(name: str):
@@ -503,40 +533,199 @@ class FleetScheduler:
             for name, record in zip(order, self._map(settle, order)):
                 self._records[name].append(record)
 
-            # The per-epoch record always carries the stacked-solve telemetry
-            # (solve wall clock is invisible to per-tenant settle timings);
-            # the pool columns are empty for a pool-less fleet.
-            used = (
-                self.pools.usage_by_name(self._fleet_tier_usage(order))
-                if self.pools is not None
-                else {}
+            self._note_pool_usage(
+                epoch, order, len(firing), solve_seconds, tracer, epoch_span
             )
-            capacity = (
-                {pool.name: pool.capacity_gb for pool in self.pools}
-                if self.pools is not None
-                else {}
-            )
-            if tracer.enabled:
-                epoch_span.set(num_reoptimized=len(firing))
-                metrics = get_metrics()
-                for pool_name, used_gb in used.items():
-                    metrics.gauge("fleet.pool.used_gb", pool=pool_name).set(
-                        used_gb
-                    )
-                    budget = capacity[pool_name]
-                    if math.isfinite(budget) and budget > 0:
-                        metrics.gauge(
-                            "fleet.pool.utilization", pool=pool_name
-                        ).set(used_gb / budget)
-            self._pool_records.append(
-                PoolUsageRecord(
-                    epoch=epoch,
-                    used_gb=used,
-                    capacity_gb=capacity,
-                    num_reoptimized=len(firing),
-                    solve_wall_clock_s=solve_seconds,
+
+    def _note_pool_usage(
+        self, epoch, order, num_fired, solve_seconds, tracer, epoch_span
+    ) -> None:
+        """Record the epoch's stacked-solve + pool telemetry (both timelines).
+
+        The per-epoch record always carries the stacked-solve telemetry
+        (solve wall clock is invisible to per-tenant settle timings); the
+        pool columns are empty for a pool-less fleet.
+        """
+        used = (
+            self.pools.usage_by_name(self._fleet_tier_usage(order))
+            if self.pools is not None
+            else {}
+        )
+        capacity = (
+            {pool.name: pool.capacity_gb for pool in self.pools}
+            if self.pools is not None
+            else {}
+        )
+        if tracer.enabled:
+            epoch_span.set(num_reoptimized=num_fired)
+            metrics = get_metrics()
+            for pool_name, used_gb in used.items():
+                metrics.gauge("fleet.pool.used_gb", pool=pool_name).set(
+                    used_gb
                 )
+                budget = capacity[pool_name]
+                if math.isfinite(budget) and budget > 0:
+                    metrics.gauge(
+                        "fleet.pool.utilization", pool=pool_name
+                    ).set(used_gb / budget)
+        self._pool_records.append(
+            PoolUsageRecord(
+                epoch=epoch,
+                used_gb=used,
+                capacity_gb=capacity,
+                num_reoptimized=num_fired,
+                solve_wall_clock_s=solve_seconds,
             )
+        )
+
+    # -- one epoch-free window ---------------------------------------------------
+    def step_window(self, windows: Mapping[str, StreamWindow]) -> None:
+        """Advance every tenant one trigger window (window-locked fleet).
+
+        The epoch-free twin of :meth:`step_epoch`: all provided windows must
+        share the same ``(index, start, end)`` span — the fleet closes its
+        windows on one shared trigger over the *merged* tenant stream (see
+        :meth:`run_streams`), so tenants stay lock-stepped exactly as on the
+        monthly grid.  Live tenants missing from ``windows`` (e.g. just
+        admitted by a chaos ``TenantJoin``, whose dense spec streams have no
+        place on the windowed timeline) settle an empty window: storage
+        accrues, no reads.
+
+        A window closed by a drift trigger (``cause == "drift"``) forces
+        every tenant to re-optimize: the shared trigger detected fleet-level
+        drift, and the stacked solve re-arbitrates the pools for everyone.
+        """
+        if not windows:
+            raise ValueError("at least one tenant window is required")
+        spans = {
+            (window.index, window.start_month, window.end_month)
+            for window in windows.values()
+        }
+        if len(spans) != 1:
+            raise ValueError(
+                f"fleet windows are locked: got mixed spans {sorted(spans)}"
+            )
+        index, start, end = spans.pop()
+        cause = next(iter(windows.values())).cause
+        if self.chaos is not None:
+            # Disruptions whose month marks fall inside this window land at
+            # its boundary, before any policy decision or billing.
+            self.chaos.before_fleet_window(self, index, start, end)
+        order = [spec.name for spec in self.tenants]
+        windows = dict(windows)
+        for name in order:
+            if name not in windows:
+                windows[name] = StreamWindow(
+                    index=index,
+                    start_month=start,
+                    end_month=end,
+                    events=(),
+                    cause=cause,
+                )
+
+        tracer = get_tracer()
+        with tracer.span(
+            "fleet.window", index=index, cause=cause
+        ) as epoch_span:
+            epoch_span_id = tracer.current_span_id
+            force_all = cause == "drift"
+            firing = [
+                name
+                for name in order
+                # begin_window runs for every tenant (timeline validation +
+                # policy bookkeeping) even when a drift close forces firing.
+                if self.engines[name].begin_window(index) or force_all
+            ]
+            if self.chaos is not None:
+                forced = self.chaos.take_forced_tenants() & set(order)
+                if forced - set(firing):
+                    firing_set = set(firing) | forced
+                    firing = [name for name in order if name in firing_set]
+            solve_started = monotonic_s()
+            migrations: dict[str, object] = {}
+            if firing:
+                migrations = self._reoptimize(
+                    index, firing, order, tracer, epoch_span_id
+                )
+            solve_seconds = monotonic_s() - solve_started
+
+            def settle(name: str):
+                started = monotonic_s()
+                with tracer.span(
+                    "fleet.settle", parent_id=epoch_span_id, tenant=name
+                ):
+                    return self.engines[name].settle_window(
+                        windows[name],
+                        migration=migrations.get(name),
+                        reoptimized=name in migrations,
+                        started=started,
+                    )
+
+            for name, record in zip(order, self._map(settle, order)):
+                self._records[name].append(record)
+
+            self._note_pool_usage(
+                index, order, len(firing), solve_seconds, tracer, epoch_span
+            )
+
+    def run_streams(
+        self,
+        streams: Mapping[str, Iterable[TimedEvent]],
+        trigger: TriggerWindow,
+        *,
+        start_month: float = 0.0,
+        horizon_months: float | None = None,
+    ) -> FleetReport:
+        """Drive the fleet over continuous per-tenant event streams.
+
+        ``streams`` maps every current tenant to a time-ordered iterable of
+        :class:`repro.cloud.TimedEvent` (e.g. per-tenant
+        :class:`~repro.workloads.PoissonZipfStream`\\ s with
+        :func:`~repro.workloads.tenant_rate_skew` rates).  The streams are
+        merged into one fleet-wide time-ordered stream (each event tagged
+        with its tenant), cut by the *shared* ``trigger``, and every closed
+        window is split back into per-tenant windows for
+        :meth:`step_window` — so a count trigger counts fleet-wide events
+        and a time trigger keeps the familiar lock-step grid.  Memory stays
+        O(open window), never O(stream).
+
+        A :class:`~repro.engine.DriftTrigger` used here needs an explicit
+        ``baseline_provider``: the merged stream spans tenants, and which
+        tenant's forecast to drift against is not the scheduler's call.
+        """
+        missing = [spec.name for spec in self.tenants if spec.name not in streams]
+        if missing:
+            raise ValueError(f"streams missing tenants: {missing}")
+
+        def tagged(name: str, stream: Iterable[TimedEvent]):
+            for event in stream:
+                yield event if event.tenant == name else replace(event, tenant=name)
+
+        merged = heapq.merge(
+            *(tagged(name, streams[name]) for name in streams),
+            key=lambda event: event.t,
+        )
+        for window in windowed(
+            merged, trigger, start_month=start_month, horizon_months=horizon_months
+        ):
+            per_tenant: dict[str, list[TimedEvent]] = {}
+            for event in window.events:
+                per_tenant.setdefault(event.tenant, []).append(event)
+            self.step_window(
+                {
+                    name: StreamWindow(
+                        index=window.index,
+                        start_month=window.start_month,
+                        end_month=window.end_month,
+                        events=tuple(per_tenant.get(name, ())),
+                        cause=window.cause,
+                    )
+                    # Live roster at window close: join/leave may have changed
+                    # it mid-run, and step_window fills any later joiners.
+                    for name in (spec.name for spec in self.tenants)
+                }
+            )
+        return self.report()
 
     # -- the run loop ------------------------------------------------------------
     def run(self, num_epochs: int | None = None) -> FleetReport:

@@ -34,6 +34,18 @@ from .queries import (
     split_table_into_files,
     zipf_frequencies,
 )
+from .streams import (
+    PoissonZipfStream,
+    RateModulation,
+    TRACE_COLUMNS,
+    TraceStream,
+    compose_modulations,
+    diurnal_modulation,
+    flash_crowd,
+    merge_streams,
+    tenant_rate_skew,
+    write_trace_csv,
+)
 from .slo import (
     DEFAULT_SLO_CLASSES,
     SloClass,
@@ -69,6 +81,16 @@ __all__ = [
     "FLEET_DRIFT_MIXES",
     "TenantWorkload",
     "generate_fleet_workload",
+    "PoissonZipfStream",
+    "RateModulation",
+    "TRACE_COLUMNS",
+    "TraceStream",
+    "compose_modulations",
+    "diurnal_modulation",
+    "flash_crowd",
+    "merge_streams",
+    "tenant_rate_skew",
+    "write_trace_csv",
     "TPCH_TABLE_NAMES",
     "TpchConfig",
     "TpchDatabase",

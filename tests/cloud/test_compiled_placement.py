@@ -148,8 +148,15 @@ class TestCompiledValidation:
         with pytest.raises(KeyError):
             compiled.step([AccessEvent(month=0, partition="ghost", reads=1.0)])
 
-    def test_nonpositive_storage_months_rejected(self, setup):
+    def test_negative_storage_months_rejected(self, setup):
         simulator, partitions, placement, _ = setup
         compiled = simulator.compile_placement(partitions, placement)
         with pytest.raises(ValueError):
-            compiled.step([], storage_months=0.0)
+            compiled.step([], storage_months=-0.5)
+
+    def test_zero_storage_months_bills_no_storage(self, setup):
+        """Zero-duration windows (e.g. back-to-back event triggers) are legal."""
+        simulator, partitions, placement, _ = setup
+        compiled = simulator.compile_placement(partitions, placement)
+        step = compiled.step([], storage_months=0.0)
+        assert step.bill.storage == 0.0

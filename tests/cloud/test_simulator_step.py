@@ -104,8 +104,15 @@ class TestStepMonth:
         with pytest.raises(KeyError):
             simulator.step_month(partitions, {"hot": PlacementDecision(0)}, [])
 
-    def test_nonpositive_storage_months_rejected(
+    def test_negative_storage_months_rejected(
         self, simulator, partitions, placement
     ):
         with pytest.raises(ValueError):
-            simulator.step_month(partitions, placement, [], storage_months=0.0)
+            simulator.step_month(partitions, placement, [], storage_months=-1.0)
+
+    def test_zero_storage_months_bills_no_storage(
+        self, simulator, partitions, placement
+    ):
+        """Zero-duration windows (e.g. back-to-back event triggers) are legal."""
+        step = simulator.step_month(partitions, placement, [], storage_months=0.0)
+        assert step.bill.storage == 0.0

@@ -1,5 +1,7 @@
 """Event streams: grouping, synthesis and causal ordering."""
 
+import warnings
+
 import pytest
 
 from repro.cloud import AccessEvent, Dataset, DatasetCatalog
@@ -40,9 +42,27 @@ class TestReplayStream:
     def test_num_epochs_extends_and_truncates(self):
         events = [AccessEvent(month=1, partition="a", reads=1.0)]
         assert len(list(ReplayStream(events, num_epochs=5))) == 5
-        truncated = list(ReplayStream(events, num_epochs=1))
+        with pytest.warns(UserWarning, match="truncates the recorded trace"):
+            truncated = list(ReplayStream(events, num_epochs=1))
         assert len(truncated) == 1
         assert truncated[0].events == ()
+
+    def test_truncation_warning_counts_dropped_events(self):
+        """Regression: truncation used to drop recorded events silently."""
+        events = [
+            AccessEvent(month=0, partition="a", reads=1.0),
+            AccessEvent(month=2, partition="a", reads=1.0),
+            AccessEvent(month=3, partition="b", reads=2.0),
+        ]
+        with pytest.warns(UserWarning, match=r"2 event\(s\) in months 2\.\.3"):
+            ReplayStream(events, num_epochs=2)
+
+    def test_exact_num_epochs_does_not_warn(self):
+        events = [AccessEvent(month=1, partition="a", reads=1.0)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ReplayStream(events, num_epochs=2)
+            ReplayStream(events, num_epochs=5)
 
     def test_empty_stream_rejected(self):
         with pytest.raises(ValueError):

@@ -133,8 +133,10 @@ class TestRingBufferEqualsScalarOracle:
                 for name in names
                 if rng.uniform() < 0.5
             }
-            ring.observe_counts(epoch, counts)
-            scalar.observe_counts(epoch, counts)
+            # accumulate() is the path that tolerates same-epoch repeats
+            # (observe_counts rejects them; see TestCompleteBatchContract).
+            ring.accumulate(epoch, counts)
+            scalar.accumulate(epoch, counts)
             assert ring.current_epoch == scalar.current_epoch
             for name in names + ["never_seen"]:
                 assert ring.window_series(name) == scalar.window_series(name), (
@@ -183,14 +185,150 @@ class TestRingBufferEqualsScalarOracle:
             "ghost": (0.0, 0.0, 0.0),
         }
 
-    def test_same_epoch_observed_twice_coalesces(self):
+    def test_same_epoch_accumulate_coalesces(self):
         ring = FeatureStore(window_months=3)
         scalar = ScalarFeatureStore(window_months=3)
         for store in (ring, scalar):
-            store.observe_counts(1, {"a": 2.0})
-            store.observe_counts(1, {"a": 3.0})
+            store.accumulate(1, {"a": 2.0})
+            store.accumulate(1, {"a": 3.0})
         assert ring.window_series("a") == scalar.window_series("a") == (0.0, 5.0)
         assert ring.window_reads("a") == scalar.window_reads("a") == 5.0
+
+
+class TestCompleteBatchContract:
+    """observe/observe_counts take one complete batch per epoch (the bugfix).
+
+    Re-observing the current epoch used to silently double-fold reads while
+    the forecaster rejected the same mistake; now both stores raise and the
+    explicit :meth:`accumulate` path carries the intentional sub-epoch
+    streaming semantics.
+    """
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_observe_counts_rejects_same_epoch(self, kind):
+        store = (
+            FeatureStore(window_months=3)
+            if kind == "ring"
+            else ScalarFeatureStore(window_months=3)
+        )
+        store.observe_counts(1, {"a": 2.0})
+        with pytest.raises(ValueError, match="already observed"):
+            store.observe_counts(1, {"a": 3.0})
+        # The failed call must not have half-folded anything.
+        assert store.window_reads("a") == 2.0
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_observe_rejects_same_epoch_batch(self, kind):
+        store = (
+            FeatureStore(window_months=3)
+            if kind == "ring"
+            else ScalarFeatureStore(window_months=3)
+        )
+        batch = EpochBatch(
+            epoch=0, events=(AccessEvent(month=0, partition="a", reads=1.0),)
+        )
+        store.observe(batch)
+        with pytest.raises(ValueError, match="already observed"):
+            store.observe(batch)
+        assert store.window_reads("a") == 1.0
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_accumulate_then_observe_same_epoch_rejected(self, kind):
+        store = (
+            FeatureStore(window_months=3)
+            if kind == "ring"
+            else ScalarFeatureStore(window_months=3)
+        )
+        store.accumulate(2, {"a": 1.0})
+        with pytest.raises(ValueError, match="already observed"):
+            store.observe_counts(2, {"a": 1.0})
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_accumulate_rejects_decreasing_epochs(self, kind):
+        store = (
+            FeatureStore(window_months=3)
+            if kind == "ring"
+            else ScalarFeatureStore(window_months=3)
+        )
+        store.accumulate(3, {"a": 1.0})
+        with pytest.raises(ValueError, match="non-decreasing"):
+            store.accumulate(2, {"a": 1.0})
+
+    def test_micro_batches_sum_like_one_batch(self):
+        """Slicing an epoch into accumulate() micro-batches equals one observe."""
+        whole = FeatureStore(window_months=4)
+        sliced = FeatureStore(window_months=4)
+        whole.observe_counts(0, {"a": 6.0, "b": 3.0})
+        for _ in range(3):
+            sliced.accumulate(0, {"a": 2.0, "b": 1.0})
+        for name in ("a", "b"):
+            assert whole.window_series(name) == sliced.window_series(name)
+            assert whole.lifetime_reads(name) == sliced.lifetime_reads(name)
+
+
+class TestGapSemantics:
+    """Epoch gaps: skipped months are quiet months, in both stores (S3).
+
+    A gap of ``g`` epochs slides the window by ``g`` zero columns — a gap at
+    least as wide as the window wipes it entirely, a narrower one zeroes
+    exactly the skipped columns, and ``epochs_since_access`` keeps counting
+    across the gap.
+    """
+
+    @staticmethod
+    def make(kind, window):
+        return (
+            FeatureStore(window_months=window)
+            if kind == "ring"
+            else ScalarFeatureStore(window_months=window)
+        )
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_gap_at_least_window_wipes_it(self, kind):
+        store = self.make(kind, window=3)
+        store.observe_counts(0, {"a": 9.0, "b": 4.0})
+        store.observe_counts(3, {})  # gap of 3 == window
+        assert store.window_series("a") == (0.0, 0.0, 0.0)
+        assert store.window_reads("a") == 0.0
+        assert store.window_reads("b") == 0.0
+        # Lifetime survives the wipe; only the window forgets.
+        assert store.lifetime_reads("a") == 9.0
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_partial_gap_zeroes_exactly_the_skipped_columns(self, kind):
+        store = self.make(kind, window=4)
+        store.observe_counts(0, {"a": 5.0})
+        store.observe_counts(3, {"a": 2.0})  # epochs 1 and 2 were quiet
+        assert store.window_series("a") == (5.0, 0.0, 0.0, 2.0)
+        assert store.window_reads("a") == 7.0
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_epochs_since_access_counts_across_gaps(self, kind):
+        store = self.make(kind, window=2)
+        store.observe_counts(0, {"a": 1.0})
+        store.observe_counts(7, {"b": 1.0})
+        assert store.epochs_since_access("a") == 7.0
+        assert store.epochs_since_access("b") == 0.0
+
+    @pytest.mark.parametrize("kind", ["ring", "scalar"])
+    def test_gap_then_same_epoch_accumulate(self, kind):
+        """A gap followed by sub-epoch accumulates folds into one column."""
+        store = self.make(kind, window=3)
+        store.observe_counts(0, {"a": 4.0})
+        store.accumulate(2, {"a": 1.0})
+        store.accumulate(2, {"a": 2.0})
+        assert store.window_series("a") == (4.0, 0.0, 3.0)
+
+    def test_stores_agree_on_giant_gap(self):
+        ring = FeatureStore(window_months=5)
+        scalar = ScalarFeatureStore(window_months=5)
+        for store in (ring, scalar):
+            store.observe_counts(0, {"a": 3.0})
+            store.observe_counts(1000, {"b": 1.0})
+        assert ring.window_series("a") == scalar.window_series("a")
+        assert ring.window_series("b") == scalar.window_series("b")
+        assert ring.epochs_since_access("a") == scalar.epochs_since_access("a")
+        assert ring.current_epoch == scalar.current_epoch == 1000
 
 
 class TestHotPathIsIncremental:

@@ -1,0 +1,432 @@
+"""Epoch-free trigger windows: semantics, and the bit-exact dense-epoch oracle.
+
+The tentpole invariant: a windowed run whose :class:`TimeTrigger` boundaries
+align to the monthly grid must reproduce the dense-epoch engine **bit
+exactly** — same bills, same reoptimization points, same forecasts.  The
+windowed timeline is a strict generalization, not a reimplementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import DataPartition, TimedEvent, azure_tier_catalog
+from repro.engine import (
+    AnyTrigger,
+    CountTrigger,
+    DriftTrigger,
+    EngineConfig,
+    EpochBatch,
+    OnlineTieringEngine,
+    PeriodicReoptimize,
+    StreamWindow,
+    TimeTrigger,
+    WindowRecord,
+    monthly_batches,
+    windowed,
+)
+from repro.workloads import PoissonZipfStream
+
+HORIZON = 6.0
+
+
+def timed(*times, partition="a", reads=1.0):
+    return [TimedEvent(t=t, partition=partition, reads=reads) for t in times]
+
+
+class TestStreamWindow:
+    def test_aggregation_mirrors_epoch_batch(self):
+        window = StreamWindow(
+            index=0,
+            start_month=0.0,
+            end_month=1.5,
+            events=tuple(timed(0.1, 0.2) + timed(1.0, partition="b", reads=2.0)),
+            cause="time",
+        )
+        assert window.duration_months == 1.5
+        assert window.total_reads == 4.0
+        assert window.reads_by_partition() == {"a": 2.0, "b": 2.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamWindow(index=-1, start_month=0.0, end_month=1.0, events=(),
+                         cause="time")
+        with pytest.raises(ValueError):
+            StreamWindow(index=0, start_month=2.0, end_month=1.0, events=(),
+                         cause="time")
+
+
+class TestCountTrigger:
+    def test_closes_every_n_events(self):
+        events = timed(0.1, 0.2, 0.3, 0.4, 0.5)
+        wins = list(windowed(events, CountTrigger(2)))
+        assert [len(w.events) for w in wins] == [2, 2, 1]
+        assert [w.cause for w in wins] == ["count", "count", "flush"]
+        # Consecutive and gap-free: each window starts where the last ended.
+        assert [w.start_month for w in wins[1:]] == [w.end_month for w in wins[:-1]]
+
+    def test_timestamp_tie_defers_zero_width_close(self):
+        # Three events at t=0: a close at the window's own start would make a
+        # zero-width window, so the driver defers until the clock advances.
+        events = timed(0.0, 0.0, 0.0, 0.5)
+        wins = list(windowed(events, CountTrigger(1)))
+        assert all(w.duration_months > 0 for w in wins)
+        assert sum(len(w.events) for w in wins) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountTrigger(0)
+
+
+class TestTimeTrigger:
+    def test_quiet_stretches_emit_empty_windows(self):
+        events = timed(0.5, 3.5)
+        wins = list(windowed(events, TimeTrigger(1.0), horizon_months=5.0))
+        assert [w.index for w in wins] == [0, 1, 2, 3, 4]
+        assert [len(w.events) for w in wins] == [1, 0, 0, 1, 0]
+        assert [(w.start_month, w.end_month) for w in wins] == [
+            (0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0), (4.0, 5.0)
+        ]
+        assert wins[-1].cause == "horizon"
+        assert all(w.cause == "time" for w in wins[:-1])
+
+    def test_event_on_boundary_goes_to_next_window(self):
+        wins = list(windowed(timed(1.0), TimeTrigger(1.0), horizon_months=2.0))
+        assert [len(w.events) for w in wins] == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeTrigger(0.0)
+
+
+class TestDriftTrigger:
+    def test_never_fires_without_baseline(self):
+        events = timed(*np.linspace(0.0, 2.0, 200, endpoint=False))
+        trigger = DriftTrigger(threshold=0.01, check_every=10)
+        wins = list(windowed(events, trigger, horizon_months=2.0))
+        assert [w.cause for w in wins] == ["horizon"]
+
+    def test_fires_when_mix_drifts_from_baseline(self):
+        # Baseline expects all-"a" traffic; the stream is all-"b".
+        events = timed(*np.linspace(0.3, 2.0, 300, endpoint=False), partition="b")
+        trigger = DriftTrigger(
+            threshold=0.5,
+            min_width_months=0.25,
+            check_every=10,
+            baseline_provider=lambda: {"a": 150.0},
+        )
+        wins = list(windowed(events, trigger, horizon_months=2.0))
+        assert wins[0].cause == "drift"
+        assert trigger.last_score is not None and trigger.last_score >= 0.5
+
+    def test_matching_traffic_does_not_fire(self):
+        events = timed(*np.linspace(0.0, 2.0, 300, endpoint=False))
+        trigger = DriftTrigger(
+            threshold=0.5,
+            check_every=10,
+            baseline_provider=lambda: {"a": 150.0},
+        )
+        wins = list(windowed(events, trigger, horizon_months=2.0))
+        assert [w.cause for w in wins] == ["horizon"]
+
+    def test_min_width_suppresses_early_fires(self):
+        events = timed(*np.linspace(0.0, 0.2, 100, endpoint=False), partition="b")
+        trigger = DriftTrigger(
+            threshold=0.1,
+            min_width_months=0.5,
+            check_every=5,
+            baseline_provider=lambda: {"a": 100.0},
+        )
+        wins = list(windowed(events, trigger, horizon_months=0.2))
+        assert [w.cause for w in wins] == ["horizon"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftTrigger(0.0)
+        with pytest.raises(ValueError):
+            DriftTrigger(0.5, min_width_months=0.0)
+        with pytest.raises(ValueError):
+            DriftTrigger(0.5, check_every=0)
+
+
+class TestAnyTrigger:
+    def test_first_to_fire_wins_and_names_the_cause(self):
+        events = timed(0.1, 0.2, 0.3)
+        wins = list(
+            windowed(events, AnyTrigger(TimeTrigger(1.0), CountTrigger(2)),
+                     horizon_months=1.0)
+        )
+        assert wins[0].cause == "count"
+        assert len(wins[0].events) == 2
+
+    def test_time_member_still_cuts_quiet_stretches(self):
+        wins = list(
+            windowed(timed(0.1), AnyTrigger(CountTrigger(100), TimeTrigger(1.0)),
+                     horizon_months=3.0)
+        )
+        assert [w.cause for w in wins] == ["time", "time", "horizon"]
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            AnyTrigger()
+
+
+class TestWindowedDriver:
+    def test_rejects_backwards_events(self):
+        events = [TimedEvent(t=1.0, partition="a"), TimedEvent(t=0.5, partition="a")]
+        with pytest.raises(ValueError, match="time-ordered"):
+            list(windowed(events, CountTrigger(10)))
+
+    def test_no_horizon_flushes_trailing_partial_window(self):
+        wins = list(windowed(timed(0.1, 0.7), TimeTrigger(1.0)))
+        assert [w.cause for w in wins] == ["flush"]
+        assert wins[0].end_month == 0.7
+
+    def test_empty_stream_with_horizon_yields_horizon_window(self):
+        wins = list(windowed([], TimeTrigger(10.0), horizon_months=1.5))
+        assert [(w.cause, w.start_month, w.end_month) for w in wins] == [
+            ("horizon", 0.0, 1.5)
+        ]
+
+    def test_empty_stream_without_horizon_yields_nothing(self):
+        assert list(windowed([], CountTrigger(1))) == []
+
+    def test_events_past_horizon_are_ignored(self):
+        wins = list(windowed(timed(0.5, 2.5), CountTrigger(1), horizon_months=1.0))
+        assert sum(len(w.events) for w in wins) == 1
+
+
+class TestMonthlyBatches:
+    def test_preserves_event_order_without_aggregating(self):
+        events = timed(0.1, 0.9) + timed(0.95, partition="b") + timed(2.2)
+        batches = list(monthly_batches(events))
+        assert [batch.epoch for batch in batches] == [0, 1, 2]
+        assert [e.partition for e in batches[0].events] == ["a", "a", "b"]
+        assert batches[1].events == ()
+
+    def test_num_epochs_pads_and_cuts(self):
+        events = timed(0.5)
+        assert len(list(monthly_batches(events, num_epochs=4))) == 4
+        cut = list(monthly_batches(timed(0.5, 5.5), num_epochs=2))
+        assert len(cut) == 2
+        with pytest.raises(ValueError):
+            list(monthly_batches(events, num_epochs=0))
+
+    def test_empty_stream_without_num_epochs_yields_nothing(self):
+        assert list(monthly_batches([])) == []
+
+
+# ---------------------------------------------------------------------------
+# The oracle lock: month-aligned windows == dense epochs, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def oracle_setup():
+    partitions = [
+        DataPartition(
+            name=f"p{i}",
+            size_gb=100.0 + 40.0 * i,
+            predicted_accesses=20.0,
+            latency_threshold_s=7200.0,
+            current_tier=0,
+        )
+        for i in range(8)
+    ]
+    stream = PoissonZipfStream(
+        [p.name for p in partitions],
+        rate_per_month=400.0,
+        horizon_months=HORIZON,
+        zipf_exponent=1.1,
+        seed=42,
+    )
+    tiers = azure_tier_catalog(include_premium=False, include_archive=True)
+    return partitions, tiers, stream
+
+
+def make_engine(partitions, tiers):
+    return OnlineTieringEngine(
+        partitions,
+        tiers,
+        PeriodicReoptimize(period_months=2),
+        EngineConfig(horizon_months=3.0, window_months=3),
+    )
+
+
+class TestDenseOracleEquivalence:
+    """Month-aligned TimeTrigger(1.0) must replay the dense engine bit-exactly."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        dense = make_engine(partitions, tiers)
+        dense_report = dense.run(
+            monthly_batches(stream, num_epochs=int(HORIZON))
+        )
+        windowed_engine = make_engine(partitions, tiers)
+        window_report = windowed_engine.run_stream(
+            stream, TimeTrigger(1.0), horizon_months=HORIZON
+        )
+        return dense_report, window_report, dense, windowed_engine
+
+    def test_total_bill_is_bit_exact(self, reports):
+        dense_report, window_report, _, _ = reports
+        assert window_report.total_bill == dense_report.total_bill
+
+    def test_every_record_component_is_bit_exact(self, reports):
+        dense_report, window_report, _, _ = reports
+        assert len(window_report.records) == len(dense_report.records)
+        for dense_rec, window_rec in zip(
+            dense_report.records, window_report.records
+        ):
+            assert isinstance(window_rec, WindowRecord)
+            assert window_rec.epoch == dense_rec.epoch
+            assert window_rec.reoptimized == dense_rec.reoptimized
+            assert window_rec.storage_cost == dense_rec.storage_cost
+            assert window_rec.read_cost == dense_rec.read_cost
+            assert window_rec.decompression_cost == dense_rec.decompression_cost
+            assert window_rec.migration_cost == dense_rec.migration_cost
+            assert (
+                window_rec.early_deletion_penalty
+                == dense_rec.early_deletion_penalty
+            )
+            assert window_rec.num_moved == dense_rec.num_moved
+            assert window_rec.moved_gb == dense_rec.moved_gb
+            assert window_rec.access_count == dense_rec.access_count
+            assert window_rec.latency_violations == dense_rec.latency_violations
+
+    def test_final_placements_agree(self, reports):
+        _, _, dense, windowed_engine = reports
+        assert dense.placement == windowed_engine.placement
+
+    def test_window_records_carry_span_and_cause(self, reports):
+        _, window_report, _, _ = reports
+        for record in window_report.records:
+            assert record.end_month - record.start_month == pytest.approx(1.0)
+            assert record.duration_months == record.end_month - record.start_month
+        assert window_report.records[-1].cause == "horizon"
+        assert all(r.cause == "time" for r in window_report.records[:-1])
+
+
+class TestWindowedEngineBehaviour:
+    def test_timeline_mixing_raises_both_ways(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        engine.run_stream(stream, TimeTrigger(1.0), horizon_months=2.0)
+        with pytest.raises(ValueError, match="epoch-free windowed timeline"):
+            engine.step(EpochBatch(epoch=2, events=()))
+
+        engine = make_engine(partitions, tiers)
+        engine.run(monthly_batches(stream, num_epochs=2))
+        with pytest.raises(ValueError, match="dense monthly timeline"):
+            engine.step_window(
+                StreamWindow(index=0, start_month=0.0, end_month=1.0,
+                             events=(), cause="time")
+            )
+
+    def test_windows_must_be_consecutive(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        engine.step_window(
+            StreamWindow(index=0, start_month=0.0, end_month=1.0, events=(),
+                         cause="time")
+        )
+        with pytest.raises(ValueError, match="consecutive"):
+            engine.step_window(
+                StreamWindow(index=2, start_month=2.0, end_month=3.0,
+                             events=(), cause="time")
+            )
+
+    def test_window_clock_tracks_settled_time(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        engine.run_stream(stream, TimeTrigger(0.5), horizon_months=2.0)
+        assert engine.window_clock == 2.0
+
+    def test_drift_cause_forces_reoptimization(self, oracle_setup):
+        partitions, tiers, _ = oracle_setup
+        # A policy that never fires on its own: drift-closed windows must
+        # still reoptimize.
+        engine = OnlineTieringEngine(
+            partitions,
+            tiers,
+            PeriodicReoptimize(period_months=1000),
+            EngineConfig(horizon_months=3.0, window_months=3),
+        )
+        first = engine.step_window(
+            StreamWindow(index=0, start_month=0.0, end_month=1.0,
+                         events=tuple(timed(0.5, partition="p0")), cause="time")
+        )
+        assert first.reoptimized  # cold start always fires
+        quiet = engine.step_window(
+            StreamWindow(index=1, start_month=1.0, end_month=2.0,
+                         events=(), cause="time")
+        )
+        assert not quiet.reoptimized
+        drifted = engine.step_window(
+            StreamWindow(index=2, start_month=2.0, end_month=2.6,
+                         events=tuple(timed(2.3, partition="p1")), cause="drift")
+        )
+        assert drifted.reoptimized
+
+    def test_run_stream_wires_drift_baseline(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        inner = DriftTrigger(threshold=0.8)
+        trigger = AnyTrigger(TimeTrigger(1.0), inner)
+        engine.run_stream(stream, trigger, horizon_months=2.0)
+        assert inner.baseline_provider is not None
+        # After the cold-start reoptimization there is an applied forecast.
+        assert inner.baseline_provider() == engine.last_applied_forecast
+        assert engine.last_applied_forecast is not None
+
+    def test_explicit_baseline_provider_is_left_alone(self, oracle_setup):
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        provider = lambda: {"p0": 1.0}  # noqa: E731
+        trigger = DriftTrigger(threshold=0.8, baseline_provider=provider)
+        engine.run_stream(stream, trigger, horizon_months=1.0)
+        assert trigger.baseline_provider is provider
+
+    def test_windowed_run_emits_spans_and_close_counters(self, oracle_setup):
+        from repro import obs
+
+        partitions, tiers, stream = oracle_setup
+        engine = make_engine(partitions, tiers)
+        with obs.observed() as run:
+            report = engine.run_stream(
+                stream, TimeTrigger(1.0), horizon_months=2.0
+            )
+        names = {record.name for record in run.tracer.records()}
+        assert {"engine.window", "engine.settle", "engine.ingest"} <= names
+        closes = {
+            sample.labels.get("cause"): sample.value
+            for sample in run.snapshot().metrics
+            if sample.name == "engine.window_closes"
+        }
+        assert closes["time"] == 1
+        assert closes["horizon"] == 1
+        assert sum(closes.values()) == len(report.records)
+
+    def test_observed_windowed_run_is_bill_identical(self, oracle_setup):
+        from repro import obs
+
+        partitions, tiers, stream = oracle_setup
+        baseline = make_engine(partitions, tiers).run_stream(
+            stream, TimeTrigger(1.0), horizon_months=3.0
+        )
+        with obs.observed():
+            traced = make_engine(partitions, tiers).run_stream(
+                stream, TimeTrigger(1.0), horizon_months=3.0
+            )
+        assert traced.total_bill == baseline.total_bill
+
+    def test_zero_width_flush_window_settles_raw_counts(self, oracle_setup):
+        partitions, tiers, _ = oracle_setup
+        engine = make_engine(partitions, tiers)
+        record = engine.step_window(
+            StreamWindow(index=0, start_month=0.0, end_month=0.0,
+                         events=tuple(timed(0.0, partition="p0", reads=3.0)),
+                         cause="flush")
+        )
+        assert record.storage_cost == 0.0
+        assert engine.feature_store.window_reads("p0") == 3.0

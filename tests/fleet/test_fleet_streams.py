@@ -1,0 +1,230 @@
+"""Fleet over continuous streams: merged-trigger windows, dense-oracle lock."""
+
+import pytest
+
+from repro.cloud import DataPartition, PoolSet, TimedEvent, multi_cloud_catalog
+from repro.engine import (
+    CountTrigger,
+    EngineConfig,
+    PeriodicReoptimize,
+    StreamWindow,
+    TimeTrigger,
+    monthly_batches,
+)
+from repro.fleet import FleetScheduler, TenantSpec
+from repro.workloads import PoissonZipfStream, tenant_rate_skew
+
+MONTHS = 6
+CONFIG = EngineConfig(horizon_months=3.0, window_months=3)
+TENANTS = ("acme", "globex", "initech")
+
+
+def tenant_partitions(tenant, count=4):
+    return [
+        DataPartition(
+            name=f"{tenant}_p{i}",
+            size_gb=120.0 + 25.0 * i,
+            predicted_accesses=15.0,
+            latency_threshold_s=7200.0,
+            current_tier=0,
+        )
+        for i in range(count)
+    ]
+
+
+def tenant_streams(seed=0):
+    rates = tenant_rate_skew(600.0, list(TENANTS), exponent=1.0)
+    return {
+        tenant: PoissonZipfStream(
+            [p.name for p in tenant_partitions(tenant)],
+            rate_per_month=rates[tenant],
+            horizon_months=float(MONTHS),
+            seed=seed + rank,
+            tenant=tenant,
+        )
+        for rank, tenant in enumerate(TENANTS)
+    }
+
+
+def make_scheduler(streams, *, dense=False, pools=None, catalog=None):
+    """One scheduler; ``dense=True`` adapts the streams onto the monthly grid."""
+    specs = [
+        TenantSpec(
+            name=tenant,
+            partitions=tenant_partitions(tenant),
+            policy=PeriodicReoptimize(period_months=2),
+            stream=(
+                monthly_batches(streams[tenant], num_epochs=MONTHS)
+                if dense
+                else iter(())
+            ),
+            config=CONFIG,
+        )
+        for tenant in TENANTS
+    ]
+    catalog = catalog or multi_cloud_catalog()
+    return FleetScheduler(specs, catalog, pools=pools)
+
+
+class TestFleetDenseOracleEquivalence:
+    """run_streams under TimeTrigger(1.0) == run over monthly_batches, bit-exact."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        streams = tenant_streams(seed=31)
+        dense = make_scheduler(streams, dense=True).run(num_epochs=MONTHS)
+        windowed_report = make_scheduler(streams).run_streams(
+            streams, TimeTrigger(1.0), horizon_months=float(MONTHS)
+        )
+        return dense, windowed_report
+
+    def test_total_bills_bit_exact(self, reports):
+        dense, windowed_report = reports
+        assert windowed_report.total_bill == dense.total_bill
+
+    def test_per_tenant_records_bit_exact(self, reports):
+        dense, windowed_report = reports
+        assert set(windowed_report.tenant_reports) == set(dense.tenant_reports)
+        for name, dense_report in dense.tenant_reports.items():
+            window_report = windowed_report.tenant_reports[name]
+            assert len(window_report.records) == len(dense_report.records)
+            for dense_rec, window_rec in zip(
+                dense_report.records, window_report.records
+            ):
+                assert window_rec.storage_cost == dense_rec.storage_cost
+                assert window_rec.read_cost == dense_rec.read_cost
+                assert window_rec.migration_cost == dense_rec.migration_cost
+                assert window_rec.reoptimized == dense_rec.reoptimized
+                assert window_rec.access_count == dense_rec.access_count
+
+    def test_pool_usage_rows_match(self, reports):
+        dense, windowed_report = reports
+        assert len(windowed_report.pool_usage) == len(dense.pool_usage)
+        for dense_row, window_row in zip(
+            dense.pool_usage, windowed_report.pool_usage
+        ):
+            assert window_row.used_gb == dense_row.used_gb
+            assert window_row.num_reoptimized == dense_row.num_reoptimized
+
+
+class TestRunStreams:
+    def test_count_trigger_counts_fleet_wide(self):
+        streams = tenant_streams(seed=7)
+        scheduler = make_scheduler(streams)
+        report = scheduler.run_streams(
+            streams, CountTrigger(200), horizon_months=float(MONTHS)
+        )
+        # Every tenant settles every shared window (lock-step).
+        lengths = {
+            len(r.records) for r in report.tenant_reports.values()
+        }
+        assert len(lengths) == 1
+        total_events = sum(
+            rec.access_count
+            for r in report.tenant_reports.values()
+            for rec in r.records
+        )
+        assert total_events == sum(1 for s in streams.values() for _ in s)
+
+    def test_capacity_pools_respected_on_windowed_timeline(self):
+        streams = tenant_streams(seed=13)
+        catalog = multi_cloud_catalog()
+        pools = PoolSet.per_provider(catalog, {"aws_s3": 50_000.0})
+        scheduler = make_scheduler(streams, pools=pools, catalog=catalog)
+        report = scheduler.run_streams(
+            streams, TimeTrigger(1.0), horizon_months=float(MONTHS)
+        )
+        for row in report.pool_usage:
+            for pool, used in row.used_gb.items():
+                capacity = row.capacity_gb[pool]
+                assert used <= capacity + 1e-6
+
+    def test_missing_tenant_stream_rejected(self):
+        streams = tenant_streams(seed=3)
+        scheduler = make_scheduler(streams)
+        incomplete = {name: streams[name] for name in list(TENANTS)[:-1]}
+        with pytest.raises(ValueError, match="missing tenants"):
+            scheduler.run_streams(incomplete, TimeTrigger(1.0))
+
+    def test_events_are_retagged_to_their_tenant(self):
+        # A stream whose events carry no tenant tag still lands in the right
+        # engine: run_streams re-tags by mapping key.
+        streams = tenant_streams(seed=5)
+        untagged = {
+            name: PoissonZipfStream(
+                [p.name for p in tenant_partitions(name)],
+                rate_per_month=100.0,
+                horizon_months=2.0,
+                seed=50 + i,
+            )
+            for i, name in enumerate(TENANTS)
+        }
+        scheduler = make_scheduler(streams)
+        report = scheduler.run_streams(
+            untagged, TimeTrigger(1.0), horizon_months=2.0
+        )
+        for name, tenant_report in report.tenant_reports.items():
+            expected = sum(1 for _ in untagged[name])
+            assert sum(r.access_count for r in tenant_report.records) == expected
+
+
+class TestStepWindowValidation:
+    def test_mixed_spans_rejected(self):
+        streams = tenant_streams(seed=1)
+        scheduler = make_scheduler(streams)
+        windows = {
+            "acme": StreamWindow(index=0, start_month=0.0, end_month=1.0,
+                                 events=(), cause="time"),
+            "globex": StreamWindow(index=0, start_month=0.0, end_month=2.0,
+                                   events=(), cause="time"),
+            "initech": StreamWindow(index=0, start_month=0.0, end_month=1.0,
+                                    events=(), cause="time"),
+        }
+        with pytest.raises(ValueError, match="locked"):
+            scheduler.step_window(windows)
+
+    def test_empty_windows_rejected(self):
+        scheduler = make_scheduler(tenant_streams(seed=2))
+        with pytest.raises(ValueError, match="at least one"):
+            scheduler.step_window({})
+
+    def test_missing_tenants_settle_empty_windows(self):
+        scheduler = make_scheduler(tenant_streams(seed=4))
+        scheduler.step_window(
+            {
+                "acme": StreamWindow(
+                    index=0, start_month=0.0, end_month=1.0,
+                    events=(TimedEvent(t=0.5, partition="acme_p0"),),
+                    cause="time",
+                )
+            }
+        )
+        report = scheduler.report()
+        assert set(report.tenant_reports) == set(TENANTS)
+        for name in ("globex", "initech"):
+            records = report.tenant_reports[name].records
+            assert len(records) == 1
+            assert records[0].access_count == 0
+            assert records[0].storage_cost > 0.0  # storage still accrues
+
+    def test_drift_cause_forces_every_tenant(self):
+        scheduler = make_scheduler(tenant_streams(seed=6))
+        # Window 0: everyone fires (cold start).
+        scheduler.step_window(
+            {
+                name: StreamWindow(index=0, start_month=0.0, end_month=1.0,
+                                   events=(), cause="time")
+                for name in TENANTS
+            }
+        )
+        # Window 1: period-2 policies would stay quiet, drift overrides.
+        scheduler.step_window(
+            {
+                name: StreamWindow(index=1, start_month=1.0, end_month=1.5,
+                                   events=(), cause="drift")
+                for name in TENANTS
+            }
+        )
+        report = scheduler.report()
+        for tenant_report in report.tenant_reports.values():
+            assert [r.reoptimized for r in tenant_report.records] == [True, True]
